@@ -1,0 +1,143 @@
+//! Binomial coefficients, exact and in log space.
+//!
+//! Equation 1 divides two large combinatorial counts. For every parameter
+//! range the paper uses (N ≤ 64, f ≤ 10) — and far beyond — the counts fit in
+//! a `u128`, so the primary implementation is exact integer arithmetic with
+//! overflow detection. A log-space `f64` fallback covers arbitrarily large
+//! parameters (used by the threshold sweeps that probe N in the hundreds with
+//! large f).
+
+/// Exact binomial coefficient `C(n, k)`, or `None` on `u128` overflow.
+///
+/// Uses the multiplicative formula with an interleaved division at every step
+/// (the running product is always an exact binomial of a prefix, so each
+/// division is exact) which keeps intermediate values as small as possible.
+///
+/// `C(n, k) = 0` for `k > n`, and `C(n, 0) = 1`, matching the convention used
+/// throughout the survivability counting.
+#[must_use]
+pub fn binom(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // acc = C(n, i); next is acc * (n - i) / (i + 1), exact in this order.
+        acc = acc.checked_mul((n - i) as u128)?;
+        acc /= (i + 1) as u128;
+    }
+    Some(acc)
+}
+
+/// Natural log of `C(n, k)`; returns `f64::NEG_INFINITY` when `C(n, k) = 0`.
+///
+/// Computed as a direct O(k) sum of logs, which is exact enough (relative
+/// error ~1e-14) for the probability work in this crate and avoids pulling in
+/// a lgamma implementation.
+#[must_use]
+pub fn ln_binom(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    let mut acc = 0.0f64;
+    for i in 0..k {
+        acc += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    acc
+}
+
+/// `C(n, k)` as an `f64`, falling back to log space when the exact value
+/// overflows `u128`.
+#[must_use]
+pub fn binom_f64(n: u64, k: u64) -> f64 {
+    match binom(n, k) {
+        Some(v) => v as f64,
+        None => ln_binom(n, k).exp(),
+    }
+}
+
+/// Ratio `C(an, ak) / C(bn, bk)` computed stably.
+///
+/// Prefers the exact integer path; falls back to `exp(ln C - ln C)` when
+/// either count overflows `u128`, which keeps the ratio accurate even when
+/// the individual counts are astronomically large.
+#[must_use]
+pub fn binom_ratio(an: u64, ak: u64, bn: u64, bk: u64) -> f64 {
+    match (binom(an, ak), binom(bn, bk)) {
+        (Some(a), Some(b)) if b != 0 => a as f64 / b as f64,
+        _ => (ln_binom(an, ak) - ln_binom(bn, bk)).exp(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_match_pascal() {
+        // Build Pascal's triangle and compare.
+        let mut row: Vec<u128> = vec![1];
+        for n in 0..=40u64 {
+            for k in 0..=n {
+                assert_eq!(binom(n, k), Some(row[k as usize]), "C({n},{k})");
+            }
+            let mut next = vec![1u128];
+            for i in 1..row.len() {
+                next.push(row[i - 1] + row[i]);
+            }
+            next.push(1);
+            row = next;
+        }
+    }
+
+    #[test]
+    fn k_greater_than_n_is_zero() {
+        assert_eq!(binom(5, 6), Some(0));
+        assert_eq!(ln_binom(5, 6), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(binom(130, 10), binom(130, 120));
+    }
+
+    #[test]
+    fn known_large_value() {
+        // C(130, 10) = 266 401 260 897 200, the denominator at N=64, f=10.
+        assert_eq!(binom(130, 10), Some(266_401_260_897_200));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        // C(1000, 500) vastly exceeds u128.
+        assert_eq!(binom(1000, 500), None);
+        assert!(ln_binom(1000, 500).is_finite());
+    }
+
+    #[test]
+    fn ln_matches_exact() {
+        for &(n, k) in &[(10u64, 3u64), (64, 10), (130, 10), (200, 7)] {
+            let exact = binom(n, k).unwrap() as f64;
+            let via_ln = ln_binom(n, k).exp();
+            assert!(
+                (exact - via_ln).abs() / exact < 1e-10,
+                "C({n},{k}): {exact} vs {via_ln}"
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_handles_overflow() {
+        // Both overflow u128, but the ratio is representable.
+        let r = binom_ratio(1000, 500, 1002, 500);
+        assert!(r.is_finite() && r > 0.0 && r < 1.0);
+    }
+
+    #[test]
+    fn binom_f64_consistent() {
+        assert_eq!(binom_f64(10, 5), 252.0);
+        assert!(binom_f64(1000, 500).is_finite());
+    }
+}

@@ -1,0 +1,219 @@
+//! Exhaustive enumeration of failure combinations.
+//!
+//! For small clusters it is feasible to walk **every** `f`-subset of the
+//! `2N + 2` components and evaluate the connectivity predicate directly.
+//! This is the ground truth the closed form ([`crate::exact`]) and the
+//! Monte-Carlo estimator ([`crate::montecarlo`]) are validated against: the
+//! three implementations share nothing but the component model, so
+//! agreement is strong evidence each is correct.
+
+use crate::components::FailureSet;
+use crate::connectivity::{all_pairs_connected_state, pair_connected_state, ClusterState};
+
+/// Iterator over all `k`-subsets of `0..n` in lexicographic order, yielding
+/// each as a slice of indices into an internal buffer (no per-item
+/// allocation).
+pub struct Combinations {
+    n: usize,
+    k: usize,
+    idx: Vec<usize>,
+    started: bool,
+    done: bool,
+}
+
+impl Combinations {
+    /// All `k`-subsets of `{0, 1, …, n-1}`.
+    #[must_use]
+    pub fn new(n: usize, k: usize) -> Self {
+        Combinations {
+            n,
+            k,
+            idx: (0..k).collect(),
+            started: false,
+            done: k > n,
+        }
+    }
+
+    /// Advances to the next combination, returning the current index slice,
+    /// or `None` when exhausted. (A lending iterator by hand: the standard
+    /// `Iterator` trait cannot return borrows of the iterator itself.)
+    pub fn next_combination(&mut self) -> Option<&[usize]> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(&self.idx);
+        }
+        // Find the rightmost index that can still be bumped.
+        let k = self.k;
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                return None;
+            }
+            i -= 1;
+            if self.idx[i] < self.n - (k - i) {
+                break;
+            }
+        }
+        self.idx[i] += 1;
+        for j in i + 1..k {
+            self.idx[j] = self.idx[j - 1] + 1;
+        }
+        Some(&self.idx)
+    }
+}
+
+/// Counts, over **all** `f`-subsets of the `2n + 2` components, how many
+/// leave the pair `(0, 1)` connected. Returns `(successes, total)`.
+///
+/// By symmetry of the component model, every pair has the same count, so
+/// the fixed pair loses no generality.
+///
+/// Complexity is `C(2n+2, f)` predicate evaluations — intended for the
+/// validation ranges (`n ≤ ~8`, `f ≤ ~8`).
+#[must_use]
+pub fn enumerate_pair_success(n: usize, f: usize) -> (u128, u128) {
+    assert!(n >= 2, "need a pair of nodes");
+    let m = 2 * n + 2;
+    let mut combos = Combinations::new(m, f);
+    let mut total: u128 = 0;
+    let mut success: u128 = 0;
+    while let Some(indices) = combos.next_combination() {
+        let mut st = ClusterState::fully_up(n);
+        for &i in indices {
+            st.fail_index(i);
+        }
+        total += 1;
+        if pair_connected_state(&st, 0, 1) {
+            success += 1;
+        }
+    }
+    (success, total)
+}
+
+/// Counts failure sets preserving **all-pairs** connectivity. Returns
+/// `(successes, total)`.
+#[must_use]
+pub fn enumerate_all_pairs_success(n: usize, f: usize) -> (u128, u128) {
+    assert!(n >= 2);
+    let m = 2 * n + 2;
+    let mut combos = Combinations::new(m, f);
+    let mut total: u128 = 0;
+    let mut success: u128 = 0;
+    while let Some(indices) = combos.next_combination() {
+        let mut st = ClusterState::fully_up(n);
+        for &i in indices {
+            st.fail_index(i);
+        }
+        total += 1;
+        if all_pairs_connected_state(&st) {
+            success += 1;
+        }
+    }
+    (success, total)
+}
+
+/// Exhaustive `P\[Success\]` for the pair model, as a float.
+#[must_use]
+pub fn exhaustive_p_success(n: usize, f: usize) -> f64 {
+    let (s, t) = enumerate_pair_success(n, f);
+    s as f64 / t as f64
+}
+
+/// Collects every disconnecting `f`-subset as a [`FailureSet`] (useful for
+/// inspecting minimal cuts in tests and examples). Intended for tiny `n`.
+#[must_use]
+pub fn disconnecting_sets(n: usize, f: usize) -> Vec<FailureSet> {
+    let m = 2 * n + 2;
+    let mut combos = Combinations::new(m, f);
+    let mut out = Vec::new();
+    while let Some(indices) = combos.next_combination() {
+        let mut st = ClusterState::fully_up(n);
+        for &i in indices {
+            st.fail_index(i);
+        }
+        if !pair_connected_state(&st, 0, 1) {
+            out.push(FailureSet::from_indices(indices));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binom::binom;
+
+    #[test]
+    fn combinations_count_matches_binomial() {
+        for n in 0..=10usize {
+            for k in 0..=n + 1 {
+                let mut c = Combinations::new(n, k);
+                let mut count = 0u128;
+                while c.next_combination().is_some() {
+                    count += 1;
+                }
+                assert_eq!(Some(count), binom(n as u64, k as u64), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn combinations_are_sorted_and_unique() {
+        let mut c = Combinations::new(6, 3);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(ix) = c.next_combination() {
+            assert!(ix.windows(2).all(|w| w[0] < w[1]), "not strictly sorted");
+            assert!(seen.insert(ix.to_vec()), "duplicate combination");
+        }
+        assert_eq!(seen.len(), 20);
+    }
+
+    #[test]
+    fn zero_subset_is_the_empty_set() {
+        let mut c = Combinations::new(5, 0);
+        assert_eq!(c.next_combination(), Some(&[][..]));
+        assert_eq!(c.next_combination(), None);
+    }
+
+    #[test]
+    fn totals_are_binomials() {
+        let (_, total) = enumerate_pair_success(4, 3);
+        assert_eq!(total, binom(10, 3).unwrap());
+    }
+
+    #[test]
+    fn f2_disconnecting_sets_are_the_known_cuts() {
+        // N=4: exactly the 7 two-cuts derived in exact.rs.
+        let cuts = disconnecting_sets(4, 2);
+        assert_eq!(cuts.len(), 7);
+        for cut in &cuts {
+            assert_eq!(cut.len(), 2);
+        }
+    }
+
+    #[test]
+    fn all_pairs_success_is_at_most_pair_success() {
+        for n in 2..=5 {
+            for f in 0..=5 {
+                let (pair, total) = enumerate_pair_success(n, f);
+                let (all, total2) = enumerate_all_pairs_success(n, f);
+                assert_eq!(total, total2);
+                assert!(all <= pair, "n={n} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_probability_bounds() {
+        for n in 2..=5 {
+            for f in 0..=4 {
+                let p = exhaustive_p_success(n, f);
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Equation 1: the exact closed-form probability of pair survivability.
+//!
+//! The paper models a cluster of `N` nodes as `2N + 2` equally-likely-to-fail
+//! components (see [`crate::components`]) and conditions on exactly `f`
+//! failures. `F(N, f)` counts the failure combinations that leave a fixed
+//! server pair able to communicate, and
+//!
+//! ```text
+//!                F(N, f)
+//! P\[Success\] = ----------          (Equation 1)
+//!              C(2N+2, f)
+//! ```
+//!
+//! The printed formula for `F(N, f)` is unrecoverable from the source text,
+//! so this module re-derives it from the stated system model (see DESIGN.md
+//! §2). It is validated two independent ways: exhaustive enumeration of all
+//! failure sets ([`crate::enumerate`], exercised in this module's tests) and
+//! the paper's own numeric milestones — `P\[S\]` first exceeds 0.99 at exactly
+//! `N` = 18, 32 and 45 for `f` = 2, 3 and 4.
+//!
+//! Counting is done on the *disconnecting* sets `D(N, f)` (complement of
+//! `F`), partitioned by how many backplanes failed:
+//!
+//! * **both backplanes failed** — always disconnecting: `C(2N, f-2)`;
+//! * **exactly one backplane failed** (×2 by symmetry) — the pair must share
+//!   the surviving network, so the set disconnects iff it contains `s`'s or
+//!   `t`'s NIC on that network: `C(2N, f-1) − C(2N−2, f-1)`;
+//! * **no backplane failed** — either an endpoint is isolated (both own NICs
+//!   failed): `2·C(2N−2, f−2) − C(2N−4, f−4)` by inclusion–exclusion; or the
+//!   pair is *crossed* (`s` attached only to A, `t` only to B, or vice
+//!   versa) and **every** other node lost at least one NIC so no gateway
+//!   exists: `2·C(N−2, f−2−(N−2))·2^{2(N−2)−(f−2)}`, possible only when
+//!   `f − 2 ≥ N − 2`.
+
+use crate::binom::{binom, binom_f64, ln_binom};
+
+/// Number of failable components in an `n`-node cluster.
+#[must_use]
+pub fn component_count(n: u64) -> u64 {
+    2 * n + 2
+}
+
+fn c(n: i64, k: i64) -> u128 {
+    if n < 0 || k < 0 || k > n {
+        0
+    } else {
+        binom(n as u64, k as u64).expect("binomial overflow; use disconnect_count_f64")
+    }
+}
+
+/// `D(N, f)`: the number of `f`-subsets of the `2N + 2` components whose
+/// failure disconnects a fixed pair of servers. Exact `u128` arithmetic.
+///
+/// # Panics
+/// Panics if `n < 2` (a pair needs two nodes) or on `u128` overflow
+/// (`f ≳ 15` at very large `n`; use [`p_success_f64`] there).
+#[must_use]
+pub fn disconnect_count(n: u64, f: u64) -> u128 {
+    assert!(n >= 2, "need at least two nodes to form a pair");
+    let (n, f) = (n as i64, f as i64);
+    let mut d: u128 = 0;
+    // Both backplanes failed.
+    d += c(2 * n, f - 2);
+    // Exactly one backplane failed (two symmetric choices).
+    d += 2 * (c(2 * n, f - 1) - c(2 * n - 2, f - 1));
+    // No backplane failed: an endpoint isolated...
+    d += 2 * c(2 * n - 2, f - 2) - c(2 * n - 4, f - 4);
+    // ...or crossed endpoints with every potential gateway degraded.
+    let m = n - 2; // candidate gateway nodes
+    let j = f - 2; // NIC failures left after the two crossing NICs
+    if j >= m && j <= 2 * m {
+        // Choose which of the m gateways lost both NICs (j - m of them) and
+        // which NIC the rest lost (2 ways each).
+        d += 2 * c(m, j - m) * (1u128 << (2 * m - j));
+    }
+    d
+}
+
+/// `F(N, f)`: the number of `f`-failure combinations that leave the pair
+/// connected (the numerator of Equation 1).
+#[must_use]
+pub fn success_count(n: u64, f: u64) -> u128 {
+    let total = binom(component_count(n), f).expect("binomial overflow");
+    total - disconnect_count(n, f)
+}
+
+/// Equation 1: `P\[Success\]` for a fixed server pair with `n` nodes and
+/// exactly `f` failed components, by exact integer counting.
+///
+/// Returns 1.0 for `f = 0` and `f = 1` (any single component failure is
+/// survivable thanks to the redundant network) and 0.0 when `f = 2N + 2`
+/// (everything failed).
+#[must_use]
+pub fn p_success(n: u64, f: u64) -> f64 {
+    assert!(
+        f <= component_count(n),
+        "cannot fail {f} of {} components",
+        component_count(n)
+    );
+    let total = binom(component_count(n), f).expect("binomial overflow");
+    let d = disconnect_count(n, f);
+    1.0 - d as f64 / total as f64
+}
+
+/// `D(N, f) / C(2N+2, f)` in floating point, valid for parameters where the
+/// exact counts overflow `u128`. Accuracy is limited by the log-space
+/// evaluation (~1e-12 relative), ample for threshold sweeps.
+#[must_use]
+pub fn p_success_f64(n: u64, f: u64) -> f64 {
+    assert!(n >= 2);
+    let ln_total = ln_binom(component_count(n), f);
+    let (ni, fi) = (n as i64, f as i64);
+    let cf = |nn: i64, kk: i64| -> f64 {
+        if nn < 0 || kk < 0 || kk > nn {
+            0.0
+        } else {
+            binom_f64(nn as u64, kk as u64)
+        }
+    };
+    let mut d = cf(2 * ni, fi - 2);
+    d += 2.0 * (cf(2 * ni, fi - 1) - cf(2 * ni - 2, fi - 1));
+    d += 2.0 * cf(2 * ni - 2, fi - 2) - cf(2 * ni - 4, fi - 4);
+    let m = ni - 2;
+    let j = fi - 2;
+    if j >= m && j <= 2 * m {
+        d += 2.0 * cf(m, j - m) * (2.0f64).powi((2 * m - j) as i32);
+    }
+    1.0 - d / ln_total.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_pair_success;
+
+    #[test]
+    fn f2_disconnect_is_seven_cuts() {
+        // The seven minimal 2-cuts: {A_s,B_s}, {A_t,B_t}, {bpA,bpB},
+        // {bpA,B_s}, {bpA,B_t}, {bpB,A_s}, {bpB,A_t}.
+        for n in 3..40 {
+            assert_eq!(disconnect_count(n, 2), 7, "n={n}");
+        }
+        // With only two nodes there is no gateway, so the two crossed-NIC
+        // sets {B_s, A_t} and {A_s, B_t} disconnect as well.
+        assert_eq!(disconnect_count(2, 2), 9);
+    }
+
+    #[test]
+    fn f3_disconnect_formula() {
+        // For N > 3 there are no minimal 3-cuts, so D(N,3) counts the
+        // 3-supersets of the seven 2-cuts: 14N - 10.
+        for n in 4..40u64 {
+            assert_eq!(disconnect_count(n, 3), (14 * n - 10) as u128, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_enumeration() {
+        for n in 2..=7u64 {
+            for f in 0..=component_count(n).min(8) {
+                let (succ, total) = enumerate_pair_success(n as usize, f as usize);
+                assert_eq!(
+                    success_count(n, f),
+                    succ,
+                    "success_count mismatch at n={n}, f={f}"
+                );
+                let p = p_success(n, f);
+                let p_enum = succ as f64 / total as f64;
+                assert!((p - p_enum).abs() < 1e-12, "n={n} f={f}: {p} vs {p_enum}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_milestones_hold_exactly() {
+        // "for f=2 the P[S] surpasses 0.99 at 18 nodes ... f=3 at 32 ...
+        //  f=4 at 45" — and not one node earlier.
+        for (f, n_star) in [(2u64, 18u64), (3, 32), (4, 45)] {
+            assert!(p_success(n_star, f) > 0.99, "f={f} at N={n_star}");
+            assert!(
+                p_success(n_star - 1, f) <= 0.99,
+                "f={f} at N={}",
+                n_star - 1
+            );
+        }
+    }
+
+    #[test]
+    fn zero_and_one_failures_always_survive() {
+        for n in 2..50 {
+            assert_eq!(p_success(n, 0), 1.0);
+            assert_eq!(p_success(n, 1), 1.0);
+        }
+    }
+
+    #[test]
+    fn all_components_failed_never_survives() {
+        for n in 2..12 {
+            assert_eq!(p_success(n, component_count(n)), 0.0);
+        }
+    }
+
+    #[test]
+    fn monotone_in_n_for_fixed_f() {
+        // Figure 2's qualitative content: P[S] grows with N for fixed f.
+        for f in 2..=10u64 {
+            let mut prev = 0.0;
+            for n in (f.max(2) + 1)..=64 {
+                let p = p_success(n, f);
+                assert!(
+                    p >= prev - 1e-12,
+                    "P[S] not monotone at n={n}, f={f}: {p} < {prev}"
+                );
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn converges_to_one() {
+        // lim_{N->inf} P[S] = 1 for fixed f.
+        for f in 2..=10u64 {
+            assert!(p_success(400, f) > 0.999, "f={f}");
+        }
+    }
+
+    #[test]
+    fn f64_path_matches_exact_path() {
+        for n in [2u64, 5, 18, 45, 64, 127] {
+            for f in 0..=12u64.min(component_count(n)) {
+                let a = p_success(n, f);
+                let b = p_success_f64(n, f);
+                assert!((a - b).abs() < 1e-9, "n={n} f={f}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn f64_path_handles_huge_parameters() {
+        let p = p_success_f64(2000, 40);
+        assert!(p > 0.99 && p <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fail")]
+    fn too_many_failures_panics() {
+        let _ = p_success(3, 9);
+    }
+}

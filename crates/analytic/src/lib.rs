@@ -1,0 +1,59 @@
+//! Survivability mathematics for the Dynamic Routing System (DRS) reproduction.
+//!
+//! This crate implements the analytical side of *"Network Survivability
+//! Simulation of a Commercially Deployed Dynamic Routing System Protocol"*
+//! (IPDPS 2000 Workshops):
+//!
+//! * the **component model**: a cluster of `N` nodes, each with one NIC on
+//!   network A and one on network B, plus the two backplanes themselves —
+//!   `2N + 2` components in total ([`components`]),
+//! * the **connectivity predicate**: given a set of failed components, can a
+//!   pair of servers still communicate under DRS routing (directly on either
+//!   network, or relayed through a one-hop gateway node)? ([`connectivity`]),
+//! * **Equation 1**: the exact closed-form probability of success
+//!   `P\[S\](N, f) = F(N, f) / C(2N+2, f)` conditioned on exactly `f` failures
+//!   ([`exact`]),
+//! * an **exhaustive enumerator** over all failure sets, used to validate the
+//!   closed form ([`enumerate`]),
+//! * a **Monte-Carlo estimator** reproducing the paper's validation
+//!   simulation ([`montecarlo`]) and its convergence study, Figure 3
+//!   ([`convergence`]),
+//! * the **threshold finder** for the `P\[S\] > 0.99` milestones
+//!   ([`thresholds`]) and the Figure 2 **series generator** ([`series`]),
+//! * the paper's **`q^f` multiple-failure decay model** ([`qmodel`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use drs_analytic::exact::p_success;
+//! use drs_analytic::thresholds::first_n_exceeding;
+//!
+//! // Equation 1: probability a server pair can communicate with N nodes and
+//! // f simultaneous component failures.
+//! let p = p_success(18, 2);
+//! assert!(p > 0.99);
+//!
+//! // The paper's milestones: P\[S\] surpasses 0.99 at 18/32/45 nodes for f=2/3/4.
+//! assert_eq!(first_n_exceeding(2, 0.99), Some(18));
+//! assert_eq!(first_n_exceeding(3, 0.99), Some(32));
+//! assert_eq!(first_n_exceeding(4, 0.99), Some(45));
+//! ```
+
+pub mod allpairs;
+pub mod binom;
+pub mod components;
+pub mod connectivity;
+pub mod convergence;
+pub mod enumerate;
+pub mod exact;
+pub mod montecarlo;
+pub mod qmodel;
+pub mod series;
+pub mod thresholds;
+
+pub use allpairs::{expected_disconnected_pairs, p_all_pairs};
+pub use components::{Component, FailureSet};
+pub use connectivity::{all_pairs_connected, pair_connected};
+pub use exact::{disconnect_count, p_success, success_count};
+pub use montecarlo::{MonteCarlo, MonteCarloEstimate};
+pub use thresholds::first_n_exceeding;

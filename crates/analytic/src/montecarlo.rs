@@ -1,0 +1,288 @@
+//! The paper's validation simulation: Monte-Carlo estimation of `P\[Success\]`.
+//!
+//! Each iteration draws `f` **distinct** components uniformly at random from
+//! the `2N + 2`, fails them, and tests whether the fixed pair `(0, 1)` can
+//! still communicate (by symmetry any pair gives the same distribution).
+//! The estimate is the success fraction. Figure 3 of the paper shows the
+//! mean absolute deviation of this estimator from Equation 1 shrinking as
+//! iterations grow; [`crate::convergence`] reproduces that study.
+//!
+//! Determinism: every estimator takes an explicit seed. The parallel path
+//! derives one independent stream per chunk with SplitMix64-style
+//! mixing, so results are reproducible regardless of thread scheduling.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::components::FailureSet;
+use crate::connectivity::{pair_connected_state, ClusterState};
+
+/// Result of a Monte-Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloEstimate {
+    /// Number of iterations performed.
+    pub iterations: u64,
+    /// Iterations in which the pair stayed connected.
+    pub successes: u64,
+    /// Point estimate `successes / iterations`.
+    pub p_hat: f64,
+    /// Binomial standard error `sqrt(p(1-p)/iters)` of the estimate.
+    pub std_error: f64,
+}
+
+impl MonteCarloEstimate {
+    /// Wilson score interval at confidence level `z` standard normal
+    /// quantiles (1.96 ≈ 95 %). Well-behaved even when `p_hat` sits at 0
+    /// or 1, unlike the naive ±z·SE interval — relevant here because many
+    /// (N, f) cells have success probabilities extremely close to 1.
+    #[must_use]
+    pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        assert!(z > 0.0, "z must be positive");
+        let n = self.iterations as f64;
+        let p = self.p_hat;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((centre - half).max(0.0), (centre + half).min(1.0))
+    }
+
+    fn from_counts(successes: u64, iterations: u64) -> Self {
+        assert!(iterations > 0, "at least one iteration required");
+        let p = successes as f64 / iterations as f64;
+        MonteCarloEstimate {
+            iterations,
+            successes,
+            p_hat: p,
+            std_error: (p * (1.0 - p) / iterations as f64).sqrt(),
+        }
+    }
+}
+
+/// Monte-Carlo estimator of pair survivability for an `(n, f)` scenario.
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    n: usize,
+    f: usize,
+    seed: u64,
+}
+
+impl MonteCarlo {
+    /// Creates an estimator for `n` nodes and exactly `f` failed components.
+    ///
+    /// # Panics
+    /// Panics if `n < 2`, `n` exceeds the bitset capacity, or `f > 2n + 2`.
+    #[must_use]
+    pub fn new(n: usize, f: usize, seed: u64) -> Self {
+        assert!(n >= 2, "need a pair of nodes");
+        assert!(
+            f <= 2 * n + 2,
+            "cannot fail {f} of {} components",
+            2 * n + 2
+        );
+        // Constructing a state validates the n <= MAX_NODES bound too.
+        let _ = ClusterState::fully_up(n);
+        MonteCarlo { n, f, seed }
+    }
+
+    /// Draws one random failure scenario and reports whether the pair
+    /// survived it.
+    #[must_use]
+    pub fn sample_once(&self, rng: &mut SmallRng) -> bool {
+        let st = sample_failure_state(self.n, self.f, rng);
+        pair_connected_state(&st, 0, 1)
+    }
+
+    /// Runs `iterations` sequential samples.
+    #[must_use]
+    pub fn estimate(&self, iterations: u64) -> MonteCarloEstimate {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut successes = 0u64;
+        for _ in 0..iterations {
+            if self.sample_once(&mut rng) {
+                successes += 1;
+            }
+        }
+        MonteCarloEstimate::from_counts(successes, iterations)
+    }
+
+    /// Runs `iterations` samples split into rayon-parallel chunks, each with
+    /// its own derived RNG stream. Deterministic for a given `(seed,
+    /// iterations)` regardless of the number of worker threads.
+    #[must_use]
+    pub fn estimate_parallel(&self, iterations: u64) -> MonteCarloEstimate {
+        const CHUNK: u64 = 1 << 14;
+        let chunks = iterations / CHUNK;
+        let remainder = iterations % CHUNK;
+        let body: u64 = (0..chunks)
+            .into_par_iter()
+            .map(|c| {
+                let mut rng = SmallRng::seed_from_u64(mix_stream(self.seed, c));
+                (0..CHUNK).filter(|_| self.sample_once(&mut rng)).count() as u64
+            })
+            .sum();
+        let tail = if remainder > 0 {
+            let mut rng = SmallRng::seed_from_u64(mix_stream(self.seed, chunks));
+            (0..remainder)
+                .filter(|_| self.sample_once(&mut rng))
+                .count() as u64
+        } else {
+            0
+        };
+        MonteCarloEstimate::from_counts(body + tail, iterations)
+    }
+}
+
+/// Draws `f` distinct failed components for an `n`-node cluster and returns
+/// the resulting liveness state.
+///
+/// Uses rejection sampling against a bitset: with `f ≤ 2n + 2` components
+/// the expected number of redraws is small even in the worst case (`f = m`
+/// costs `O(m log m)` draws), and no allocation is performed.
+#[must_use]
+pub fn sample_failure_state(n: usize, f: usize, rng: &mut SmallRng) -> ClusterState {
+    let m = 2 * n + 2;
+    debug_assert!(f <= m);
+    let mut st = ClusterState::fully_up(n);
+    let mut drawn = FailureSet::new();
+    let mut remaining = f;
+    while remaining > 0 {
+        let idx = rng.gen_range(0..m);
+        if !drawn.contains(idx) {
+            drawn.insert(idx);
+            st.fail_index(idx);
+            remaining -= 1;
+        }
+    }
+    st
+}
+
+/// Draws a random `f`-component failure set (indices form) for external use
+/// (e.g. injecting the same scenario into the packet-level simulator).
+#[must_use]
+pub fn sample_failure_set(n: usize, f: usize, rng: &mut SmallRng) -> FailureSet {
+    let m = 2 * n + 2;
+    assert!(f <= m, "cannot fail {f} of {m} components");
+    let mut drawn = FailureSet::new();
+    let mut remaining = f;
+    while remaining > 0 {
+        let idx = rng.gen_range(0..m);
+        if !drawn.contains(idx) {
+            drawn.insert(idx);
+            remaining -= 1;
+        }
+    }
+    drawn
+}
+
+/// SplitMix64 finalizer used to derive independent per-chunk seeds.
+#[must_use]
+fn mix_stream(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::p_success;
+
+    #[test]
+    fn estimate_close_to_equation_one() {
+        // 200k iterations: estimator is within ~5 sigma of Equation 1.
+        for &(n, f) in &[(8usize, 2usize), (16, 3), (32, 4), (10, 6)] {
+            let mc = MonteCarlo::new(n, f, 42);
+            let est = mc.estimate(200_000);
+            let exact = p_success(n as u64, f as u64);
+            assert!(
+                (est.p_hat - exact).abs() < 5.0 * est.std_error.max(1e-4),
+                "n={n} f={f}: {} vs {exact} (se {})",
+                est.p_hat,
+                est.std_error
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mc = MonteCarlo::new(12, 3, 7);
+        assert_eq!(mc.estimate(10_000), mc.estimate(10_000));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = MonteCarlo::new(12, 3, 1).estimate(10_000);
+        let b = MonteCarlo::new(12, 3, 2).estimate(10_000);
+        assert_ne!(a.successes, b.successes);
+    }
+
+    #[test]
+    fn parallel_matches_itself_and_is_sane() {
+        let mc = MonteCarlo::new(16, 4, 99);
+        let a = mc.estimate_parallel(100_000);
+        let b = mc.estimate_parallel(100_000);
+        assert_eq!(a, b, "parallel estimate must be deterministic");
+        let exact = p_success(16, 4);
+        assert!((a.p_hat - exact).abs() < 0.01);
+    }
+
+    #[test]
+    fn sample_draws_exactly_f_failures() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for f in 0..=10 {
+            let set = sample_failure_set(8, f, &mut rng);
+            assert_eq!(set.len(), f);
+        }
+    }
+
+    #[test]
+    fn sample_all_components_possible() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 4;
+        let set = sample_failure_set(n, 2 * n + 2, &mut rng);
+        assert_eq!(set.len(), 2 * n + 2);
+    }
+
+    #[test]
+    fn extreme_f_gives_zero_success() {
+        let mc = MonteCarlo::new(4, 10, 11);
+        let est = mc.estimate(1_000);
+        assert_eq!(est.successes, 0, "all components failed");
+    }
+
+    #[test]
+    fn f_zero_always_succeeds() {
+        let mc = MonteCarlo::new(4, 0, 11);
+        let est = mc.estimate(1_000);
+        assert_eq!(est.successes, 1_000);
+    }
+
+    #[test]
+    fn wilson_interval_covers_truth_and_handles_extremes() {
+        // Coverage: exact value inside the 95% interval for a sane cell.
+        let mc = MonteCarlo::new(16, 3, 4);
+        let est = mc.estimate(50_000);
+        let (lo, hi) = est.wilson_interval(1.96);
+        let exact = p_success(16, 3);
+        assert!(lo <= exact && exact <= hi, "[{lo}, {hi}] vs {exact}");
+        assert!(lo < hi);
+        // Degenerate all-success cell: interval stays inside [0,1] and
+        // is not collapsed to a point (the naive ±z·SE would be).
+        let all = MonteCarlo::new(4, 0, 1).estimate(100);
+        let (lo1, hi1) = all.wilson_interval(1.96);
+        assert!(hi1 > 1.0 - 1e-12, "{hi1}");
+        assert!(lo1 > 0.9 && lo1 < 1.0);
+    }
+
+    #[test]
+    fn std_error_shrinks_with_iterations() {
+        let mc = MonteCarlo::new(8, 3, 42);
+        let small = mc.estimate(1_000);
+        let large = mc.estimate(100_000);
+        assert!(large.std_error < small.std_error);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the survivability mathematics: combinatorial
+//! identities, estimator sanity, and structural invariants that must hold
+//! for *every* parameter choice, not just the paper's.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use drs_analytic::allpairs::{all_pairs_success_count, p_all_pairs};
+use drs_analytic::binom::{binom, binom_f64, ln_binom};
+use drs_analytic::components::{Component, FailureSet};
+use drs_analytic::connectivity::{pair_connected_state, ClusterState};
+use drs_analytic::exact::{component_count, disconnect_count, p_success, success_count};
+use drs_analytic::montecarlo::{sample_failure_set, MonteCarlo};
+use drs_analytic::qmodel::{binomial_failure_weight, geometric_failure_weight};
+
+proptest! {
+    /// Pascal's identity: C(n,k) = C(n-1,k-1) + C(n-1,k).
+    #[test]
+    fn pascal_identity(n in 1u64..120, k in 0u64..120) {
+        let k = k.min(n);
+        let lhs = binom(n, k);
+        if k == 0 {
+            prop_assert_eq!(lhs, Some(1));
+        } else if let (Some(l), Some(a), Some(b)) = (lhs, binom(n-1, k-1), binom(n-1, k)) {
+            prop_assert_eq!(l, a + b);
+        }
+    }
+
+    /// Symmetry: C(n,k) = C(n,n-k); log agrees with exact.
+    #[test]
+    fn binom_symmetry_and_log(n in 0u64..100, k in 0u64..100) {
+        if k > n {
+            prop_assert_eq!(binom(n, k), Some(0));
+        }
+        if k <= n {
+            prop_assert_eq!(binom(n, k), binom(n, n - k));
+            if let Some(exact) = binom(n, k) {
+                if exact > 0 {
+                    let rel = (ln_binom(n, k).exp() - exact as f64).abs() / exact as f64;
+                    prop_assert!(rel < 1e-9, "n={n} k={k} rel={rel}");
+                }
+            }
+            prop_assert!((binom_f64(n, k) - binom(n, k).unwrap() as f64).abs() < 1.0);
+        }
+    }
+
+    /// success + disconnect counts always total C(2N+2, f).
+    #[test]
+    fn counts_partition_the_space(n in 2u64..60, f in 0u64..14) {
+        let f = f.min(component_count(n));
+        let total = binom(component_count(n), f).unwrap();
+        prop_assert_eq!(success_count(n, f) + disconnect_count(n, f), total);
+    }
+
+    /// All-pairs success is a subset of pair success, count-wise.
+    #[test]
+    fn all_pairs_count_within_pair_count(n in 2u64..40, f in 0u64..10) {
+        let f = f.min(component_count(n));
+        prop_assert!(all_pairs_success_count(n, f) <= success_count(n, f));
+        let p = p_all_pairs(n, f);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    /// Hand-rolled reference predicate (reachability over the explicit
+    /// bipartite host/hub graph) agrees with the optimized bitmask
+    /// implementation on random states.
+    #[test]
+    fn predicate_matches_reference_reachability(
+        n in 2usize..16,
+        bp_a in any::<bool>(),
+        bp_b in any::<bool>(),
+        nic_bits in any::<u64>(),
+    ) {
+        let mut st = ClusterState::fully_up(n);
+        st.bp_a = bp_a;
+        st.bp_b = bp_b;
+        st.nic_a = (nic_bits & 0xFFFF_FFFF) as u128 & ((1u128 << n) - 1);
+        st.nic_b = (nic_bits >> 32) as u128 & ((1u128 << n) - 1);
+
+        // Reference: BFS over nodes + hub vertices.
+        let reference = |s: usize, t: usize| -> bool {
+            let on_a = |i: usize| bp_a && st.nic_a >> i & 1 == 1;
+            let on_b = |i: usize| bp_b && st.nic_b >> i & 1 == 1;
+            // vertices: 0..n nodes, n = hubA, n+1 = hubB
+            let mut seen = vec![false; n + 2];
+            let mut stack = vec![s];
+            seen[s] = true;
+            while let Some(v) = stack.pop() {
+                if v == t {
+                    return true;
+                }
+                if v < n {
+                    if on_a(v) && !seen[n] { seen[n] = true; stack.push(n); }
+                    if on_b(v) && !seen[n + 1] { seen[n + 1] = true; stack.push(n + 1); }
+                } else {
+                    #[allow(clippy::needless_range_loop)] // u is a node id, not a slice index
+                    for u in 0..n {
+                        let attached = if v == n { on_a(u) } else { on_b(u) };
+                        if attached && !seen[u] {
+                            seen[u] = true;
+                            stack.push(u);
+                        }
+                    }
+                }
+            }
+            false
+        };
+        for s in 0..n.min(4) {
+            for t in 0..n.min(4) {
+                if s != t {
+                    prop_assert_eq!(
+                        pair_connected_state(&st, s, t),
+                        reference(s, t),
+                        "pair ({}, {})", s, t
+                    );
+                }
+            }
+        }
+    }
+
+    /// Sampling draws exactly f distinct components, all in range.
+    #[test]
+    fn sampler_draws_valid_sets(n in 2usize..64, f in 0usize..20, seed in any::<u64>()) {
+        let m = 2 * n + 2;
+        let f = f.min(m);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let set = sample_failure_set(n, f, &mut rng);
+        prop_assert_eq!(set.len(), f);
+        for idx in set.iter() {
+            prop_assert!(idx < m);
+        }
+    }
+
+    /// Component typed-index mapping is total and bijective.
+    #[test]
+    fn component_index_bijection(n in 1usize..120) {
+        let mut seen = FailureSet::new();
+        for idx in 0..2 * n + 2 {
+            let c = Component::from_index(idx, n);
+            prop_assert_eq!(c.index(n), idx);
+            prop_assert!(!seen.contains(idx));
+            seen.insert(idx);
+        }
+    }
+
+    /// Estimates live in [0,1] and are deterministic in the seed.
+    #[test]
+    fn estimator_bounds_and_determinism(n in 2usize..32, f in 0usize..8, seed in any::<u64>()) {
+        let f = f.min(2 * n + 2);
+        let mc = MonteCarlo::new(n, f, seed);
+        let a = mc.estimate(2_000);
+        prop_assert!((0.0..=1.0).contains(&a.p_hat));
+        prop_assert_eq!(a, mc.estimate(2_000));
+        prop_assert_eq!(a.successes <= a.iterations, true);
+    }
+
+    /// Failure-count weightings are genuine probability masses.
+    #[test]
+    fn weights_are_distributions(q in 0.001f64..0.999, m in 1u64..40) {
+        let geo: f64 = (0..=m).map(|f| geometric_failure_weight(q, f, m)).sum();
+        prop_assert!((geo - 1.0).abs() < 1e-9);
+        let bin: f64 = (0..=m).map(|f| binomial_failure_weight(q, f, m)).sum();
+        prop_assert!((bin - 1.0).abs() < 1e-6);
+    }
+
+    /// P[S] is weakly decreasing in f for any fixed n.
+    #[test]
+    fn survivability_decreases_in_f(n in 2u64..50) {
+        let mut prev = 1.0f64;
+        for f in 0..=component_count(n).min(12) {
+            let p = p_success(n, f);
+            prop_assert!(p <= prev + 1e-12, "f={f}: {p} > {prev}");
+            prev = p;
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Ablation benchmarks for the design choices DESIGN.md §7 calls out:
+//! staggered vs synchronized probing, miss-threshold settings, gateway
+//! selection policies, and the parallel vs sequential Monte-Carlo path.
+//!
+//! These measure *simulation outcomes* (worst queueing delay, detection
+//! latency) as well as wall-clock cost, so the numbers double as evidence
+//! for the defaults the crates ship with.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use drs_analytic::montecarlo::MonteCarlo;
+use drs_core::{DrsConfig, DrsDaemon, GatewayPolicy};
+use drs_sim::fault::{FaultPlan, SimComponent};
+use drs_sim::ids::{NetId, NodeId};
+use drs_sim::scenario::ClusterSpec;
+use drs_sim::time::{SimDuration, SimTime};
+use drs_sim::world::World;
+
+fn run_probing(n: usize, stagger: bool) -> SimDuration {
+    let cfg = DrsConfig::default()
+        .probe_timeout(SimDuration::from_millis(50))
+        .probe_interval(SimDuration::from_millis(250))
+        .stagger(stagger);
+    let spec = ClusterSpec::new(n).seed(11);
+    let mut w = World::new(spec, |id| DrsDaemon::new(id, n, cfg));
+    w.run_for(SimDuration::from_secs(2));
+    w.medium(NetId::A).stats.max_queue_delay
+}
+
+fn bench_stagger_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stagger_ablation_n32");
+    g.sample_size(10);
+    for &stagger in &[true, false] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(if stagger { "staggered" } else { "burst" }),
+            &stagger,
+            |b, &stagger| b.iter(|| black_box(run_probing(32, stagger))),
+        );
+    }
+    g.finish();
+    // Print the outcome difference once, outside measurement.
+    let staggered = run_probing(32, true);
+    let burst = run_probing(32, false);
+    println!("[ablation] max probe queueing delay, n=32: staggered {staggered} vs burst {burst}");
+    assert!(
+        staggered <= burst,
+        "staggering should not worsen contention"
+    );
+}
+
+fn bench_gateway_policy_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gateway_policy_crossed_failure_n12");
+    g.sample_size(10);
+    for &(name, policy) in &[
+        ("first_offer", GatewayPolicy::FirstOffer),
+        ("lowest_id", GatewayPolicy::LowestId),
+        ("random", GatewayPolicy::Random),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            let cfg = DrsConfig::default()
+                .probe_timeout(SimDuration::from_millis(50))
+                .probe_interval(SimDuration::from_millis(200))
+                .gateway_policy(policy);
+            b.iter(|| {
+                let n = 12;
+                let spec = ClusterSpec::new(n).seed(13);
+                let mut w = World::new(spec, |id| DrsDaemon::new(id, n, cfg));
+                w.schedule_faults(
+                    FaultPlan::new()
+                        .fail_at(SimTime(500_000_000), SimComponent::Nic(NodeId(0), NetId::B))
+                        .fail_at(SimTime(500_000_000), SimComponent::Nic(NodeId(1), NetId::A)),
+                );
+                w.run_for(SimDuration::from_secs(4));
+                black_box(w.host(NodeId(0)).routes.get(NodeId(1)))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_miss_threshold_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("miss_threshold_detection_n8");
+    g.sample_size(10);
+    for &k in &[1u32, 2, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let cfg = DrsConfig::default()
+                .probe_timeout(SimDuration::from_millis(50))
+                .probe_interval(SimDuration::from_millis(200))
+                .miss_threshold(k);
+            b.iter(|| {
+                let n = 8;
+                let spec = ClusterSpec::new(n).seed(17);
+                let mut w = World::new(spec, |id| DrsDaemon::new(id, n, cfg));
+                w.schedule_faults(
+                    FaultPlan::new()
+                        .fail_at(SimTime(500_000_000), SimComponent::Nic(NodeId(1), NetId::A)),
+                );
+                w.run_for(SimDuration::from_secs(3));
+                black_box(w.protocol(NodeId(0)).metrics.link_down_events)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_vs_sequential_mc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monte_carlo_parallelism_n63_f10");
+    g.sample_size(20);
+    const ITERS: u64 = 200_000;
+    let mc = MonteCarlo::new(63, 10, 99);
+    g.bench_function("sequential", |b| b.iter(|| black_box(mc.estimate(ITERS))));
+    g.bench_function("rayon_parallel", |b| {
+        b.iter(|| black_box(mc.estimate_parallel(ITERS)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stagger_ablation,
+    bench_gateway_policy_ablation,
+    bench_miss_threshold_ablation,
+    bench_parallel_vs_sequential_mc
+);
+criterion_main!(benches);

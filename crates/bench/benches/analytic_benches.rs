@@ -1,0 +1,84 @@
+//! Performance benchmarks for the survivability mathematics: the closed
+//! form, the connectivity predicate, the Monte-Carlo sampler (the inner
+//! loop of Figure 3), and exhaustive enumeration.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use drs_analytic::connectivity::{pair_connected_state, ClusterState};
+use drs_analytic::enumerate::enumerate_pair_success;
+use drs_analytic::exact::p_success;
+use drs_analytic::montecarlo::{sample_failure_state, MonteCarlo};
+
+fn bench_closed_form(c: &mut Criterion) {
+    let mut g = c.benchmark_group("equation1_closed_form");
+    for &(n, f) in &[(18u64, 2u64), (64, 10), (500, 12)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_f{f}")),
+            &(n, f),
+            |b, &(n, f)| {
+                b.iter(|| black_box(p_success(black_box(n), black_box(f))));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_predicate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("connectivity_predicate");
+    for &n in &[8usize, 64, 127] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let st = sample_failure_state(n, 4, &mut rng);
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &st, |b, st| {
+            b.iter(|| black_box(pair_connected_state(black_box(st), 0, 1)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monte_carlo_estimate");
+    const ITERS: u64 = 10_000;
+    g.throughput(Throughput::Elements(ITERS));
+    for &(n, f) in &[(16usize, 3usize), (63, 10)] {
+        let mc = MonteCarlo::new(n, f, 42);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_f{f}")),
+            &mc,
+            |b, mc| b.iter(|| black_box(mc.estimate(ITERS))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    c.bench_function("sample_failure_state_n63_f10", |b| {
+        let mut rng = SmallRng::seed_from_u64(7);
+        b.iter(|| black_box(sample_failure_state(63, 10, &mut rng)));
+    });
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    c.bench_function("exhaustive_enumeration_n6_f4", |b| {
+        b.iter(|| black_box(enumerate_pair_success(black_box(6), black_box(4))));
+    });
+}
+
+fn bench_state_construction(c: &mut Criterion) {
+    c.bench_function("cluster_state_fully_up_n127", |b| {
+        b.iter(|| black_box(ClusterState::fully_up(black_box(127))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_closed_form,
+    bench_predicate,
+    bench_monte_carlo,
+    bench_sampler,
+    bench_enumeration,
+    bench_state_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Performance benchmarks for the packet-level simulator: raw event
+//! throughput, DRS probe workloads at several cluster sizes, and
+//! world-construction cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use drs_core::{DrsConfig, DrsDaemon};
+use drs_sim::app::Workload;
+use drs_sim::ids::NodeId;
+use drs_sim::scenario::ClusterSpec;
+use drs_sim::time::{SimDuration, SimTime};
+use drs_sim::world::{Protocol, World};
+
+struct Idle;
+impl Protocol for Idle {
+    type Msg = ();
+}
+
+fn bench_world_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world_construction");
+    for &n in &[8usize, 32, 90] {
+        let cfg = DrsConfig::default();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let spec = ClusterSpec::new(n).seed(1);
+                black_box(World::new(spec, |id| DrsDaemon::new(id, n, cfg)))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_drs_probing(c: &mut Criterion) {
+    // One simulated second of full DRS probing: 2·N·(N−1) probes + replies
+    // + timers. This is the simulator's sustained workload in Figure 1's
+    // empirical cross-check.
+    let mut g = c.benchmark_group("drs_probing_one_simulated_second");
+    g.sample_size(10);
+    for &n in &[8usize, 24, 48] {
+        let cfg = DrsConfig::default()
+            .probe_timeout(SimDuration::from_millis(50))
+            .probe_interval(SimDuration::from_millis(250));
+        g.throughput(Throughput::Elements((2 * n * (n - 1)) as u64 * 4));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let spec = ClusterSpec::new(n).seed(1);
+                let mut w = World::new(spec, |id| DrsDaemon::new(id, n, cfg));
+                w.run_for(SimDuration::from_secs(1));
+                black_box(w.medium(drs_sim::ids::NetId::A).stats.frames)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_app_traffic(c: &mut Criterion) {
+    // Pure transport/forwarding path: 1,000 messages on an idle protocol.
+    let mut g = c.benchmark_group("app_traffic");
+    g.sample_size(10);
+    g.bench_function("app_traffic_1000_messages_n16", |b| {
+        let wl = Workload::all_to_all(16, SimTime::ZERO, SimDuration::from_millis(10), 5, 256);
+        b.iter(|| {
+            let spec = ClusterSpec::new(16).seed(3);
+            let mut w = World::new(spec, |_| Idle);
+            w.schedule_workload(&wl);
+            w.run_for(SimDuration::from_secs(2));
+            assert_eq!(w.app_stats().delivered, w.app_stats().sent);
+            black_box(w.app_stats().delivered)
+        });
+    });
+    g.finish();
+}
+
+fn bench_failover_convergence(c: &mut Criterion) {
+    // Full failover cycle: hub failure, detection, repair, on a live
+    // cluster — the protocol-side hot path.
+    let mut g = c.benchmark_group("failover");
+    g.sample_size(10);
+    g.bench_function("drs_hub_failover_n16", |b| {
+        let cfg = DrsConfig::default()
+            .probe_timeout(SimDuration::from_millis(50))
+            .probe_interval(SimDuration::from_millis(200));
+        b.iter(|| {
+            let n = 16;
+            let spec = ClusterSpec::new(n).seed(5);
+            let mut w = World::new(spec, |id| DrsDaemon::new(id, n, cfg));
+            w.schedule_faults(drs_sim::fault::FaultPlan::new().fail_at(
+                SimTime(500_000_000),
+                drs_sim::fault::SimComponent::Hub(drs_sim::ids::NetId::A),
+            ));
+            w.run_for(SimDuration::from_secs(3));
+            black_box(w.host(NodeId(0)).routes.indirect_count())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_world_construction,
+    bench_drs_probing,
+    bench_app_traffic,
+    bench_failover_convergence
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Regenerates the paper's **milestone claims** (text of §4/§6):
+//! the cluster sizes at which P\[Success\] surpasses 0.99 for each failure
+//! count, and the q^f multiple-failure decay argument.
+//!
+//! Run: `cargo run --release -p drs-bench --bin milestones`
+
+use drs_analytic::exact::p_success;
+use drs_analytic::qmodel::{
+    geometric_failure_weight, unconditional_survivability, FailureWeighting,
+};
+use drs_analytic::thresholds::milestone_table;
+use drs_bench::{fmt_p, row, section};
+
+fn main() {
+    println!("DRS survivability milestones (Equation 1, exact)");
+
+    section("P[S] > 0.99 crossings");
+    row(
+        &[
+            "f".into(),
+            "N*".into(),
+            "P[S](N*)".into(),
+            "P[S](N*-1)".into(),
+        ],
+        &[3, 5, 10, 11],
+    );
+    for m in milestone_table(2..=10, 0.99) {
+        row(
+            &[
+                m.failures.to_string(),
+                m.n_crossing.to_string(),
+                fmt_p(m.p_at_crossing),
+                fmt_p(m.p_before),
+            ],
+            &[3, 5, 10, 11],
+        );
+    }
+    println!();
+    println!("paper: f=2 -> 18, f=3 -> 32, f=4 -> 45");
+
+    section("limit behaviour: P[S] -> 1 as N grows (f fixed)");
+    for f in [2u64, 5, 10] {
+        let cells: Vec<String> = [16u64, 64, 256, 1024]
+            .iter()
+            .map(|&n| format!("N={n}: {}", fmt_p(p_success(n.min(500), f))))
+            .collect();
+        println!("  f={f}: {}", cells.join("   "));
+    }
+
+    section("cluster-wide (all-pairs) survivability — extension beyond the paper");
+    {
+        use drs_analytic::allpairs::{expected_disconnected_pairs, p_all_pairs};
+        println!("   N    f   P[pair]   P[all pairs]   E[broken pairs]");
+        for &(n, f) in &[(18u64, 2u64), (32, 3), (45, 4), (64, 6)] {
+            println!(
+                "  {:>3}  {:>2}   {}   {:>12}   {:>15.2}",
+                n,
+                f,
+                fmt_p(p_success(n, f)),
+                fmt_p(p_all_pairs(n, f)),
+                expected_disconnected_pairs(n, f),
+            );
+        }
+        println!("  (the pair milestones do NOT imply whole-cluster 0.99: all-pairs");
+        println!("   survivability is strictly harder and converges ~N-times slower)");
+    }
+
+    section("q^f decay: multiple simultaneous failures are exponentially rare");
+    let q = 0.05;
+    for f in 2..=6u64 {
+        let w = geometric_failure_weight(q, f, 30);
+        println!("  P[{f} failures] ~ q^{f} = {:.2e}  (q = {q})", w);
+    }
+
+    section("unconditional survivability (Equation 1 mixed over q^f weights)");
+    for &q in &[0.01, 0.05, 0.10] {
+        for &n in &[8u64, 16, 32] {
+            let geo = unconditional_survivability(n, q, FailureWeighting::Geometric);
+            let bin = unconditional_survivability(n, q, FailureWeighting::Binomial);
+            println!(
+                "  q={q:.2} N={n:>2}: geometric {}, binomial {}",
+                fmt_p(geo),
+                fmt_p(bin)
+            );
+        }
+    }
+}

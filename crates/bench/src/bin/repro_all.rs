@@ -1,0 +1,189 @@
+//! One-shot reproduction check: runs a compact version of every
+//! experiment and prints a PASS/FAIL verdict per paper claim — the
+//! executable summary of EXPERIMENTS.md.
+//!
+//! Run: `cargo run --release -p drs-bench --bin repro_all`
+
+use drs_analytic::convergence::mean_abs_deviation;
+use drs_analytic::exact::p_success;
+use drs_analytic::thresholds::first_n_exceeding;
+use drs_baselines::compare::{run_scenario, ProtocolLabel, ScenarioSpec};
+use drs_baselines::ospf::{OspfConfig, OspfDaemon};
+use drs_baselines::reactive::{ReactiveConfig, ReactiveDaemon};
+use drs_baselines::rip::{RipConfig, RipDaemon};
+use drs_core::{DrsConfig, DrsDaemon};
+use drs_cost::model::ProbeCostModel;
+use drs_sim::fault::SimComponent;
+use drs_sim::ids::{NetId, NodeId};
+use drs_sim::time::SimDuration;
+use drs_trace::fleet::FleetSpec;
+use drs_trace::study::replicate_study;
+
+struct Report {
+    passed: u32,
+    failed: u32,
+}
+
+impl Report {
+    fn check(&mut self, claim: &str, ok: bool, detail: String) {
+        if ok {
+            self.passed += 1;
+            println!("  PASS  {claim}: {detail}");
+        } else {
+            self.failed += 1;
+            println!("  FAIL  {claim}: {detail}");
+        }
+    }
+}
+
+fn main() {
+    println!("reproduction verdicts (compact forms of every experiment)");
+    println!();
+    let mut r = Report {
+        passed: 0,
+        failed: 0,
+    };
+
+    // Equation 1 milestones.
+    let m2 = first_n_exceeding(2, 0.99);
+    let m3 = first_n_exceeding(3, 0.99);
+    let m4 = first_n_exceeding(4, 0.99);
+    r.check(
+        "milestones 18/32/45",
+        m2 == Some(18) && m3 == Some(32) && m4 == Some(45),
+        format!("{m2:?}/{m3:?}/{m4:?}"),
+    );
+
+    // Figure 2 limit.
+    let worst_limit = (2..=10u64)
+        .map(|f| p_success(500, f))
+        .fold(1.0f64, f64::min);
+    r.check(
+        "P[S] -> 1 (f=2..10 at N=500)",
+        worst_limit > 0.998,
+        format!("min {worst_limit:.5}"),
+    );
+
+    // Figure 3 checkpoint.
+    let worst_dev = [2usize, 6, 10]
+        .iter()
+        .map(|&f| mean_abs_deviation(f, 1_000, 64, 42).mean_abs_deviation)
+        .fold(0.0f64, f64::max);
+    r.check(
+        "Figure 3: MAD@1000 iters < 0.02",
+        worst_dev < 0.02,
+        format!("worst {worst_dev:.4}"),
+    );
+
+    // Figure 1 anchor.
+    let model = ProbeCostModel::default();
+    let t90 = model.response_time(90, 0.10);
+    r.check(
+        "90 hosts < 1 s at 10% bandwidth",
+        t90 < SimDuration::from_secs(1),
+        format!("T(90, 10%) = {t90}"),
+    );
+
+    // Deployment statistic.
+    let study = replicate_study(&FleetSpec::hundred_servers_one_year(), 200, 13);
+    r.check(
+        "13% network failures (synthetic mean)",
+        (study.mean_network_fraction - 0.13).abs() < 0.02,
+        format!("mean {:.1}%", study.mean_network_fraction * 100.0),
+    );
+
+    // Proactive-vs-reactive ordering (one hub-failure scenario).
+    let n = 8;
+    let spec = ScenarioSpec::standard(n, 1, vec![SimComponent::Hub(NetId::A)]);
+    let drs_cfg = DrsConfig::default()
+        .probe_timeout(SimDuration::from_millis(50))
+        .probe_interval(SimDuration::from_millis(250));
+    let drs = run_scenario(ProtocolLabel::Drs, &spec, |id| {
+        DrsDaemon::new(id, n, drs_cfg)
+    });
+    let reactive = run_scenario(ProtocolLabel::Reactive, &spec, |id| {
+        ReactiveDaemon::new(id, ReactiveConfig::default())
+    });
+    let ospf = run_scenario(ProtocolLabel::Ospf, &spec, |id| {
+        OspfDaemon::new(id, OspfConfig::default().scaled_down(10))
+    });
+    let rip = run_scenario(ProtocolLabel::Rip, &spec, |id| {
+        RipDaemon::new(id, RipConfig::default().scaled_down(10))
+    });
+    let ordering = match (drs.outage, reactive.outage, ospf.outage, rip.outage) {
+        (Some(d), Some(re), Some(os), Some(ri)) => d < re && re < os && os < ri,
+        _ => false,
+    };
+    r.check(
+        "outage ordering DRS < RTO-repair < OSPF < RIP",
+        ordering,
+        format!(
+            "{} < {} < {} < {}",
+            drs.outage.map_or("—".into(), |d| d.to_string()),
+            reactive.outage.map_or("—".into(), |d| d.to_string()),
+            ospf.outage.map_or("—".into(), |d| d.to_string()),
+            rip.outage.map_or("—".into(), |d| d.to_string()),
+        ),
+    );
+    r.check(
+        "DRS delivers everything through the failure",
+        drs.delivered == drs.sent && drs.gave_up == 0,
+        format!("{}/{}", drs.delivered, drs.sent),
+    );
+
+    // End-to-end DES <-> Equation 1 agreement (one configuration).
+    let agree = e2e_agreement(8, 3, 30);
+    r.check(
+        "DES matches Equation 1 predicate per trial",
+        agree == 0,
+        format!("{agree} mismatches / 30 trials"),
+    );
+
+    println!();
+    println!("{} passed, {} failed", r.passed, r.failed);
+    if r.failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn e2e_agreement(n: usize, f: usize, trials: u64) -> u64 {
+    use drs_analytic::connectivity::pair_connected;
+    use drs_analytic::montecarlo::sample_failure_set;
+    use drs_sim::fault::{index_to_component, FaultPlan};
+    use drs_sim::scenario::{ClusterSpec, TransportConfig};
+    use drs_sim::time::SimTime;
+    use drs_sim::world::{FlowOutcome, World};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    let mut mismatches = 0;
+    for t in 0..trials {
+        let seed = 0xA11 ^ t;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let failures = sample_failure_set(n, f, &mut rng);
+        let predicted = pair_connected(n, &failures, 0, 1);
+        let cfg = DrsConfig::default()
+            .probe_timeout(SimDuration::from_millis(50))
+            .probe_interval(SimDuration::from_millis(200));
+        let transport = TransportConfig {
+            initial_rto: SimDuration::from_millis(100),
+            backoff_factor: 2,
+            max_retries: 6,
+        };
+        let spec = ClusterSpec::new(n).seed(seed).transport(transport);
+        let mut world = World::new(spec, |id| DrsDaemon::new(id, n, cfg));
+        let mut plan = FaultPlan::new();
+        for idx in failures.iter() {
+            plan = plan.fail_at(SimTime(1_000_000_000), index_to_component(idx, n));
+        }
+        world.schedule_faults(plan);
+        world.run_for(SimDuration::from_secs(6));
+        let flow = world.send_app(world.now(), NodeId(0), NodeId(1), 256);
+        world.run_for(SimDuration::from_secs(20));
+        let delivered = matches!(world.flow_outcome(flow), Some(FlowOutcome::Delivered(_)));
+        if delivered != predicted {
+            mismatches += 1;
+        }
+    }
+    mismatches
+}

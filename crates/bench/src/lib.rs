@@ -1,0 +1,54 @@
+//! Shared plumbing for the experiment-regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §6 for the index); this library provides the
+//! little table-printing and formatting helpers they share, so the
+//! binaries read like experiment scripts.
+
+use drs_sim::time::SimDuration;
+
+/// Prints a section header in the style the binaries share.
+pub fn section(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+/// Formats a probability to the precision the paper reports.
+#[must_use]
+pub fn fmt_p(p: f64) -> String {
+    format!("{p:.4}")
+}
+
+/// Formats a duration in adaptive units, right-aligned for tables.
+#[must_use]
+pub fn fmt_dur(d: SimDuration) -> String {
+    format!("{d}")
+}
+
+/// Formats an optional duration, with a dash for `None`.
+#[must_use]
+pub fn fmt_opt_dur(d: Option<SimDuration>) -> String {
+    d.map_or_else(|| "—".to_string(), |d| d.to_string())
+}
+
+/// Renders one table row of fixed-width cells.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_p(0.99042), "0.9904");
+        assert_eq!(fmt_dur(SimDuration::from_millis(1500)), "1.500s");
+        assert_eq!(fmt_opt_dur(None), "—");
+    }
+}

@@ -1,0 +1,858 @@
+//! Phase 2 of the DRS run process: the daemon state machine.
+//!
+//! The daemon loops through the cycle the paper describes — *"monitoring
+//! communication links, answering requests, and fixing problems as they
+//! occur, for the life of the server cluster"*:
+//!
+//! * **monitoring** — staggered ICMP probes of every `(peer, net)` pair,
+//!   one full sweep per probe interval;
+//! * **answering requests** — when another daemon broadcasts a
+//!   [`DrsMsg::RouteRequest`], offer to act as gateway if (and only if)
+//!   this host has a live *direct* route to the target (the directness
+//!   requirement keeps relays one hop deep and is the protocol's routing
+//!   loop avoidance, backstopped by the stack's TTL);
+//! * **fixing problems** — when the link under a kernel route fails,
+//!   repair it: first to the peer's NIC on the redundant network, and if
+//!   both direct links are gone, through broadcast gateway discovery.
+//!   When a direct link recovers, revert to it.
+//!
+//! All repair actions are driven by probe state transitions, never by
+//! application traffic — that is what makes DRS *proactive*: by the time
+//! an application sends, the route table has already been fixed.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use drs_sim::ids::{NetId, NodeId};
+use drs_sim::routes::Route;
+use drs_sim::time::SimDuration;
+use drs_sim::world::{Ctx, Protocol};
+
+use crate::config::{DrsConfig, GatewayPolicy};
+use crate::messages::DrsMsg;
+use crate::metrics::{DrsEventKind, DrsMetrics};
+use crate::monitor::{LinkState, PeerTable, Transition};
+
+/// ICMP identifier used by all DRS probes.
+const ECHO_ID: u32 = 0x0D25;
+
+// Timer token layout: [kind:8][peer:24][net:8][payload:24]
+const KIND_PROBE: u64 = 1;
+const KIND_TIMEOUT: u64 = 2;
+const KIND_OFFER_WINDOW: u64 = 3;
+
+fn token(kind: u64, peer: NodeId, net: NetId, payload: u64) -> u64 {
+    debug_assert!(payload < (1 << 24));
+    kind << 56 | (peer.0 as u64) << 32 | (net.idx() as u64) << 24 | payload
+}
+
+fn untoken(t: u64) -> (u64, NodeId, NetId, u64) {
+    (
+        t >> 56,
+        NodeId((t >> 32 & 0xFF_FFFF) as u32),
+        NetId::from_idx((t >> 24 & 0xFF) as usize),
+        t & 0xFF_FFFF,
+    )
+}
+
+#[derive(Debug, Clone)]
+struct DiscoveryRound {
+    req_id: u64,
+    offers: Vec<(NodeId, NetId)>,
+    decided: bool,
+}
+
+/// One host's DRS routing demon.
+#[derive(Debug, Clone)]
+pub struct DrsDaemon {
+    id: NodeId,
+    n: usize,
+    cfg: DrsConfig,
+    peers: PeerTable,
+    next_seq: u32,
+    next_req: u64,
+    discovery: HashMap<NodeId, DiscoveryRound>,
+    last_discovery: HashMap<NodeId, drs_sim::time::SimTime>,
+    /// Counters and the timestamped event log.
+    pub metrics: DrsMetrics,
+}
+
+impl DrsDaemon {
+    /// A daemon for host `id` in an `n`-host cluster.
+    ///
+    /// # Panics
+    /// Panics if the cluster has fewer than two hosts or more than the
+    /// 2²⁴ the timer-token encoding supports.
+    #[must_use]
+    pub fn new(id: NodeId, n: usize, cfg: DrsConfig) -> Self {
+        assert!(n >= 2, "DRS monitors peers; a cluster needs two hosts");
+        assert!(n < (1 << 24), "cluster size exceeds token encoding");
+        DrsDaemon {
+            id,
+            n,
+            cfg,
+            peers: PeerTable::new(id, n),
+            next_seq: 0,
+            next_req: 0,
+            discovery: HashMap::new(),
+            last_discovery: HashMap::new(),
+            metrics: DrsMetrics::default(),
+        }
+    }
+
+    /// The daemon's view of its links.
+    #[must_use]
+    pub fn peer_table(&self) -> &PeerTable {
+        &self.peers
+    }
+
+    /// The daemon's configuration.
+    #[must_use]
+    pub fn config(&self) -> &DrsConfig {
+        &self.cfg
+    }
+
+    fn alloc_seq(&mut self) -> u32 {
+        self.next_seq = (self.next_seq + 1) & 0xFF_FFFF;
+        self.next_seq
+    }
+
+    /// The direct network this daemon would prefer for `peer` right now,
+    /// given its link beliefs: primary first (if `prefer_primary`), else
+    /// whichever is up.
+    fn best_direct(&self, peer: NodeId) -> Option<NetId> {
+        let a = self.peers.state(peer, NetId::A) == LinkState::Up;
+        let b = self.peers.state(peer, NetId::B) == LinkState::Up;
+        match (a, b) {
+            (true, true) => Some(NetId::A),
+            (true, false) => Some(NetId::A),
+            (false, true) => Some(NetId::B),
+            (false, false) => None,
+        }
+    }
+
+    fn install(&mut self, ctx: &mut Ctx<'_, DrsMsg>, dst: NodeId, route: Route) {
+        if ctx.route(dst) == Some(route) {
+            return;
+        }
+        ctx.set_route(dst, route);
+        self.metrics.route_changes += 1;
+        self.metrics
+            .log(ctx.now(), DrsEventKind::RouteChanged { dst, route });
+    }
+
+    /// Repairs the route to `dst` after its current path broke: redundant
+    /// direct link first, gateway discovery second.
+    fn repair_route(&mut self, ctx: &mut Ctx<'_, DrsMsg>, dst: NodeId) {
+        if let Some(net) = self.best_direct(dst) {
+            let new = Route::Direct(net);
+            if ctx.route(dst) != Some(new) {
+                self.metrics.direct_failovers += 1;
+                self.install(ctx, dst, new);
+            }
+        } else {
+            self.start_discovery(ctx, dst);
+        }
+    }
+
+    fn handle_link_down(&mut self, ctx: &mut Ctx<'_, DrsMsg>, peer: NodeId, net: NetId) {
+        self.metrics.link_down_events += 1;
+        self.metrics
+            .log(ctx.now(), DrsEventKind::LinkDown { peer, net });
+
+        // The direct route to this peer may have died...
+        if ctx.route(peer) == Some(Route::Direct(net)) {
+            self.repair_route(ctx, peer);
+        }
+        // ...and so may any route relaying through this peer on this net.
+        let broken: Vec<NodeId> = ctx
+            .routes()
+            .iter()
+            .filter_map(|(dst, route)| match route {
+                Route::Via { gateway, net: gnet } if gateway == peer && gnet == net => Some(dst),
+                _ => None,
+            })
+            .collect();
+        for dst in broken {
+            self.repair_route(ctx, dst);
+        }
+    }
+
+    fn handle_link_up(&mut self, ctx: &mut Ctx<'_, DrsMsg>, peer: NodeId, net: NetId) {
+        self.metrics.link_up_events += 1;
+        self.metrics
+            .log(ctx.now(), DrsEventKind::LinkUp { peer, net });
+
+        // Any running discovery for this peer is obsolete.
+        if let Some(round) = self.discovery.get_mut(&peer) {
+            round.decided = true;
+        }
+
+        let current = ctx.route(peer);
+        let best = self
+            .best_direct(peer)
+            .expect("a link just came up, so some direct net is up");
+        let should_move = match current {
+            None => true,
+            Some(Route::Via { .. }) => true,
+            Some(Route::Direct(cur)) => {
+                cur != best
+                    && (self.cfg.prefer_primary || self.peers.state(peer, cur) == LinkState::Down)
+            }
+        };
+        if should_move {
+            if matches!(current, Some(Route::Via { .. }) | Some(Route::Direct(_))) {
+                self.metrics.reverts += 1;
+            }
+            self.install(ctx, peer, Route::Direct(best));
+        }
+    }
+
+    fn start_discovery(&mut self, ctx: &mut Ctx<'_, DrsMsg>, target: NodeId) {
+        let now = ctx.now();
+        if let Some(&last) = self.last_discovery.get(&target) {
+            let round_active = self.discovery.get(&target).is_some_and(|r| !r.decided);
+            if round_active || now.since(last) < self.cfg.discovery_backoff {
+                return;
+            }
+        }
+        self.last_discovery.insert(target, now);
+        self.next_req += 1;
+        let req_id = self.next_req;
+        self.discovery.insert(
+            target,
+            DiscoveryRound {
+                req_id,
+                offers: Vec::new(),
+                decided: false,
+            },
+        );
+        self.metrics.discoveries += 1;
+        self.metrics
+            .log(now, DrsEventKind::DiscoveryStarted { target });
+        let msg = DrsMsg::RouteRequest { target, req_id };
+        ctx.broadcast_control(NetId::A, msg);
+        ctx.broadcast_control(NetId::B, msg);
+        // Arm the decision/failure-detection window.
+        ctx.set_timer(
+            self.cfg.offer_window,
+            token(KIND_OFFER_WINDOW, target, NetId::A, req_id & 0xFF_FFFF),
+        );
+    }
+
+    fn handle_offer_window(&mut self, ctx: &mut Ctx<'_, DrsMsg>, target: NodeId, req_low: u64) {
+        let Some(round) = self.discovery.get(&target) else {
+            return;
+        };
+        if round.decided || round.req_id & 0xFF_FFFF != req_low {
+            return;
+        }
+        if round.offers.is_empty() {
+            self.discovery.get_mut(&target).expect("present").decided = true;
+            self.metrics
+                .log(ctx.now(), DrsEventKind::DiscoveryFailed { target });
+            return;
+        }
+        let pick = match self.cfg.gateway_policy {
+            GatewayPolicy::FirstOffer => round.offers[0], // unreachable in practice
+            GatewayPolicy::LowestId => *round
+                .offers
+                .iter()
+                .min_by_key(|(gw, _)| gw.0)
+                .expect("non-empty"),
+            GatewayPolicy::Random => {
+                let i = ctx.rng().gen_range(0..round.offers.len());
+                round.offers[i]
+            }
+        };
+        self.discovery.get_mut(&target).expect("present").decided = true;
+        self.metrics.gateway_failovers += 1;
+        self.install(
+            ctx,
+            target,
+            Route::Via {
+                gateway: pick.0,
+                net: pick.1,
+            },
+        );
+    }
+
+    fn handle_route_request(
+        &mut self,
+        ctx: &mut Ctx<'_, DrsMsg>,
+        from: NodeId,
+        net: NetId,
+        target: NodeId,
+        req_id: u64,
+    ) {
+        if target == self.id || from == self.id {
+            return; // cannot gateway to ourselves
+        }
+        // Offer only with a live *direct* route to the target: one-hop
+        // relays cannot form loops.
+        let usable = match ctx.route(target) {
+            Some(Route::Direct(tnet)) => self.peers.state(target, tnet) == LinkState::Up,
+            _ => false,
+        };
+        if !usable {
+            return;
+        }
+        self.metrics.offers_sent += 1;
+        ctx.send_control(net, from, DrsMsg::RouteOffer { target, req_id });
+    }
+
+    fn handle_route_offer(
+        &mut self,
+        ctx: &mut Ctx<'_, DrsMsg>,
+        from: NodeId,
+        net: NetId,
+        target: NodeId,
+        req_id: u64,
+    ) {
+        let Some(round) = self.discovery.get_mut(&target) else {
+            return;
+        };
+        if round.decided || round.req_id != req_id {
+            return; // stale offer from an earlier round
+        }
+        match self.cfg.gateway_policy {
+            GatewayPolicy::FirstOffer => {
+                round.decided = true;
+                self.metrics.gateway_failovers += 1;
+                self.install(ctx, target, Route::Via { gateway: from, net });
+            }
+            GatewayPolicy::LowestId | GatewayPolicy::Random => {
+                round.offers.push((from, net));
+            }
+        }
+    }
+}
+
+impl Protocol for DrsDaemon {
+    type Msg = DrsMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, DrsMsg>) {
+        // Arm one repeating probe timer per (peer, net) pair, staggered
+        // across the first cycle so the shared medium never sees a burst.
+        let pair_count = 2 * (self.n - 1) as u64;
+        let peers: Vec<NodeId> = self.peers.peers().collect();
+        let mut k = 0u64;
+        for peer in peers {
+            for net in NetId::ALL {
+                let offset = if self.cfg.stagger {
+                    SimDuration(self.cfg.probe_interval.as_nanos() * k / pair_count)
+                } else {
+                    SimDuration::ZERO
+                };
+                ctx.set_timer(offset, token(KIND_PROBE, peer, net, 0));
+                k += 1;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, DrsMsg>, t: u64) {
+        let (kind, peer, net, payload) = untoken(t);
+        match kind {
+            KIND_PROBE => {
+                let seq = self.alloc_seq();
+                self.peers.probe_sent(peer, net, seq);
+                self.metrics.probes_sent += 1;
+                ctx.send_echo(net, peer, ECHO_ID, seq);
+                ctx.set_timer(
+                    self.cfg.probe_timeout,
+                    token(KIND_TIMEOUT, peer, net, seq as u64),
+                );
+                // Links believed down are re-probed at a (configurably)
+                // relaxed rate: the outage is already being routed
+                // around, so only recovery detection is at stake.
+                let interval = if self.peers.state(peer, net) == LinkState::Down {
+                    self.cfg
+                        .probe_interval
+                        .saturating_mul(self.cfg.down_probe_backoff)
+                } else {
+                    self.cfg.probe_interval
+                };
+                ctx.set_timer(interval, token(KIND_PROBE, peer, net, 0));
+
+                // Retry loop for persistently unreachable peers: while both
+                // direct links are down, keep re-discovering (rate-limited)
+                // so a newly viable gateway is eventually found. Hooked to
+                // the net-A probe only, to fire once per cycle per peer.
+                if net == NetId::A && self.peers.peer_unreachable_direct(peer) {
+                    self.start_discovery(ctx, peer);
+                }
+            }
+            KIND_TIMEOUT => {
+                self.metrics.timeouts += 1;
+                let transition =
+                    self.peers
+                        .probe_timed_out(peer, net, payload as u32, self.cfg.miss_threshold);
+                if transition == Transition::WentDown {
+                    self.handle_link_down(ctx, peer, net);
+                }
+            }
+            KIND_OFFER_WINDOW => self.handle_offer_window(ctx, peer, payload),
+            _ => unreachable!("unknown timer kind {kind}"),
+        }
+    }
+
+    fn on_echo_reply(
+        &mut self,
+        ctx: &mut Ctx<'_, DrsMsg>,
+        from: NodeId,
+        net: NetId,
+        id: u32,
+        _seq: u32,
+    ) {
+        if id != ECHO_ID {
+            return; // someone else's ping
+        }
+        self.metrics.replies_received += 1;
+        if self.peers.reply_received(from, net, ctx.now()) == Transition::WentUp {
+            self.handle_link_up(ctx, from, net);
+        }
+    }
+
+    fn on_control(&mut self, ctx: &mut Ctx<'_, DrsMsg>, from: NodeId, net: NetId, msg: &DrsMsg) {
+        match *msg {
+            DrsMsg::RouteRequest { target, req_id } => {
+                self.handle_route_request(ctx, from, net, target, req_id);
+            }
+            DrsMsg::RouteOffer { target, req_id } => {
+                self.handle_route_offer(ctx, from, net, target, req_id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drs_sim::fault::{FaultPlan, SimComponent};
+    use drs_sim::scenario::ClusterSpec;
+    use drs_sim::time::SimTime;
+    use drs_sim::world::World;
+
+    fn drs_world(n: usize, seed: u64, cfg: DrsConfig) -> World<DrsDaemon> {
+        let spec = ClusterSpec::new(n).seed(seed);
+        World::new(spec, move |id| DrsDaemon::new(id, n, cfg))
+    }
+
+    fn fast_cfg() -> DrsConfig {
+        DrsConfig::default()
+            .probe_timeout(SimDuration::from_millis(50))
+            .probe_interval(SimDuration::from_millis(200))
+    }
+
+    #[test]
+    fn token_roundtrip() {
+        for kind in [KIND_PROBE, KIND_TIMEOUT, KIND_OFFER_WINDOW] {
+            for peer in [0u32, 1, 4095, (1 << 24) - 1] {
+                for net in NetId::ALL {
+                    for payload in [0u64, 1, 0xFF_FFFF] {
+                        let t = token(kind, NodeId(peer), net, payload);
+                        assert_eq!(untoken(t), (kind, NodeId(peer), net, payload));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_cluster_stays_on_primary_routes() {
+        let mut w = drs_world(6, 1, DrsConfig::default());
+        w.run_for(SimDuration::from_secs(10));
+        for i in 0..6u32 {
+            let d = w.protocol(NodeId(i));
+            assert_eq!(d.metrics.link_down_events, 0, "node {i}");
+            assert_eq!(d.metrics.route_changes, 0, "node {i}");
+            assert!(d.metrics.probes_sent > 0);
+            // Every probe is answered except those still in flight when
+            // the run stopped (at most one per monitored link).
+            let in_flight_allowance = 2 * (6 - 1) as u64;
+            assert!(
+                d.metrics.replies_received + in_flight_allowance >= d.metrics.probes_sent,
+                "node {i}: {} replies vs {} probes",
+                d.metrics.replies_received,
+                d.metrics.probes_sent
+            );
+        }
+        assert_eq!(w.host(NodeId(0)).routes.indirect_count(), 0);
+    }
+
+    #[test]
+    fn nic_failure_detected_within_worst_case_bound() {
+        let cfg = fast_cfg();
+        let mut w = drs_world(4, 2, cfg);
+        let t0 = SimTime(2_000_000_000);
+        w.schedule_faults(FaultPlan::new().fail_at(t0, SimComponent::Nic(NodeId(1), NetId::A)));
+        w.run_for(SimDuration::from_secs(5));
+        // Every other daemon must have detected (1, netA) down.
+        for i in [0u32, 2, 3] {
+            let d = w.protocol(NodeId(i));
+            let det = d
+                .metrics
+                .first_after(t0, |k| {
+                    matches!(k, DrsEventKind::LinkDown { peer, net }
+                        if *peer == NodeId(1) && *net == NetId::A)
+                })
+                .unwrap_or_else(|| panic!("node {i} never detected the failure"));
+            let latency = det.at - t0;
+            assert!(
+                latency <= cfg.worst_case_detection() + SimDuration::from_millis(50),
+                "node {i}: detection took {latency}"
+            );
+        }
+    }
+
+    #[test]
+    fn failover_to_redundant_network_is_automatic() {
+        let mut w = drs_world(4, 3, fast_cfg());
+        let t0 = SimTime(1_000_000_000);
+        w.schedule_faults(FaultPlan::new().fail_at(t0, SimComponent::Nic(NodeId(2), NetId::A)));
+        w.run_for(SimDuration::from_secs(4));
+        // Everyone now routes to node 2 over network B, directly.
+        for i in [0u32, 1, 3] {
+            assert_eq!(
+                w.host(NodeId(i)).routes.get(NodeId(2)),
+                Some(Route::Direct(NetId::B)),
+                "node {i}"
+            );
+            assert!(w.protocol(NodeId(i)).metrics.direct_failovers >= 1);
+        }
+        // Routes to everyone else are untouched.
+        assert_eq!(
+            w.host(NodeId(0)).routes.get(NodeId(1)),
+            Some(Route::Direct(NetId::A))
+        );
+    }
+
+    #[test]
+    fn hub_failure_moves_all_routes() {
+        let mut w = drs_world(5, 4, fast_cfg());
+        w.schedule_faults(
+            FaultPlan::new().fail_at(SimTime(500_000_000), SimComponent::Hub(NetId::A)),
+        );
+        w.run_for(SimDuration::from_secs(4));
+        for i in 0..5u32 {
+            for (dst, route) in w.host(NodeId(i)).routes.iter() {
+                assert_eq!(route, Route::Direct(NetId::B), "node {i} -> {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn gateway_discovery_repairs_crossed_failure() {
+        // Node 0 loses net B, node 1 loses net A: no shared direct network.
+        let cfg = fast_cfg();
+        let mut w = drs_world(4, 5, cfg);
+        let t0 = SimTime(1_000_000_000);
+        w.schedule_faults(
+            FaultPlan::new()
+                .fail_at(t0, SimComponent::Nic(NodeId(0), NetId::B))
+                .fail_at(t0, SimComponent::Nic(NodeId(1), NetId::A)),
+        );
+        w.run_for(SimDuration::from_secs(6));
+        let r01 = w.host(NodeId(0)).routes.get(NodeId(1));
+        match r01 {
+            Some(Route::Via { gateway, net }) => {
+                assert!(gateway == NodeId(2) || gateway == NodeId(3));
+                assert_eq!(net, NetId::A, "node 0 can only transmit on A");
+            }
+            other => panic!("expected gateway route, got {other:?}"),
+        }
+        let r10 = w.host(NodeId(1)).routes.get(NodeId(0));
+        match r10 {
+            Some(Route::Via { net, .. }) => assert_eq!(net, NetId::B),
+            other => panic!("expected gateway route, got {other:?}"),
+        }
+        assert!(w.protocol(NodeId(0)).metrics.gateway_failovers >= 1);
+        // And traffic actually flows end-to-end through the relay.
+        let flow = w.send_app(w.now(), NodeId(0), NodeId(1), 256);
+        w.run_for(SimDuration::from_secs(5));
+        assert!(matches!(
+            w.flow_outcome(flow),
+            Some(drs_sim::world::FlowOutcome::Delivered(_))
+        ));
+    }
+
+    #[test]
+    fn recovery_reverts_to_direct_primary_route() {
+        let cfg = fast_cfg();
+        let mut w = drs_world(3, 6, cfg);
+        w.schedule_faults(
+            FaultPlan::new()
+                .fail_at(
+                    SimTime(1_000_000_000),
+                    SimComponent::Nic(NodeId(1), NetId::A),
+                )
+                .repair_at(
+                    SimTime(5_000_000_000),
+                    SimComponent::Nic(NodeId(1), NetId::A),
+                ),
+        );
+        w.run_for(SimDuration::from_secs(3)); // failed over by now
+        assert_eq!(
+            w.host(NodeId(0)).routes.get(NodeId(1)),
+            Some(Route::Direct(NetId::B))
+        );
+        w.run_for(SimDuration::from_secs(5)); // repaired and re-probed
+        assert_eq!(
+            w.host(NodeId(0)).routes.get(NodeId(1)),
+            Some(Route::Direct(NetId::A)),
+            "prefer_primary reverts to net A"
+        );
+        assert!(w.protocol(NodeId(0)).metrics.reverts >= 1);
+    }
+
+    #[test]
+    fn no_revert_to_primary_when_preference_disabled() {
+        let cfg = fast_cfg().prefer_primary(false);
+        let mut w = drs_world(3, 7, cfg);
+        w.schedule_faults(
+            FaultPlan::new()
+                .fail_at(
+                    SimTime(1_000_000_000),
+                    SimComponent::Nic(NodeId(1), NetId::A),
+                )
+                .repair_at(
+                    SimTime(5_000_000_000),
+                    SimComponent::Nic(NodeId(1), NetId::A),
+                ),
+        );
+        w.run_for(SimDuration::from_secs(10));
+        assert_eq!(
+            w.host(NodeId(0)).routes.get(NodeId(1)),
+            Some(Route::Direct(NetId::B)),
+            "sticky failover keeps the working route"
+        );
+    }
+
+    #[test]
+    fn application_unaware_of_failure_after_convergence() {
+        // The paper's headline: traffic sent after DRS converges on a
+        // failure is delivered without a single retransmission.
+        let mut w = drs_world(6, 8, fast_cfg());
+        w.schedule_faults(
+            FaultPlan::new().fail_at(SimTime(1_000_000_000), SimComponent::Hub(NetId::A)),
+        );
+        w.run_for(SimDuration::from_secs(4)); // converge
+        let before = w.app_stats().retransmits;
+        for i in 1..6u32 {
+            w.send_app(w.now(), NodeId(0), NodeId(i), 512);
+        }
+        w.run_for(SimDuration::from_secs(5));
+        assert_eq!(w.app_stats().delivered, 5);
+        assert_eq!(w.app_stats().retransmits, before, "no app-visible impact");
+    }
+
+    #[test]
+    fn isolated_peer_discovery_fails_cleanly() {
+        // Node 1 loses both NICs: no gateway can exist.
+        let cfg = fast_cfg();
+        let mut w = drs_world(4, 9, cfg);
+        w.schedule_faults(
+            FaultPlan::new()
+                .fail_at(SimTime(500_000_000), SimComponent::Nic(NodeId(1), NetId::A))
+                .fail_at(SimTime(500_000_000), SimComponent::Nic(NodeId(1), NetId::B)),
+        );
+        w.run_for(SimDuration::from_secs(6));
+        let d = w.protocol(NodeId(0));
+        assert!(d.metrics.discoveries >= 1, "discovery was attempted");
+        assert!(
+            d.metrics
+                .first_after(SimTime(0), |k| matches!(
+                    k,
+                    DrsEventKind::DiscoveryFailed { target } if *target == NodeId(1)
+                ))
+                .is_some(),
+            "discovery failure logged"
+        );
+        // A neighbour whose own detection lagged may have made a stale
+        // offer transiently; what matters is the end state: traffic to the
+        // isolated peer fails, traffic to everyone else flows.
+        let dead = w.send_app(w.now(), NodeId(0), NodeId(1), 64);
+        let alive = w.send_app(w.now(), NodeId(0), NodeId(2), 64);
+        w.run_for(SimDuration::from_secs(200));
+        assert_eq!(
+            w.flow_outcome(dead),
+            Some(drs_sim::world::FlowOutcome::GaveUp),
+            "no protocol can reach a host with no NICs"
+        );
+        assert!(matches!(
+            w.flow_outcome(alive),
+            Some(drs_sim::world::FlowOutcome::Delivered(_))
+        ));
+    }
+
+    #[test]
+    fn lowest_id_policy_picks_deterministic_gateway() {
+        let cfg = fast_cfg().gateway_policy(GatewayPolicy::LowestId);
+        let mut w = drs_world(6, 10, cfg);
+        let t0 = SimTime(1_000_000_000);
+        w.schedule_faults(
+            FaultPlan::new()
+                .fail_at(t0, SimComponent::Nic(NodeId(0), NetId::B))
+                .fail_at(t0, SimComponent::Nic(NodeId(1), NetId::A)),
+        );
+        w.run_for(SimDuration::from_secs(6));
+        match w.host(NodeId(0)).routes.get(NodeId(1)) {
+            Some(Route::Via { gateway, .. }) => {
+                assert_eq!(gateway, NodeId(2), "lowest-id candidate wins")
+            }
+            other => panic!("expected gateway route, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_overhead_matches_figure1_model() {
+        // 8 nodes, 1 s cycle: each host sends 2*(8-1) = 14 probes/s; the
+        // cluster offers 8*14 = 112 request frames/s per... per two nets:
+        // net A carries 8*7 = 56 requests + 56 replies per second.
+        let mut w = drs_world(8, 11, DrsConfig::default());
+        let snap = w.medium(NetId::A).stats;
+        let t0 = w.now();
+        w.run_for(SimDuration::from_secs(10));
+        let bytes = w.medium(NetId::A).stats.probe_bytes - snap.probe_bytes;
+        let expected = 10 * 2 * 8 * 7 * 74; // 10 s x (req+reply) x N(N-1) x 74 B
+        let ratio = bytes as f64 / expected as f64;
+        assert!(
+            (0.95..=1.05).contains(&ratio),
+            "probe bytes {bytes} vs expected {expected}"
+        );
+        let util = w.medium(NetId::A).utilization_since(&snap, t0, w.now());
+        assert!(util < 0.01, "8-node probing is well under 1%: {util}");
+    }
+
+    #[test]
+    fn miss_threshold_absorbs_random_frame_loss() {
+        // 2% wire loss: a single-miss daemon flaps links constantly; the
+        // deployed 2-miss threshold keeps the view essentially stable
+        // (P[flap per probe] drops from ~4% to ~0.16%). This is the
+        // design rationale for counting consecutive misses.
+        let flaps = |threshold: u32| {
+            let n = 5;
+            let cfg = DrsConfig::default()
+                .probe_timeout(SimDuration::from_millis(50))
+                .probe_interval(SimDuration::from_millis(200))
+                .miss_threshold(threshold);
+            let spec = ClusterSpec::new(n).seed(1234).frame_loss_rate(0.02);
+            let mut w = World::new(spec, move |id| DrsDaemon::new(id, n, cfg));
+            w.run_for(SimDuration::from_secs(60));
+            (0..n as u32)
+                .map(|i| w.protocol(NodeId(i)).metrics.link_down_events)
+                .sum::<u64>()
+        };
+        let flappy = flaps(1);
+        let stable = flaps(2);
+        assert!(
+            flappy > 10 * stable.max(1),
+            "threshold must suppress loss-induced flapping: {flappy} vs {stable}"
+        );
+    }
+
+    #[test]
+    fn lossy_network_does_not_break_failover() {
+        // Real failure + background loss: DRS must still converge and
+        // deliver, despite occasional false misses.
+        let n = 6;
+        let cfg = DrsConfig::default()
+            .probe_timeout(SimDuration::from_millis(50))
+            .probe_interval(SimDuration::from_millis(200))
+            .miss_threshold(3);
+        let spec = ClusterSpec::new(n).seed(77).frame_loss_rate(0.01);
+        let mut w = World::new(spec, move |id| DrsDaemon::new(id, n, cfg));
+        w.schedule_faults(
+            FaultPlan::new().fail_at(SimTime(1_000_000_000), SimComponent::Hub(NetId::A)),
+        );
+        w.run_for(SimDuration::from_secs(5));
+        for i in 1..n as u32 {
+            w.send_app(w.now(), NodeId(0), NodeId(i), 256);
+        }
+        w.run_for(SimDuration::from_secs(200));
+        assert_eq!(w.app_stats().delivered, w.app_stats().sent);
+    }
+
+    #[test]
+    fn degraded_cable_detected_like_a_hard_fault() {
+        // A 99.9%-loss cable is indistinguishable from a dead link to the
+        // prober, and must trigger the same failover.
+        let n = 4;
+        let cfg = fast_cfg();
+        let mut w = drs_world(n, 88, cfg);
+        w.run_for(SimDuration::from_secs(1));
+        w.set_link_loss(NodeId(1), NetId::A, 0.999);
+        w.run_for(SimDuration::from_secs(8));
+        assert_eq!(
+            w.host(NodeId(0)).routes.get(NodeId(1)),
+            Some(Route::Direct(NetId::B)),
+            "flaky cable must be routed around"
+        );
+    }
+
+    #[test]
+    fn down_probe_backoff_saves_bandwidth_but_delays_recovery_only() {
+        // Kill a peer's NIC, leave it down for a while, then repair. A
+        // backed-off daemon sends far fewer probes during the outage yet
+        // detects the failure just as fast; only the recovery detection
+        // stretches (bounded by backoff x interval).
+        let run = |backoff: u64| {
+            let n = 3;
+            let cfg = fast_cfg().down_probe_backoff(backoff);
+            let mut w = drs_world(n, 99, cfg);
+            w.schedule_faults(
+                FaultPlan::new()
+                    .fail_at(
+                        SimTime(1_000_000_000),
+                        SimComponent::Nic(NodeId(1), NetId::A),
+                    )
+                    .repair_at(
+                        SimTime(21_000_000_000),
+                        SimComponent::Nic(NodeId(1), NetId::A),
+                    ),
+            );
+            w.run_for(SimDuration::from_secs(20)); // during outage
+            let probes_during = w.protocol(NodeId(0)).metrics.probes_sent;
+            w.run_for(SimDuration::from_secs(20)); // past repair
+            let recovered =
+                w.host(NodeId(0)).routes.get(NodeId(1)) == Some(Route::Direct(NetId::A));
+            let detect_at = w
+                .protocol(NodeId(0))
+                .metrics
+                .first_after(SimTime(1_000_000_000), |k| {
+                    matches!(k, DrsEventKind::LinkDown { peer, net }
+                        if *peer == NodeId(1) && *net == NetId::A)
+                })
+                .expect("detected")
+                .at;
+            (probes_during, recovered, detect_at)
+        };
+        let (probes_full, rec_full, det_full) = run(1);
+        let (probes_backed, rec_backed, det_backed) = run(10);
+        assert!(
+            probes_backed < probes_full - 20,
+            "backoff must reduce outage probing: {probes_backed} vs {probes_full}"
+        );
+        assert!(rec_full && rec_backed, "both recover after the repair");
+        assert_eq!(det_full, det_backed, "failure detection speed unchanged");
+    }
+
+    #[test]
+    fn daemon_state_machine_is_deterministic() {
+        let run = |seed| {
+            let mut w = drs_world(5, seed, fast_cfg());
+            w.schedule_faults(
+                FaultPlan::new().fail_at(SimTime(700_000_000), SimComponent::Hub(NetId::A)),
+            );
+            w.run_for(SimDuration::from_secs(5));
+            (0..5u32)
+                .map(|i| {
+                    let m = &w.protocol(NodeId(i)).metrics;
+                    (m.probes_sent, m.route_changes, m.link_down_events)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

@@ -1,0 +1,143 @@
+//! Daemon-side observability: counters and a timestamped event log.
+//!
+//! The experiments measure DRS from the outside (did the application
+//! notice?) *and* from the inside: when was a failure detected, when was
+//! the route repaired, how often did repair need a gateway. The event log
+//! records every state transition with its virtual timestamp so the
+//! benches can compute detection and repair latencies against known fault
+//! injection times.
+
+use serde::{Deserialize, Serialize};
+
+use drs_sim::ids::{NetId, NodeId};
+use drs_sim::routes::Route;
+use drs_sim::time::SimTime;
+
+/// A state transition observed by one daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DrsEventKind {
+    /// A `(peer, net)` link was declared down.
+    LinkDown {
+        /// Peer whose link failed.
+        peer: NodeId,
+        /// Network on which it failed.
+        net: NetId,
+    },
+    /// A `(peer, net)` link recovered.
+    LinkUp {
+        /// Peer whose link recovered.
+        peer: NodeId,
+        /// Network on which it recovered.
+        net: NetId,
+    },
+    /// The kernel route to `dst` was changed.
+    RouteChanged {
+        /// Destination whose route changed.
+        dst: NodeId,
+        /// The newly installed route.
+        route: Route,
+    },
+    /// A gateway discovery broadcast was sent for `target`.
+    DiscoveryStarted {
+        /// The unreachable peer.
+        target: NodeId,
+    },
+    /// A discovery round ended with no usable offer.
+    DiscoveryFailed {
+        /// The peer that remained unreachable.
+        target: NodeId,
+    },
+}
+
+/// One timestamped daemon event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrsEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: DrsEventKind,
+}
+
+/// Aggregate counters plus the event log of one daemon.
+#[derive(Debug, Clone, Default)]
+pub struct DrsMetrics {
+    /// Probes transmitted.
+    pub probes_sent: u64,
+    /// Echo replies processed.
+    pub replies_received: u64,
+    /// Probe timeouts processed (stale ones included).
+    pub timeouts: u64,
+    /// Links declared down.
+    pub link_down_events: u64,
+    /// Links declared up again.
+    pub link_up_events: u64,
+    /// Route changes installed into the kernel.
+    pub route_changes: u64,
+    /// Failovers that used the redundant network directly.
+    pub direct_failovers: u64,
+    /// Failovers that installed a gateway route.
+    pub gateway_failovers: u64,
+    /// Reverts back to a direct route after recovery.
+    pub reverts: u64,
+    /// Discovery broadcasts sent.
+    pub discoveries: u64,
+    /// Gateway offers this daemon sent to others.
+    pub offers_sent: u64,
+    /// Timestamped transition log.
+    pub events: Vec<DrsEvent>,
+}
+
+impl DrsMetrics {
+    /// Appends a timestamped event.
+    pub fn log(&mut self, at: SimTime, kind: DrsEventKind) {
+        self.events.push(DrsEvent { at, kind });
+    }
+
+    /// First event after `t0` matching `pred`, for latency measurements.
+    pub fn first_after(
+        &self,
+        t0: SimTime,
+        mut pred: impl FnMut(&DrsEventKind) -> bool,
+    ) -> Option<DrsEvent> {
+        self.events
+            .iter()
+            .find(|e| e.at >= t0 && pred(&e.kind))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_and_query() {
+        let mut m = DrsMetrics::default();
+        m.log(
+            SimTime(10),
+            DrsEventKind::LinkDown {
+                peer: NodeId(1),
+                net: NetId::A,
+            },
+        );
+        m.log(
+            SimTime(20),
+            DrsEventKind::RouteChanged {
+                dst: NodeId(1),
+                route: Route::Direct(NetId::B),
+            },
+        );
+        let hit = m
+            .first_after(SimTime(0), |k| {
+                matches!(k, DrsEventKind::RouteChanged { .. })
+            })
+            .unwrap();
+        assert_eq!(hit.at, SimTime(20));
+        assert!(m
+            .first_after(SimTime(25), |k| matches!(
+                k,
+                DrsEventKind::RouteChanged { .. }
+            ))
+            .is_none());
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the DRS daemon's protocol invariants under
+//! randomized fault scenarios: loop freedom, detection bounds, route
+//! sanity and determinism.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use drs_core::{DrsConfig, DrsDaemon, DrsEventKind, LinkState};
+use drs_sim::fault::{FaultPlan, SimComponent};
+use drs_sim::ids::{NetId, NodeId};
+use drs_sim::routes::Route;
+use drs_sim::scenario::ClusterSpec;
+use drs_sim::time::{SimDuration, SimTime};
+use drs_sim::world::World;
+
+fn cfg() -> DrsConfig {
+    DrsConfig::default()
+        .probe_timeout(SimDuration::from_millis(50))
+        .probe_interval(SimDuration::from_millis(200))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Loop freedom: whatever combination of up to five simultaneous
+    /// component failures strikes, no forwarded frame ever dies of TTL
+    /// exhaustion — DRS's one-hop-gateway discipline cannot cycle.
+    #[test]
+    fn no_ttl_drops_under_random_faults(seed in any::<u64>(), f in 0usize..6) {
+        let n = 8;
+        let spec = ClusterSpec::new(n).seed(seed);
+        let mut w = World::new(spec, |id| DrsDaemon::new(id, n, cfg()));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (plan, _) = FaultPlan::random_simultaneous(SimTime(1_000_000_000), n, f, &mut rng);
+        w.schedule_faults(plan);
+        w.run_for(SimDuration::from_secs(4));
+        for s in 0..n as u32 {
+            for d in 0..n as u32 {
+                if s != d {
+                    w.send_app(w.now(), NodeId(s), NodeId(d), 64);
+                }
+            }
+        }
+        w.run_for(SimDuration::from_secs(150));
+        let ttl_drops: u64 = (0..n as u32).map(|i| w.host(NodeId(i)).counters.dropped_ttl).sum();
+        prop_assert_eq!(ttl_drops, 0);
+    }
+
+    /// Every surviving daemon detects a NIC failure within the
+    /// configured worst-case bound (plus scheduling slack), regardless of
+    /// when in the probe cycle the fault lands.
+    #[test]
+    fn detection_bound_holds_for_any_fault_phase(offset_ms in 0u64..400) {
+        let n = 5;
+        let c = cfg();
+        let spec = ClusterSpec::new(n).seed(7);
+        let mut w = World::new(spec, |id| DrsDaemon::new(id, n, c));
+        let t0 = SimTime(2_000_000_000 + offset_ms * 1_000_000);
+        w.schedule_faults(FaultPlan::new().fail_at(t0, SimComponent::Nic(NodeId(2), NetId::B)));
+        w.run_for(SimDuration::from_secs(6));
+        for i in (0..n as u32).filter(|&i| i != 2) {
+            let det = w.protocol(NodeId(i)).metrics.first_after(t0, |k| {
+                matches!(k, DrsEventKind::LinkDown { peer, net }
+                    if *peer == NodeId(2) && *net == NetId::B)
+            });
+            let det = det.unwrap_or_else(|| panic!("daemon {i} missed the fault"));
+            prop_assert!(
+                det.at - t0 <= c.worst_case_detection() + SimDuration::from_millis(50),
+                "daemon {} took {}", i, det.at - t0
+            );
+        }
+    }
+
+    /// Route-table sanity after convergence: every installed direct route
+    /// points at a link the daemon believes Up, and every Via route
+    /// points at a gateway link believed Up.
+    #[test]
+    fn routes_consistent_with_beliefs(seed in any::<u64>(), f in 0usize..5) {
+        let n = 7;
+        let spec = ClusterSpec::new(n).seed(seed);
+        let mut w = World::new(spec, |id| DrsDaemon::new(id, n, cfg()));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (plan, _) = FaultPlan::random_simultaneous(SimTime(1_000_000_000), n, f, &mut rng);
+        w.schedule_faults(plan);
+        w.run_for(SimDuration::from_secs(6));
+        for i in 0..n as u32 {
+            let node = NodeId(i);
+            let daemon = w.protocol(node);
+            for (dst, route) in w.host(node).routes.iter() {
+                match route {
+                    Route::Direct(net) => {
+                        // A Direct route on a Down-believed link is only
+                        // legitimate when *no* alternative exists (the
+                        // daemon keeps the last route rather than none).
+                        if daemon.peer_table().state(dst, net) == LinkState::Down {
+                            prop_assert!(
+                                daemon.peer_table().peer_unreachable_direct(dst),
+                                "n{i}->{dst}: direct route on a down link with an alternative"
+                            );
+                        }
+                    }
+                    Route::Via { gateway, net } => {
+                        prop_assert!(gateway != dst && gateway != node);
+                        // Gateway link must be believed Up, unless the
+                        // peer is wholly unreachable and this is a relic.
+                        if daemon.peer_table().state(gateway, net) == LinkState::Down {
+                            prop_assert!(
+                                daemon.peer_table().peer_unreachable_direct(dst),
+                                "n{i}->{dst}: via {gateway} on a down link"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Full protocol determinism under randomized fault plans.
+    #[test]
+    fn deterministic_under_random_plans(seed in any::<u64>()) {
+        let run = || {
+            let n = 6;
+            let spec = ClusterSpec::new(n).seed(seed);
+            let mut w = World::new(spec, |id| DrsDaemon::new(id, n, cfg()));
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let plan = FaultPlan::poisson_process(
+                SimDuration::from_secs(10),
+                SimDuration::from_secs(2),
+                SimDuration::from_secs(1),
+                n,
+                &mut rng,
+            );
+            w.schedule_faults(plan);
+            w.run_for(SimDuration::from_secs(12));
+            (0..n as u32)
+                .map(|i| {
+                    let m = &w.protocol(NodeId(i)).metrics;
+                    (m.probes_sent, m.route_changes, m.link_down_events, m.link_up_events)
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

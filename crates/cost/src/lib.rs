@@ -1,0 +1,29 @@
+//! The DRS proactive-cost trade-off (the paper's Figure 1).
+//!
+//! *"The DRS's proactive monitoring of network links comes at a cost of
+//! network bandwidth. To find errors before they effect network
+//! communication, the links must be checked frequently. … As the number
+//! of nodes increase, the bandwidth required to support the frequent
+//! checks likewise increases."*
+//!
+//! [`model`] derives the relationship in closed form: with `N` hosts each
+//! probing `N−1` peers on both networks, one probe sweep puts
+//! `2·N·(N−1)` echo frames (request + reply) of `L` bytes on each shared
+//! segment, so a bandwidth budget `β` of a `B` bit/s network bounds the
+//! sweep period — and therefore the error-resolution time — from below by
+//! `T(N) = 2·N·(N−1)·L·8 / (β·B)`.
+//!
+//! [`mod@figure1`] sweeps that model over the paper's budgets (5 %, 10 %,
+//! 15 %, 25 % of 100 Mb/s) and [`empirical`] *measures* the same
+//! quantities on the packet-level simulator with real [`drs_core`]
+//! daemons, closing the loop between formula and implementation.
+
+pub mod empirical;
+pub mod figure1;
+pub mod model;
+pub mod planner;
+
+pub use empirical::{measure_probe_cost, EmpiricalCost};
+pub use figure1::{figure1, CostSeries, PAPER_BUDGETS};
+pub use model::ProbeCostModel;
+pub use planner::{plan_cluster, ClusterPlan, PlanningRequirement};

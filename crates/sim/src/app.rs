@@ -1,0 +1,241 @@
+//! Application workloads: the server-to-server traffic whose survival the
+//! experiments measure.
+//!
+//! Workloads are pre-generated deterministic schedules of message sends
+//! (when, from whom, to whom, how big). The voice-mail clusters the paper
+//! describes exchanged modest request/response traffic between every pair
+//! of servers; [`Workload::all_to_all`] models that, and
+//! [`Workload::uniform_random`] gives a Poisson-like background load.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::NodeId;
+use crate::time::{SimDuration, SimTime};
+
+/// One scheduled application message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppMessage {
+    /// When the application hands the message to the transport.
+    pub at: SimTime,
+    /// Sending host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Payload size in bytes.
+    pub payload_bytes: u32,
+}
+
+/// A deterministic schedule of application messages.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    messages: Vec<AppMessage>,
+}
+
+impl Workload {
+    /// An empty workload.
+    #[must_use]
+    pub fn new() -> Self {
+        Workload::default()
+    }
+
+    /// Adds one message.
+    #[must_use]
+    pub fn message(mut self, at: SimTime, src: NodeId, dst: NodeId, payload_bytes: u32) -> Self {
+        assert_ne!(src, dst, "a host does not message itself");
+        self.messages.push(AppMessage {
+            at,
+            src,
+            dst,
+            payload_bytes,
+        });
+        self
+    }
+
+    /// A steady stream between one pair: `count` messages every `interval`
+    /// starting at `start`.
+    #[must_use]
+    pub fn periodic_pair(
+        src: NodeId,
+        dst: NodeId,
+        start: SimTime,
+        interval: SimDuration,
+        count: usize,
+        payload_bytes: u32,
+    ) -> Self {
+        assert_ne!(src, dst);
+        let messages = (0..count)
+            .map(|i| AppMessage {
+                at: start + interval.saturating_mul(i as u64),
+                src,
+                dst,
+                payload_bytes,
+            })
+            .collect();
+        Workload { messages }
+    }
+
+    /// Every ordered pair exchanges one message per round: `rounds` rounds
+    /// every `interval`, starting at `start`.
+    #[must_use]
+    pub fn all_to_all(
+        n: usize,
+        start: SimTime,
+        interval: SimDuration,
+        rounds: usize,
+        payload_bytes: u32,
+    ) -> Self {
+        let mut messages = Vec::with_capacity(rounds * n * (n - 1));
+        for round in 0..rounds {
+            let at = start + interval.saturating_mul(round as u64);
+            for s in 0..n {
+                for d in 0..n {
+                    if s != d {
+                        messages.push(AppMessage {
+                            at,
+                            src: NodeId(s as u32),
+                            dst: NodeId(d as u32),
+                            payload_bytes,
+                        });
+                    }
+                }
+            }
+        }
+        Workload { messages }
+    }
+
+    /// Poisson-like background traffic: `count` messages with uniformly
+    /// random send times in `[start, start + span)` and uniformly random
+    /// distinct endpoint pairs.
+    #[must_use]
+    pub fn uniform_random(
+        n: usize,
+        start: SimTime,
+        span: SimDuration,
+        count: usize,
+        payload_bytes: u32,
+        rng: &mut SmallRng,
+    ) -> Self {
+        assert!(n >= 2, "need at least two hosts");
+        assert!(span > SimDuration::ZERO, "need a positive span");
+        let mut messages: Vec<AppMessage> = (0..count)
+            .map(|_| {
+                let src = rng.gen_range(0..n);
+                let mut dst = rng.gen_range(0..n - 1);
+                if dst >= src {
+                    dst += 1;
+                }
+                AppMessage {
+                    at: start + SimDuration(rng.gen_range(0..span.as_nanos())),
+                    src: NodeId(src as u32),
+                    dst: NodeId(dst as u32),
+                    payload_bytes,
+                }
+            })
+            .collect();
+        messages.sort_by_key(|m| m.at);
+        Workload { messages }
+    }
+
+    /// Concatenates another workload onto this one.
+    #[must_use]
+    pub fn merge(mut self, other: Workload) -> Self {
+        self.messages.extend(other.messages);
+        self
+    }
+
+    /// The scheduled messages.
+    #[must_use]
+    pub fn messages(&self) -> &[AppMessage] {
+        &self.messages
+    }
+
+    /// Number of scheduled messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether the schedule is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn periodic_pair_spacing() {
+        let w = Workload::periodic_pair(
+            NodeId(0),
+            NodeId(1),
+            SimTime(1000),
+            SimDuration::from_millis(10),
+            3,
+            256,
+        );
+        let at: Vec<u64> = w.messages().iter().map(|m| m.at.0).collect();
+        assert_eq!(at, vec![1000, 10_001_000, 20_001_000]);
+    }
+
+    #[test]
+    fn all_to_all_counts() {
+        let w = Workload::all_to_all(4, SimTime::ZERO, SimDuration::from_secs(1), 2, 128);
+        assert_eq!(w.len(), 2 * 4 * 3);
+        assert!(w.messages().iter().all(|m| m.src != m.dst));
+    }
+
+    #[test]
+    fn uniform_random_no_self_messages_and_sorted() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let w = Workload::uniform_random(
+            5,
+            SimTime::ZERO,
+            SimDuration::from_secs(10),
+            500,
+            64,
+            &mut rng,
+        );
+        assert_eq!(w.len(), 500);
+        assert!(w.messages().iter().all(|m| m.src != m.dst));
+        assert!(w.messages().windows(2).all(|p| p[0].at <= p[1].at));
+        // Every node appears as a source eventually.
+        let sources: std::collections::HashSet<_> = w.messages().iter().map(|m| m.src).collect();
+        assert_eq!(sources.len(), 5);
+    }
+
+    #[test]
+    fn uniform_random_deterministic_per_seed() {
+        let gen = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            Workload::uniform_random(
+                4,
+                SimTime::ZERO,
+                SimDuration::from_secs(1),
+                50,
+                64,
+                &mut rng,
+            )
+        };
+        assert_eq!(gen(1), gen(1));
+        assert_ne!(gen(1), gen(2));
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let a = Workload::new().message(SimTime(1), NodeId(0), NodeId(1), 10);
+        let b = Workload::new().message(SimTime(2), NodeId(1), NodeId(0), 10);
+        assert_eq!(a.merge(b).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not message itself")]
+    fn self_message_rejected() {
+        let _ = Workload::new().message(SimTime(0), NodeId(1), NodeId(1), 1);
+    }
+}

@@ -1,0 +1,267 @@
+//! Fault injection: scheduled and random component failures.
+//!
+//! The survivability model's components map one-to-one onto simulator
+//! state: a **hub** fault takes a whole shared medium down; a **NIC**
+//! fault makes one host deaf and mute on one network. Faults flip state
+//! silently — no protocol is notified, exactly as in reality, where a
+//! failed hub does not announce itself and must be *detected* by probing.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{NetId, NodeId};
+use crate::time::{SimDuration, SimTime};
+
+/// A failable hardware component of the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimComponent {
+    /// The shared hub/backplane of one network.
+    Hub(NetId),
+    /// One host's NIC on one network.
+    Nic(NodeId, NetId),
+}
+
+/// A scheduled state change of one component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the change takes effect.
+    pub at: SimTime,
+    /// The affected component.
+    pub component: SimComponent,
+    /// `false` = fail, `true` = repair.
+    pub up: bool,
+}
+
+/// An ordered schedule of fault events.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules a failure.
+    #[must_use]
+    pub fn fail_at(mut self, at: SimTime, component: SimComponent) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            component,
+            up: false,
+        });
+        self
+    }
+
+    /// Schedules a repair.
+    #[must_use]
+    pub fn repair_at(mut self, at: SimTime, component: SimComponent) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            component,
+            up: true,
+        });
+        self
+    }
+
+    /// Fails `f` distinct components (drawn uniformly, like the paper's
+    /// survivability simulation) all at instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `f` exceeds the `2n + 2` available components.
+    #[must_use]
+    pub fn random_simultaneous(
+        at: SimTime,
+        n: usize,
+        f: usize,
+        rng: &mut SmallRng,
+    ) -> (Self, Vec<SimComponent>) {
+        let m = 2 * n + 2;
+        assert!(f <= m, "cannot fail {f} of {m} components");
+        let mut picked = vec![false; m];
+        let mut components = Vec::with_capacity(f);
+        let mut plan = FaultPlan::new();
+        let mut left = f;
+        while left > 0 {
+            let idx = rng.gen_range(0..m);
+            if picked[idx] {
+                continue;
+            }
+            picked[idx] = true;
+            let component = index_to_component(idx, n);
+            components.push(component);
+            plan = plan.fail_at(at, component);
+            left -= 1;
+        }
+        (plan, components)
+    }
+
+    /// A Poisson failure/repair process over `[0, horizon)`: failures
+    /// arrive with mean inter-arrival `mtbf`, each choosing a uniformly
+    /// random component, repaired after `mttr`.
+    #[must_use]
+    pub fn poisson_process(
+        horizon: SimDuration,
+        mtbf: SimDuration,
+        mttr: SimDuration,
+        n: usize,
+        rng: &mut SmallRng,
+    ) -> Self {
+        assert!(mtbf > SimDuration::ZERO, "mtbf must be positive");
+        let m = 2 * n + 2;
+        let mut plan = FaultPlan::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            // Exponential inter-arrival via inverse CDF.
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let gap = SimDuration::from_secs_f64(-u.ln() * mtbf.as_secs_f64());
+            t += gap;
+            if t - SimTime::ZERO >= horizon {
+                break;
+            }
+            let component = index_to_component(rng.gen_range(0..m), n);
+            plan = plan.fail_at(t, component).repair_at(t + mttr, component);
+        }
+        plan
+    }
+
+    /// Events sorted by time (stable for equal instants).
+    #[must_use]
+    pub fn into_sorted_events(mut self) -> Vec<FaultEvent> {
+        self.events.sort_by_key(|e| e.at);
+        self.events
+    }
+
+    /// Number of scheduled events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Maps a dense component index (the layout used by `drs-analytic`:
+/// `0`/`1` = hubs, then net-A NICs, then net-B NICs) to a simulator
+/// component.
+///
+/// # Panics
+/// Panics if `idx ≥ 2n + 2`.
+#[must_use]
+pub fn index_to_component(idx: usize, n: usize) -> SimComponent {
+    assert!(
+        idx < 2 * n + 2,
+        "component index {idx} out of range for n={n}"
+    );
+    match idx {
+        0 => SimComponent::Hub(NetId::A),
+        1 => SimComponent::Hub(NetId::B),
+        _ => {
+            let rel = idx - 2;
+            let (node, net) = if rel < n {
+                (rel, NetId::A)
+            } else {
+                (rel - n, NetId::B)
+            };
+            SimComponent::Nic(NodeId(node as u32), net)
+        }
+    }
+}
+
+/// Inverse of [`index_to_component`].
+#[must_use]
+pub fn component_to_index(c: SimComponent, n: usize) -> usize {
+    match c {
+        SimComponent::Hub(NetId::A) => 0,
+        SimComponent::Hub(NetId::B) => 1,
+        SimComponent::Nic(node, net) => {
+            assert!((node.idx()) < n, "node {node} out of range for n={n}");
+            2 + net.idx() * n + node.idx()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn index_component_roundtrip() {
+        let n = 6;
+        for idx in 0..2 * n + 2 {
+            assert_eq!(component_to_index(index_to_component(idx, n), n), idx);
+        }
+    }
+
+    #[test]
+    fn layout_matches_analytic_convention() {
+        let n = 5;
+        assert_eq!(index_to_component(0, n), SimComponent::Hub(NetId::A));
+        assert_eq!(index_to_component(1, n), SimComponent::Hub(NetId::B));
+        assert_eq!(
+            index_to_component(2, n),
+            SimComponent::Nic(NodeId(0), NetId::A)
+        );
+        assert_eq!(
+            index_to_component(2 + n, n),
+            SimComponent::Nic(NodeId(0), NetId::B)
+        );
+    }
+
+    #[test]
+    fn random_simultaneous_draws_distinct() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (plan, comps) = FaultPlan::random_simultaneous(SimTime(100), 8, 5, &mut rng);
+        assert_eq!(plan.len(), 5);
+        assert_eq!(comps.len(), 5);
+        let unique: std::collections::HashSet<_> = comps.iter().collect();
+        assert_eq!(unique.len(), 5);
+        for e in plan.into_sorted_events() {
+            assert_eq!(e.at, SimTime(100));
+            assert!(!e.up);
+        }
+    }
+
+    #[test]
+    fn poisson_pairs_failures_with_repairs() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let plan = FaultPlan::poisson_process(
+            SimDuration::from_secs(1000),
+            SimDuration::from_secs(50),
+            SimDuration::from_secs(5),
+            8,
+            &mut rng,
+        );
+        assert!(plan.len() >= 2, "expected some failures");
+        assert_eq!(plan.len() % 2, 0, "each failure has a repair");
+        let events = plan.into_sorted_events();
+        let fails = events.iter().filter(|e| !e.up).count();
+        assert_eq!(fails * 2, events.len());
+    }
+
+    #[test]
+    fn sorted_events_are_ordered() {
+        let plan = FaultPlan::new()
+            .fail_at(SimTime(500), SimComponent::Hub(NetId::A))
+            .fail_at(SimTime(100), SimComponent::Hub(NetId::B))
+            .repair_at(SimTime(300), SimComponent::Hub(NetId::B));
+        let ev = plan.into_sorted_events();
+        assert!(ev.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fail")]
+    fn too_many_simultaneous_failures_panics() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _ = FaultPlan::random_simultaneous(SimTime::ZERO, 2, 7, &mut rng);
+    }
+}

@@ -1,0 +1,115 @@
+//! Per-host state: NICs, the kernel route table, transport bookkeeping and
+//! counters.
+
+use crate::ids::{NetId, NodeId};
+use crate::routes::RouteTable;
+use crate::stats::HostCounters;
+use crate::transport::TransportState;
+
+/// The simulated state of one server host.
+#[derive(Debug, Clone)]
+pub struct HostState {
+    /// This host's identity.
+    pub id: NodeId,
+    nic_up: [bool; 2],
+    link_loss: [f64; 2],
+    /// The kernel route table routing daemons manipulate.
+    pub routes: RouteTable,
+    /// Outstanding reliable-transport sends.
+    pub transport: TransportState,
+    /// Stack-level event counters.
+    pub counters: HostCounters,
+}
+
+impl HostState {
+    /// A healthy host with the deployed default route table (direct routes
+    /// on the primary network).
+    #[must_use]
+    pub fn new(id: NodeId, n: usize) -> Self {
+        HostState {
+            id,
+            nic_up: [true, true],
+            link_loss: [0.0, 0.0],
+            routes: RouteTable::new_default(id, n),
+            transport: TransportState::default(),
+            counters: HostCounters::default(),
+        }
+    }
+
+    /// Whether this host's NIC on `net` is operational.
+    #[must_use]
+    pub fn nic_is_up(&self, net: NetId) -> bool {
+        self.nic_up[net.idx()]
+    }
+
+    /// Fails or repairs the NIC on `net`.
+    pub fn set_nic(&mut self, net: NetId, up: bool) {
+        self.nic_up[net.idx()] = up;
+    }
+
+    /// Whether the host is completely cut off at the NIC level.
+    #[must_use]
+    pub fn is_isolated(&self) -> bool {
+        !self.nic_up[0] && !self.nic_up[1]
+    }
+
+    /// Per-frame corruption probability of this host's cabling on `net`
+    /// (degraded-link model; 0.0 = clean).
+    #[must_use]
+    pub fn link_loss(&self, net: NetId) -> f64 {
+        self.link_loss[net.idx()]
+    }
+
+    /// Degrades (or restores) this host's cabling on `net`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn set_link_loss(&mut self, net: NetId, p: f64) {
+        assert!((0.0..1.0).contains(&p), "loss rate must be in [0, 1)");
+        self.link_loss[net.idx()] = p;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routes::Route;
+
+    #[test]
+    fn new_host_is_healthy_with_default_routes() {
+        let h = HostState::new(NodeId(2), 4);
+        assert!(h.nic_is_up(NetId::A) && h.nic_is_up(NetId::B));
+        assert!(!h.is_isolated());
+        assert_eq!(h.routes.get(NodeId(0)), Some(Route::Direct(NetId::A)));
+        assert_eq!(h.routes.get(NodeId(2)), None);
+    }
+
+    #[test]
+    fn link_loss_defaults_clean_and_is_settable() {
+        let mut h = HostState::new(NodeId(0), 2);
+        assert_eq!(h.link_loss(NetId::A), 0.0);
+        h.set_link_loss(NetId::B, 0.05);
+        assert_eq!(h.link_loss(NetId::B), 0.05);
+        assert_eq!(h.link_loss(NetId::A), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn link_loss_validated() {
+        let mut h = HostState::new(NodeId(0), 2);
+        h.set_link_loss(NetId::A, 1.0);
+    }
+
+    #[test]
+    fn nic_toggling() {
+        let mut h = HostState::new(NodeId(0), 2);
+        h.set_nic(NetId::A, false);
+        assert!(!h.nic_is_up(NetId::A));
+        assert!(h.nic_is_up(NetId::B));
+        assert!(!h.is_isolated());
+        h.set_nic(NetId::B, false);
+        assert!(h.is_isolated());
+        h.set_nic(NetId::A, true);
+        assert!(!h.is_isolated());
+    }
+}

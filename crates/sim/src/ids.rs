@@ -1,0 +1,124 @@
+//! Identifier newtypes for the simulated cluster.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a server host in the cluster (`0..n`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The host index as a `usize` (for indexing host tables).
+    #[must_use]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One of the two redundant networks every host is attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NetId {
+    /// The primary network (all default routes start here).
+    A,
+    /// The redundant network.
+    B,
+}
+
+impl NetId {
+    /// Both networks, primary first.
+    pub const ALL: [NetId; 2] = [NetId::A, NetId::B];
+
+    /// The other network.
+    #[must_use]
+    pub fn other(self) -> NetId {
+        match self {
+            NetId::A => NetId::B,
+            NetId::B => NetId::A,
+        }
+    }
+
+    /// Dense index (A = 0, B = 1) for array-backed per-network state.
+    #[must_use]
+    pub fn idx(self) -> usize {
+        match self {
+            NetId::A => 0,
+            NetId::B => 1,
+        }
+    }
+
+    /// Inverse of [`NetId::idx`].
+    ///
+    /// # Panics
+    /// Panics if `i > 1`.
+    #[must_use]
+    pub fn from_idx(i: usize) -> NetId {
+        match i {
+            0 => NetId::A,
+            1 => NetId::B,
+            _ => panic!("network index {i} out of range"),
+        }
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetId::A => write!(f, "netA"),
+            NetId::B => write!(f, "netB"),
+        }
+    }
+}
+
+/// Identifier of one application-level flow (one request/response exchange).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FlowId(pub u64);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_other_is_involution() {
+        for net in NetId::ALL {
+            assert_eq!(net.other().other(), net);
+            assert_ne!(net.other(), net);
+        }
+    }
+
+    #[test]
+    fn net_idx_roundtrip() {
+        for net in NetId::ALL {
+            assert_eq!(NetId::from_idx(net.idx()), net);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_net_idx_panics() {
+        let _ = NetId::from_idx(2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(NetId::A.to_string(), "netA");
+        assert_eq!(FlowId(9).to_string(), "flow9");
+    }
+}

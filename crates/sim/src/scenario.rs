@@ -1,0 +1,172 @@
+//! Cluster scenario configuration.
+//!
+//! Defaults model the paper's deployment: a 100 Mb/s shared-medium network
+//! pair, 74-byte ICMP echo frames (64-byte ICMP payload in an Ethernet
+//! frame), and a TCP-like transport whose first retransmission fires after
+//! one second.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Reliable-transport tuning (the stand-in for TCP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportConfig {
+    /// First retransmission timeout.
+    pub initial_rto: SimDuration,
+    /// RTO multiplier per retry (TCP-style exponential backoff).
+    pub backoff_factor: u32,
+    /// Retransmissions before the transport gives up.
+    pub max_retries: u32,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            initial_rto: SimDuration::from_secs(1),
+            backoff_factor: 2,
+            max_retries: 6,
+        }
+    }
+}
+
+/// Full description of a simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of server hosts.
+    pub n: usize,
+    /// Data rate of each of the two shared segments, bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay across a segment.
+    pub propagation: SimDuration,
+    /// On-wire size of an ICMP echo request/reply frame.
+    pub icmp_wire_bytes: u32,
+    /// On-wire size of a routing-daemon control frame (beyond any
+    /// protocol-specified extra payload).
+    pub control_wire_bytes: u32,
+    /// Per-frame header overhead added to application payloads.
+    pub data_header_bytes: u32,
+    /// Initial TTL on data segments (routing-loop backstop).
+    pub ttl: u8,
+    /// Transport tuning.
+    pub transport: TransportConfig,
+    /// Probability that any individual frame is corrupted on the wire
+    /// (applied per receiver). Healthy switched LANs sit at ~0; flaky
+    /// cabling — the kind of fault the deployment study logs — can reach
+    /// percents. Corrupted frames still consume bandwidth.
+    pub frame_loss_rate: f64,
+    /// Master seed; all in-world randomness derives from it.
+    pub seed: u64,
+}
+
+impl ClusterSpec {
+    /// A paper-faithful cluster of `n` hosts: two 100 Mb/s segments, 5 µs
+    /// propagation, 74-byte probes.
+    ///
+    /// # Panics
+    /// Panics if `n < 2` (experiments need at least one pair).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "a cluster needs at least two hosts");
+        ClusterSpec {
+            n,
+            bandwidth_bps: 100_000_000,
+            propagation: SimDuration::from_micros(5),
+            icmp_wire_bytes: 74,
+            control_wire_bytes: 96,
+            data_header_bytes: 58,
+            ttl: 8,
+            transport: TransportConfig::default(),
+            frame_loss_rate: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the segment data rate.
+    #[must_use]
+    pub fn bandwidth_bps(mut self, bps: u64) -> Self {
+        assert!(bps > 0, "bandwidth must be positive");
+        self.bandwidth_bps = bps;
+        self
+    }
+
+    /// Sets the propagation delay.
+    #[must_use]
+    pub fn propagation(mut self, d: SimDuration) -> Self {
+        self.propagation = d;
+        self
+    }
+
+    /// Sets the transport tuning.
+    #[must_use]
+    pub fn transport(mut self, t: TransportConfig) -> Self {
+        self.transport = t;
+        self
+    }
+
+    /// Sets the per-receiver frame corruption probability.
+    #[must_use]
+    pub fn frame_loss_rate(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "loss rate must be in [0, 1)");
+        self.frame_loss_rate = p;
+        self
+    }
+
+    /// Sets the data-segment TTL.
+    #[must_use]
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        assert!(ttl >= 1, "ttl must allow at least one hop");
+        self.ttl = ttl;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_network() {
+        let s = ClusterSpec::new(8);
+        assert_eq!(s.bandwidth_bps, 100_000_000);
+        assert_eq!(s.icmp_wire_bytes, 74);
+        assert_eq!(s.transport.initial_rto, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn builder_chains() {
+        let s = ClusterSpec::new(4)
+            .seed(9)
+            .bandwidth_bps(10_000_000)
+            .ttl(3)
+            .propagation(SimDuration::from_micros(1));
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.bandwidth_bps, 10_000_000);
+        assert_eq!(s.ttl, 3);
+    }
+
+    #[test]
+    fn loss_rate_builder() {
+        let s = ClusterSpec::new(3).frame_loss_rate(0.01);
+        assert_eq!(s.frame_loss_rate, 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate must be in")]
+    fn silly_loss_rate_rejected() {
+        let _ = ClusterSpec::new(3).frame_loss_rate(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two hosts")]
+    fn tiny_cluster_rejected() {
+        let _ = ClusterSpec::new(1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Measurement plumbing: latency histograms and per-host counters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// A log₂-bucketed latency histogram over nanosecond durations.
+///
+/// Bucket `i` covers durations `d` with `floor(log2(d)) == i` (bucket 0
+/// additionally holds zero). 64 buckets cover the entire `u64` range, so
+/// recording never saturates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; 64],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        let bucket = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded durations, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(SimDuration((self.sum_ns / self.count as u128) as u64))
+        }
+    }
+
+    /// Smallest recorded duration, or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<SimDuration> {
+        (self.count > 0).then_some(SimDuration(self.min_ns))
+    }
+
+    /// Largest recorded duration, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<SimDuration> {
+        (self.count > 0).then_some(SimDuration(self.max_ns))
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (0 ≤ q ≤ 1),
+    /// or `None` if empty. Log₂ buckets make this accurate to a factor of
+    /// two — enough to distinguish "sub-second failover" from "three-minute
+    /// timeout".
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<SimDuration> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return Some(SimDuration(upper));
+            }
+        }
+        Some(SimDuration(self.max_ns))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// Per-host event counters maintained by the simulator core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostCounters {
+    /// Echo requests this host answered.
+    pub echo_answered: u64,
+    /// Echo requests this host transmitted.
+    pub echo_sent: u64,
+    /// Control messages transmitted.
+    pub control_sent: u64,
+    /// Control messages received.
+    pub control_received: u64,
+    /// Data frames forwarded on behalf of other hosts (gateway work).
+    pub forwarded: u64,
+    /// Data frames dropped for lack of a route.
+    pub dropped_no_route: u64,
+    /// Data frames dropped because the TTL expired (would-be loop).
+    pub dropped_ttl: u64,
+    /// Frames that could not be transmitted because the local NIC was down.
+    pub tx_nic_down: u64,
+    /// Inbound frames lost to wire corruption (random frame loss or a
+    /// degraded link on either end).
+    pub rx_corrupt: u64,
+}
+
+/// Cluster-wide application-level statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AppStats {
+    /// Application messages handed to the transport.
+    pub sent: u64,
+    /// Messages acknowledged end-to-end.
+    pub delivered: u64,
+    /// Retransmissions performed by the transport.
+    pub retransmits: u64,
+    /// Messages abandoned after the retry budget.
+    pub gave_up: u64,
+    /// Messages that failed instantly for lack of any route.
+    pub no_route: u64,
+    /// End-to-end latency of delivered messages (first send → ack).
+    pub latency: LatencyHistogram,
+}
+
+impl AppStats {
+    /// Delivered fraction of sent messages (1.0 when nothing was sent).
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = LatencyHistogram::new();
+        for ms in [1u64, 2, 3, 4] {
+            h.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), Some(SimDuration::from_micros(2500)));
+        assert_eq!(h.min(), Some(SimDuration::from_millis(1)));
+        assert_eq!(h.max(), Some(SimDuration::from_millis(4)));
+    }
+
+    #[test]
+    fn empty_histogram_returns_none() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.quantile_upper_bound(0.5), None);
+    }
+
+    #[test]
+    fn zero_duration_recordable() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn quantile_bounds_sample() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(SimDuration::from_millis(1));
+        }
+        h.record(SimDuration::from_secs(100));
+        let median = h.quantile_upper_bound(0.5).unwrap();
+        assert!(median < SimDuration::from_millis(3), "{median}");
+        let p100 = h.quantile_upper_bound(1.0).unwrap();
+        assert!(p100 >= SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        a.record(SimDuration::from_millis(1));
+        let mut b = LatencyHistogram::new();
+        b.record(SimDuration::from_secs(1));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Some(SimDuration::from_secs(1)));
+        assert_eq!(a.min(), Some(SimDuration::from_millis(1)));
+    }
+
+    #[test]
+    fn delivery_ratio_edge_cases() {
+        let mut s = AppStats::default();
+        assert_eq!(s.delivery_ratio(), 1.0);
+        s.sent = 4;
+        s.delivered = 3;
+        assert_eq!(s.delivery_ratio(), 0.75);
+    }
+}

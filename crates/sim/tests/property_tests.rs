@@ -1,0 +1,164 @@
+//! Property-based tests for the simulator substrate: medium timing
+//! invariants, histogram correctness, workload structure, transport
+//! arithmetic, and whole-world conservation laws under random scenarios.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use drs_sim::app::Workload;
+use drs_sim::fault::{component_to_index, index_to_component, FaultPlan};
+use drs_sim::ids::{NetId, NodeId};
+use drs_sim::medium::{SharedMedium, TrafficClass};
+use drs_sim::scenario::{ClusterSpec, TransportConfig};
+use drs_sim::stats::LatencyHistogram;
+use drs_sim::time::{SimDuration, SimTime};
+use drs_sim::transport::{max_flow_lifetime, rto_for_attempt};
+use drs_sim::world::{Protocol, World};
+
+struct Idle;
+impl Protocol for Idle {
+    type Msg = ();
+}
+
+proptest! {
+    /// Frames on a shared medium never arrive out of admission order, and
+    /// each arrival respects serialization + propagation lower bounds.
+    #[test]
+    fn medium_is_fifo_and_causal(
+        sizes in proptest::collection::vec(1u32..2000, 1..40),
+        gaps in proptest::collection::vec(0u64..200_000, 1..40),
+    ) {
+        let mut m = SharedMedium::new(NetId::A, 100_000_000, SimDuration::from_micros(5));
+        let mut now = SimTime::ZERO;
+        let mut last_arrival = SimTime::ZERO;
+        for (size, gap) in sizes.iter().zip(&gaps) {
+            now += SimDuration::from_nanos(*gap);
+            let arrive = m.admit(now, *size, TrafficClass::Data).unwrap();
+            prop_assert!(arrive >= last_arrival, "FIFO violated");
+            let min = now + m.serialization(*size) + SimDuration::from_micros(5);
+            prop_assert!(arrive >= min, "faster than physics");
+            last_arrival = arrive;
+        }
+    }
+
+    /// Medium busy time equals the sum of serialization times.
+    #[test]
+    fn medium_busy_accounting(sizes in proptest::collection::vec(1u32..5000, 0..50)) {
+        let mut m = SharedMedium::new(NetId::B, 10_000_000, SimDuration::ZERO);
+        let mut expected = SimDuration::ZERO;
+        for s in &sizes {
+            expected = expected + m.serialization(*s);
+            let _ = m.admit(SimTime::ZERO, *s, TrafficClass::Control);
+        }
+        prop_assert_eq!(m.stats.busy, expected);
+        prop_assert_eq!(m.stats.frames, sizes.len() as u64);
+    }
+
+    /// The histogram's mean/min/max always agree with a direct fold, and
+    /// quantile bounds bracket correctly.
+    #[test]
+    fn histogram_agrees_with_direct_fold(ns in proptest::collection::vec(0u64..10_000_000_000, 1..200)) {
+        let mut h = LatencyHistogram::new();
+        for &x in &ns {
+            h.record(SimDuration::from_nanos(x));
+        }
+        prop_assert_eq!(h.count(), ns.len() as u64);
+        prop_assert_eq!(h.min().unwrap().as_nanos(), *ns.iter().min().unwrap());
+        prop_assert_eq!(h.max().unwrap().as_nanos(), *ns.iter().max().unwrap());
+        let mean = ns.iter().map(|&x| x as u128).sum::<u128>() / ns.len() as u128;
+        prop_assert_eq!(h.mean().unwrap().as_nanos() as u128, mean);
+        let median_bound = h.quantile_upper_bound(0.5).unwrap().as_nanos();
+        let mut sorted = ns.clone();
+        sorted.sort_unstable();
+        let true_median = sorted[(sorted.len() - 1) / 2];
+        prop_assert!(median_bound >= true_median, "{median_bound} < {true_median}");
+    }
+
+    /// RTO backoff is monotone and max_flow_lifetime really bounds the sum.
+    #[test]
+    fn transport_timing_identities(initial_ms in 1u64..5_000, factor in 1u32..5, retries in 0u32..10) {
+        let cfg = TransportConfig {
+            initial_rto: SimDuration::from_millis(initial_ms),
+            backoff_factor: factor,
+            max_retries: retries,
+        };
+        let mut sum = SimDuration::ZERO;
+        let mut prev = SimDuration::ZERO;
+        for attempt in 1..=retries + 1 {
+            let rto = rto_for_attempt(&cfg, attempt);
+            prop_assert!(rto >= prev);
+            prev = rto;
+            sum = sum + rto;
+        }
+        prop_assert_eq!(sum, max_flow_lifetime(&cfg));
+    }
+
+    /// Random workloads: all messages in window, no self-sends, sorted.
+    #[test]
+    fn workload_structure(n in 2usize..30, count in 0usize..300, seed in any::<u64>()) {
+        let span = SimDuration::from_secs(5);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let w = Workload::uniform_random(n, SimTime(1000), span, count, 64, &mut rng);
+        prop_assert_eq!(w.len(), count);
+        for m in w.messages() {
+            prop_assert!(m.src != m.dst);
+            prop_assert!(m.src.idx() < n && m.dst.idx() < n);
+            prop_assert!(m.at >= SimTime(1000));
+            prop_assert!(m.at < SimTime(1000) + span);
+        }
+        prop_assert!(w.messages().windows(2).all(|p| p[0].at <= p[1].at));
+    }
+
+    /// Fault component indexing is bijective for every cluster size.
+    #[test]
+    fn fault_index_bijection(n in 1usize..200) {
+        for idx in 0..2 * n + 2 {
+            prop_assert_eq!(component_to_index(index_to_component(idx, n), n), idx);
+        }
+    }
+
+    /// Conservation under random healthy-cluster traffic: every message
+    /// is delivered exactly once, no retransmits, no drops, and both
+    /// networks carry only what the route tables send there.
+    #[test]
+    fn healthy_world_conserves_messages(n in 2usize..10, count in 1usize..60, seed in any::<u64>()) {
+        let spec = ClusterSpec::new(n).seed(seed);
+        let mut w = World::new(spec, |_| Idle);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let wl = Workload::uniform_random(n, SimTime::ZERO, SimDuration::from_secs(2), count, 128, &mut rng);
+        w.schedule_workload(&wl);
+        w.run_for(SimDuration::from_secs(10));
+        prop_assert_eq!(w.app_stats().sent, count as u64);
+        prop_assert_eq!(w.app_stats().delivered, count as u64);
+        prop_assert_eq!(w.app_stats().retransmits, 0);
+        prop_assert_eq!(w.app_stats().gave_up, 0);
+        prop_assert_eq!(w.medium(NetId::B).stats.frames, 0, "default routes are net A");
+        prop_assert_eq!(w.flows_in_flight(), 0);
+    }
+
+    /// Whatever faults strike, flows always terminate: delivered+gave_up
+    /// accounts for every sent message once the horizon passes.
+    #[test]
+    fn flows_always_terminate(n in 2usize..8, f in 0usize..6, seed in any::<u64>()) {
+        let f = f.min(2 * n + 2);
+        let transport = TransportConfig {
+            initial_rto: SimDuration::from_millis(50),
+            backoff_factor: 2,
+            max_retries: 4,
+        };
+        let spec = ClusterSpec::new(n).seed(seed).transport(transport);
+        let mut w = World::new(spec, |_| Idle);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (plan, _) = FaultPlan::random_simultaneous(SimTime(1000), n, f, &mut rng);
+        w.schedule_faults(plan);
+        for i in 0..n as u32 {
+            let dst = NodeId((i + 1) % n as u32);
+            w.send_app(SimTime(2000), NodeId(i), dst, 64);
+        }
+        w.run_for(SimDuration::from_secs(30));
+        let s = w.app_stats();
+        prop_assert_eq!(s.delivered + s.gave_up, s.sent);
+        prop_assert_eq!(w.flows_in_flight(), 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! The study pipeline: classify traces, replicate the 13 % statistic, and
+//! estimate how many network failures DRS masks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fleet::{generate_trace, FailureRecord, FleetSpec};
+
+/// Network-related share of the failures in one trace (`None` for an
+/// empty trace — no failures, nothing to classify).
+#[must_use]
+pub fn network_fraction(trace: &[FailureRecord]) -> Option<f64> {
+    if trace.is_empty() {
+        return None;
+    }
+    let net = trace.iter().filter(|r| r.is_network()).count();
+    Some(net as f64 / trace.len() as f64)
+}
+
+/// Summary of the statistic over many independent replications.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StudySummary {
+    /// Replications run.
+    pub replications: usize,
+    /// Mean failures observed per replication.
+    pub mean_failures: f64,
+    /// Mean network fraction.
+    pub mean_network_fraction: f64,
+    /// Sample standard deviation of the network fraction.
+    pub std_network_fraction: f64,
+    /// Smallest observed fraction.
+    pub min_fraction: f64,
+    /// Largest observed fraction.
+    pub max_fraction: f64,
+}
+
+/// Replicates the paper's one-year study over `replications` independent
+/// seeds derived from `seed`.
+///
+/// # Panics
+/// Panics if `replications == 0`.
+#[must_use]
+pub fn replicate_study(spec: &FleetSpec, replications: usize, seed: u64) -> StudySummary {
+    assert!(replications > 0, "need at least one replication");
+    let mut fractions = Vec::with_capacity(replications);
+    let mut total_failures = 0usize;
+    for i in 0..replications {
+        let trace = generate_trace(spec, seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9));
+        total_failures += trace.len();
+        if let Some(f) = network_fraction(&trace) {
+            fractions.push(f);
+        }
+    }
+    let n = fractions.len() as f64;
+    let mean = fractions.iter().sum::<f64>() / n;
+    let var = fractions.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / (n - 1.0).max(1.0);
+    StudySummary {
+        replications,
+        mean_failures: total_failures as f64 / replications as f64,
+        mean_network_fraction: mean,
+        std_network_fraction: var.sqrt(),
+        min_fraction: fractions.iter().cloned().fold(f64::INFINITY, f64::min),
+        max_fraction: fractions.iter().cloned().fold(0.0, f64::max),
+    }
+}
+
+/// How DRS changes the *application impact* of the network failures in a
+/// trace.
+///
+/// Without DRS, every network failure interrupts server-to-server
+/// communication until repaired. With DRS, a network failure is masked
+/// (survivable via the redundant network or a gateway) unless another
+/// network failure in the **same cluster** overlaps it in time in a
+/// disconnecting combination; as a conservative bound we count any
+/// same-cluster overlap as unmasked.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MaskingReport {
+    /// Network failures in the trace.
+    pub network_failures: usize,
+    /// Failures DRS masks (no overlapping same-cluster network fault).
+    pub masked: usize,
+    /// Conservative count of potentially service-affecting failures.
+    pub unmasked: usize,
+}
+
+impl MaskingReport {
+    /// Fraction of network failures DRS hides from applications.
+    #[must_use]
+    pub fn masked_fraction(&self) -> f64 {
+        if self.network_failures == 0 {
+            1.0
+        } else {
+            self.masked as f64 / self.network_failures as f64
+        }
+    }
+}
+
+/// Computes the masking report for a trace, assuming each failure takes
+/// `mttr_days` to repair.
+#[must_use]
+pub fn masking_analysis(trace: &[FailureRecord], mttr_days: f64) -> MaskingReport {
+    assert!(mttr_days >= 0.0);
+    let net: Vec<&FailureRecord> = trace.iter().filter(|r| r.is_network()).collect();
+    let mut masked = 0usize;
+    for (i, r) in net.iter().enumerate() {
+        let overlaps = net.iter().enumerate().any(|(j, other)| {
+            i != j
+                && other.cluster == r.cluster
+                && other.at_days < r.at_days + mttr_days
+                && r.at_days < other.at_days + mttr_days
+        });
+        if !overlaps {
+            masked += 1;
+        }
+    }
+    MaskingReport {
+        network_failures: net.len(),
+        masked,
+        unmasked: net.len() - masked,
+    }
+}
+
+/// Availability impact: what fraction of cluster downtime the masked
+/// network failures would have caused, and the resulting availability
+/// with and without DRS.
+///
+/// Model: every *unmasked-by-anything* failure (non-network failures are
+/// never masked; network failures are masked per [`masking_analysis`])
+/// takes the affected cluster's service down for `mttr_days`. Downtime is
+/// attributed per cluster and averaged over the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityReport {
+    /// Mean per-cluster availability without DRS (network failures all
+    /// cause outage).
+    pub availability_without: f64,
+    /// Mean per-cluster availability with DRS (masked network failures
+    /// cause none).
+    pub availability_with: f64,
+    /// Network-caused downtime eliminated, in cluster-days per year
+    /// across the fleet.
+    pub downtime_saved_days: f64,
+}
+
+/// Computes the availability gain DRS provides on a trace.
+///
+/// Only network failures are considered maskable; every failure (masked
+/// or not) still needs `mttr_days` of field service — DRS changes
+/// *service* downtime, not repair effort.
+#[must_use]
+pub fn availability_gain(
+    trace: &[FailureRecord],
+    clusters: usize,
+    duration_days: f64,
+    mttr_days: f64,
+) -> AvailabilityReport {
+    assert!(clusters > 0 && duration_days > 0.0 && mttr_days >= 0.0);
+    let masking = masking_analysis(trace, mttr_days);
+    let network_downtime_all = masking.network_failures as f64 * mttr_days;
+    let network_downtime_unmasked = masking.unmasked as f64 * mttr_days;
+    // Non-network failures affect only the one server, not cluster-wide
+    // connectivity; the paper's survivability concern is the network, so
+    // the availability deltas here are network-attributable downtime.
+    let total_cluster_days = clusters as f64 * duration_days;
+    AvailabilityReport {
+        availability_without: 1.0 - network_downtime_all / total_cluster_days,
+        availability_with: 1.0 - network_downtime_unmasked / total_cluster_days,
+        downtime_saved_days: network_downtime_all - network_downtime_unmasked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::ComponentClass;
+
+    fn rec(at_days: f64, cluster: usize, class: ComponentClass) -> FailureRecord {
+        FailureRecord {
+            at_days,
+            cluster,
+            server: Some(0),
+            class,
+        }
+    }
+
+    #[test]
+    fn fraction_of_empty_trace_is_none() {
+        assert_eq!(network_fraction(&[]), None);
+    }
+
+    #[test]
+    fn fraction_counts_network_classes() {
+        let trace = vec![
+            rec(1.0, 0, ComponentClass::Nic),
+            rec(2.0, 0, ComponentClass::Disk),
+            rec(3.0, 0, ComponentClass::Disk),
+            rec(4.0, 0, ComponentClass::Hub),
+        ];
+        assert_eq!(network_fraction(&trace), Some(0.5));
+    }
+
+    #[test]
+    fn replicated_study_reproduces_thirteen_percent() {
+        let spec = FleetSpec::hundred_servers_one_year();
+        let s = replicate_study(&spec, 400, 2026);
+        assert!(
+            (s.mean_network_fraction - 0.13).abs() < 0.02,
+            "mean fraction {:.4}",
+            s.mean_network_fraction
+        );
+        // Small samples (≈15 failures/replication) spread widely — the
+        // reason a single-year field number like "13%" carries noise.
+        assert!(s.std_network_fraction > 0.03);
+        assert!(s.mean_failures > 5.0 && s.mean_failures < 40.0);
+    }
+
+    #[test]
+    fn masking_isolated_failures_all_masked() {
+        let trace = vec![
+            rec(10.0, 0, ComponentClass::Nic),
+            rec(100.0, 0, ComponentClass::Hub),
+            rec(10.0, 1, ComponentClass::Cable), // other cluster, same day
+        ];
+        let r = masking_analysis(&trace, 1.0);
+        assert_eq!(r.network_failures, 3);
+        assert_eq!(r.masked, 3);
+        assert_eq!(r.masked_fraction(), 1.0);
+    }
+
+    #[test]
+    fn masking_overlap_in_same_cluster_unmasks() {
+        let trace = vec![
+            rec(10.0, 0, ComponentClass::Nic),
+            rec(10.3, 0, ComponentClass::Hub), // overlaps within 1-day MTTR
+        ];
+        let r = masking_analysis(&trace, 1.0);
+        assert_eq!(r.unmasked, 2);
+        assert_eq!(r.masked_fraction(), 0.0);
+    }
+
+    #[test]
+    fn masking_ignores_non_network_overlap() {
+        let trace = vec![
+            rec(10.0, 0, ComponentClass::Nic),
+            rec(10.1, 0, ComponentClass::Disk),
+        ];
+        let r = masking_analysis(&trace, 1.0);
+        assert_eq!(r.network_failures, 1);
+        assert_eq!(r.masked, 1);
+    }
+
+    #[test]
+    fn deployment_scale_masking_is_high() {
+        // With ~15 network failures/year spread over 27 clusters and a
+        // 4-hour MTTR, same-cluster overlap is vanishingly rare.
+        let spec = FleetSpec::mci_deployment();
+        let trace = generate_trace(&spec, 7);
+        let r = masking_analysis(&trace, 4.0 / 24.0);
+        assert!(
+            r.masked_fraction() > 0.95,
+            "masked {:.3} of {} failures",
+            r.masked_fraction(),
+            r.network_failures
+        );
+    }
+
+    #[test]
+    fn empty_trace_masking_is_total() {
+        let r = masking_analysis(&[], 1.0);
+        assert_eq!(r.masked_fraction(), 1.0);
+    }
+
+    #[test]
+    fn availability_gain_bounds_and_ordering() {
+        let spec = FleetSpec::mci_deployment();
+        let trace = generate_trace(&spec, 3);
+        let r = availability_gain(&trace, spec.clusters, spec.duration_days, 4.0 / 24.0);
+        assert!(r.availability_with >= r.availability_without);
+        assert!((0.0..=1.0).contains(&r.availability_without));
+        assert!((0.0..=1.0).contains(&r.availability_with));
+        assert!(r.downtime_saved_days >= 0.0);
+    }
+
+    #[test]
+    fn availability_gain_all_masked_means_full_network_nines() {
+        // Two isolated network failures, 1-day MTTR, one cluster-year.
+        let trace = vec![
+            rec(10.0, 0, ComponentClass::Nic),
+            rec(200.0, 0, ComponentClass::Hub),
+        ];
+        let r = availability_gain(&trace, 1, 365.0, 1.0);
+        assert!((r.availability_without - (1.0 - 2.0 / 365.0)).abs() < 1e-12);
+        assert_eq!(r.availability_with, 1.0);
+        assert!((r.downtime_saved_days - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn availability_gain_unmasked_overlap_still_counts() {
+        let trace = vec![
+            rec(10.0, 0, ComponentClass::Nic),
+            rec(10.2, 0, ComponentClass::Nic), // overlapping: unmasked
+        ];
+        let r = availability_gain(&trace, 1, 365.0, 1.0);
+        assert_eq!(r.downtime_saved_days, 0.0);
+        assert_eq!(r.availability_with, r.availability_without);
+    }
+}

@@ -1,0 +1,66 @@
+//! Protocol shootout: the same failure, four routing strategies, one
+//! table — the paper's proactive-vs-reactive argument as a runnable demo.
+//!
+//! Run: `cargo run --release --example protocol_shootout`
+
+use drs::baselines::compare::{run_scenario, ProtocolLabel, ScenarioSpec};
+use drs::baselines::ospf::{OspfConfig, OspfDaemon};
+use drs::baselines::reactive::{ReactiveConfig, ReactiveDaemon};
+use drs::baselines::rip::{RipConfig, RipDaemon};
+use drs::baselines::static_route::StaticRouting;
+use drs::core::{DrsConfig, DrsDaemon};
+use drs::sim::fault::SimComponent;
+use drs::sim::{NetId, NodeId, SimDuration};
+
+fn main() {
+    println!("one failure, four routing strategies");
+    println!("(10 hosts; host 1 loses its primary NIC; 40 probe messages at 4/s)");
+    println!();
+
+    let n = 10;
+    let spec = ScenarioSpec::standard(n, 99, vec![SimComponent::Nic(NodeId(1), NetId::A)]);
+
+    let drs_cfg = DrsConfig::default()
+        .probe_timeout(SimDuration::from_millis(100))
+        .probe_interval(SimDuration::from_millis(500));
+    let results = vec![
+        run_scenario(ProtocolLabel::Drs, &spec, |id| {
+            DrsDaemon::new(id, n, drs_cfg)
+        }),
+        run_scenario(ProtocolLabel::Reactive, &spec, |id| {
+            ReactiveDaemon::new(id, ReactiveConfig::default())
+        }),
+        run_scenario(ProtocolLabel::Ospf, &spec, |id| {
+            OspfDaemon::new(id, OspfConfig::default().scaled_down(10))
+        }),
+        run_scenario(ProtocolLabel::Rip, &spec, |id| {
+            RipDaemon::new(id, RipConfig::default().scaled_down(10))
+        }),
+        run_scenario(ProtocolLabel::Static, &spec, |_| StaticRouting),
+    ];
+
+    println!(
+        "{:<22} {:>10} {:>12} {:>8} {:>12}",
+        "protocol", "delivered", "retransmits", "lost", "outage"
+    );
+    for r in &results {
+        println!(
+            "{:<22} {:>7}/{:<3} {:>12} {:>8} {:>12}",
+            r.label.to_string(),
+            r.delivered,
+            r.sent,
+            r.retransmits,
+            r.gave_up,
+            r.outage.map_or("never".to_string(), |d| d.to_string()),
+        );
+    }
+
+    println!();
+    let drs_outage = results[0].outage.expect("DRS stabilizes");
+    let rip_outage = results[3].outage.expect("RIP stabilizes");
+    println!(
+        "DRS restored prompt service {:.0}x faster than the RIP-style baseline",
+        rip_outage.as_secs_f64() / drs_outage.as_secs_f64().max(1e-9)
+    );
+    println!("(and the static cluster never came back at all).");
+}

@@ -1,0 +1,17 @@
+//! # drs — reproduction of the DRS network-survivability study
+//!
+//! Facade crate re-exporting the whole workspace: the Dynamic Routing
+//! System protocol ([`core`]), the discrete-event cluster simulator it
+//! runs on ([`sim`]), the survivability mathematics ([`analytic`]), the
+//! reactive baselines ([`baselines`]), the proactive-cost model
+//! ([`cost`]), and the deployment failure-trace study ([`trace`]).
+//!
+//! See the repository README for a guided tour and `DESIGN.md` for the
+//! paper-to-module map.
+
+pub use drs_analytic as analytic;
+pub use drs_baselines as baselines;
+pub use drs_core as core;
+pub use drs_cost as cost;
+pub use drs_sim as sim;
+pub use drs_trace as trace;

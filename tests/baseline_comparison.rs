@@ -1,0 +1,138 @@
+//! Integration: the proactive-vs-reactive ordering holds across failure
+//! types and seeds, with every protocol running on identical clusters.
+
+use drs::baselines::compare::{run_scenario, ProtocolLabel, ScenarioSpec};
+use drs::baselines::ospf::{OspfConfig, OspfDaemon};
+use drs::baselines::reactive::{ReactiveConfig, ReactiveDaemon};
+use drs::baselines::rip::{RipConfig, RipDaemon};
+use drs::baselines::static_route::StaticRouting;
+use drs::core::{DrsConfig, DrsDaemon};
+use drs::sim::fault::SimComponent;
+use drs::sim::{NetId, NodeId, SimDuration};
+
+fn drs_cfg() -> DrsConfig {
+    DrsConfig::default()
+        .probe_timeout(SimDuration::from_millis(50))
+        .probe_interval(SimDuration::from_millis(250))
+}
+
+fn scenarios(n: usize, seed: u64) -> Vec<(&'static str, ScenarioSpec)> {
+    vec![
+        (
+            "hub",
+            ScenarioSpec::standard(n, seed, vec![SimComponent::Hub(NetId::A)]),
+        ),
+        (
+            "nic",
+            ScenarioSpec::standard(n, seed, vec![SimComponent::Nic(NodeId(1), NetId::A)]),
+        ),
+        (
+            "crossed",
+            ScenarioSpec::standard(
+                n,
+                seed,
+                vec![
+                    SimComponent::Nic(NodeId(0), NetId::B),
+                    SimComponent::Nic(NodeId(1), NetId::A),
+                ],
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn ordering_holds_across_failure_types_and_seeds() {
+    let n = 8;
+    for seed in [11u64, 22, 33] {
+        for (name, spec) in scenarios(n, seed) {
+            let drs = run_scenario(ProtocolLabel::Drs, &spec, |id| {
+                DrsDaemon::new(id, n, drs_cfg())
+            });
+            let reactive = run_scenario(ProtocolLabel::Reactive, &spec, |id| {
+                ReactiveDaemon::new(id, ReactiveConfig::default())
+            });
+            let ospf = run_scenario(ProtocolLabel::Ospf, &spec, |id| {
+                OspfDaemon::new(id, OspfConfig::default().scaled_down(10))
+            });
+            let rip = run_scenario(ProtocolLabel::Rip, &spec, |id| {
+                RipDaemon::new(id, RipConfig::default().scaled_down(10))
+            });
+
+            let d = drs
+                .outage
+                .unwrap_or_else(|| panic!("{name}/{seed}: DRS never stabilized"));
+            let re = reactive
+                .outage
+                .unwrap_or_else(|| panic!("{name}/{seed}: reactive never stabilized"));
+            let os = ospf
+                .outage
+                .unwrap_or_else(|| panic!("{name}/{seed}: OSPF never stabilized"));
+            let ri = rip
+                .outage
+                .unwrap_or_else(|| panic!("{name}/{seed}: RIP never stabilized"));
+            assert!(d < re, "{name}/{seed}: DRS {d} !< reactive {re}");
+            assert!(re < os, "{name}/{seed}: reactive {re} !< OSPF {os}");
+            assert!(os < ri, "{name}/{seed}: OSPF {os} !< RIP {ri}");
+            assert_eq!(drs.delivered, drs.sent, "{name}/{seed}: DRS lost messages");
+        }
+    }
+}
+
+#[test]
+fn static_routing_loses_everything_on_the_primary_path() {
+    let n = 6;
+    let spec = ScenarioSpec::standard(n, 5, vec![SimComponent::Hub(NetId::A)]);
+    let r = run_scenario(ProtocolLabel::Static, &spec, |_| StaticRouting);
+    assert_eq!(r.delivered, 0);
+    assert_eq!(r.gave_up, r.sent);
+    assert_eq!(r.outage, None);
+}
+
+#[test]
+fn all_protocols_equivalent_on_a_healthy_cluster() {
+    // With no faults, every protocol delivers everything promptly.
+    let n = 6;
+    let spec = ScenarioSpec::standard(n, 9, vec![]);
+    let results = vec![
+        run_scenario(ProtocolLabel::Drs, &spec, |id| {
+            DrsDaemon::new(id, n, drs_cfg())
+        }),
+        run_scenario(ProtocolLabel::Reactive, &spec, |id| {
+            ReactiveDaemon::new(id, ReactiveConfig::default())
+        }),
+        run_scenario(ProtocolLabel::Rip, &spec, |id| {
+            RipDaemon::new(id, RipConfig::default().scaled_down(10))
+        }),
+        run_scenario(ProtocolLabel::Static, &spec, |_| StaticRouting),
+    ];
+    for r in results {
+        assert_eq!(r.delivered, r.sent, "{}", r.label);
+        assert_eq!(r.gave_up, 0, "{}", r.label);
+        assert_eq!(
+            r.outage,
+            Some(SimDuration::ZERO),
+            "{}: healthy cluster has zero outage",
+            r.label
+        );
+    }
+}
+
+#[test]
+fn rip_outage_scales_with_its_timers() {
+    // Compress RIP 10:1 vs 30:1: the outage should shrink ~3x — evidence
+    // that RIP's recovery is its timeout, not incidental.
+    let n = 6;
+    let spec = ScenarioSpec::standard(n, 31, vec![SimComponent::Nic(NodeId(1), NetId::A)]);
+    let slow = run_scenario(ProtocolLabel::Rip, &spec, |id| {
+        RipDaemon::new(id, RipConfig::default().scaled_down(10))
+    });
+    let fast = run_scenario(ProtocolLabel::Rip, &spec, |id| {
+        RipDaemon::new(id, RipConfig::default().scaled_down(30))
+    });
+    let (s, f) = (slow.outage.unwrap(), fast.outage.unwrap());
+    let ratio = s.as_secs_f64() / f.as_secs_f64();
+    assert!(
+        (2.0..5.0).contains(&ratio),
+        "outage should scale ~3x with timers: {s} vs {f} (ratio {ratio:.2})"
+    );
+}

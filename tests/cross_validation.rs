@@ -1,0 +1,118 @@
+//! Cross-validation of the four independent survivability computations:
+//! Equation 1's closed form, exhaustive enumeration, the Monte-Carlo
+//! estimator, and the packet-level simulator running real DRS daemons.
+//! They share nothing but the component model, so agreement pins each
+//! one down.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use drs::analytic::connectivity::pair_connected;
+use drs::analytic::enumerate::{enumerate_pair_success, exhaustive_p_success};
+use drs::analytic::exact::{component_count, p_success, success_count};
+use drs::analytic::montecarlo::{sample_failure_set, MonteCarlo};
+use drs::core::{DrsConfig, DrsDaemon};
+use drs::sim::fault::{index_to_component, FaultPlan};
+use drs::sim::scenario::TransportConfig;
+use drs::sim::world::FlowOutcome;
+use drs::sim::{ClusterSpec, NodeId, SimDuration, SimTime, World};
+
+#[test]
+fn closed_form_equals_enumeration_everywhere_feasible() {
+    for n in 2..=8u64 {
+        for f in 0..=component_count(n).min(7) {
+            let (succ, total) = enumerate_pair_success(n as usize, f as usize);
+            assert_eq!(success_count(n, f), succ, "n={n} f={f}");
+            let p = succ as f64 / total as f64;
+            assert!((p_success(n, f) - p).abs() < 1e-12, "n={n} f={f}");
+        }
+    }
+}
+
+#[test]
+fn monte_carlo_converges_to_closed_form() {
+    for &(n, f) in &[(10usize, 2usize), (20, 4), (40, 6), (63, 10)] {
+        let est = MonteCarlo::new(n, f, 7).estimate_parallel(500_000);
+        let exact = p_success(n as u64, f as u64);
+        assert!(
+            (est.p_hat - exact).abs() < 6.0 * est.std_error.max(5e-5),
+            "n={n} f={f}: {} vs {exact} (se {})",
+            est.p_hat,
+            est.std_error
+        );
+    }
+}
+
+#[test]
+fn exhaustive_probability_matches_closed_form_smallest_cases() {
+    assert!((exhaustive_p_success(2, 2) - p_success(2, 2)).abs() < 1e-12);
+    assert!((exhaustive_p_success(3, 3) - p_success(3, 3)).abs() < 1e-12);
+}
+
+/// The decisive check: for random failure scenarios, message delivery on
+/// the packet-level simulator (with DRS daemons doing real detection,
+/// failover and gateway discovery) must match the combinatorial
+/// predicate **trial by trial** — not just in aggregate.
+#[test]
+fn packet_simulation_agrees_with_predicate_per_trial() {
+    let trials = 25u64;
+    for &(n, f) in &[(6usize, 2usize), (8, 3), (10, 4)] {
+        for t in 0..trials {
+            let seed = 0xC05 ^ ((n as u64) << 32) ^ ((f as u64) << 16) ^ t;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let failures = sample_failure_set(n, f, &mut rng);
+            let predicted = pair_connected(n, &failures, 0, 1);
+
+            let cfg = DrsConfig::default()
+                .probe_timeout(SimDuration::from_millis(50))
+                .probe_interval(SimDuration::from_millis(200));
+            let transport = TransportConfig {
+                initial_rto: SimDuration::from_millis(100),
+                backoff_factor: 2,
+                max_retries: 6,
+            };
+            let spec = ClusterSpec::new(n).seed(seed).transport(transport);
+            let mut world = World::new(spec, |id| DrsDaemon::new(id, n, cfg));
+            let mut plan = FaultPlan::new();
+            for idx in failures.iter() {
+                plan = plan.fail_at(SimTime(1_000_000_000), index_to_component(idx, n));
+            }
+            world.schedule_faults(plan);
+            world.run_for(SimDuration::from_secs(6));
+            let flow = world.send_app(world.now(), NodeId(0), NodeId(1), 256);
+            world.run_for(SimDuration::from_secs(20));
+            let delivered = matches!(world.flow_outcome(flow), Some(FlowOutcome::Delivered(_)));
+            assert_eq!(
+                delivered,
+                predicted,
+                "n={n} f={f} trial={t}: failures {:?}",
+                failures.iter().collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+/// The component index layouts of `drs-analytic` and `drs-sim` are two
+/// implementations of the same convention; they must never drift.
+#[test]
+fn component_index_conventions_agree() {
+    use drs::analytic::components::Component;
+    use drs::sim::fault::SimComponent;
+    use drs::sim::NetId;
+    let n = 9;
+    for idx in 0..2 * n + 2 {
+        let a = Component::from_index(idx, n);
+        let s = index_to_component(idx, n);
+        match (a, s) {
+            (Component::Backplane(an), SimComponent::Hub(sn)) => {
+                assert_eq!(an as usize, sn.idx(), "idx {idx}");
+            }
+            (Component::Nic { node, net }, SimComponent::Nic(snode, snet)) => {
+                assert_eq!(node, snode.0, "idx {idx}");
+                assert_eq!(net as usize, snet.idx(), "idx {idx}");
+            }
+            other => panic!("layout drift at idx {idx}: {other:?}"),
+        }
+        let _ = NetId::A;
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests (proptest) over the cross-crate invariants: the
+//! connectivity predicate's monotonicity, Equation 1's bounds, component
+//! index conventions, and simulator determinism under random scenarios.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use drs::analytic::components::FailureSet;
+use drs::analytic::connectivity::{all_pairs_connected, pair_connected};
+use drs::analytic::exact::{component_count, p_success};
+use drs::analytic::montecarlo::sample_failure_set;
+use drs::core::{DrsConfig, DrsDaemon};
+use drs::sim::fault::{component_to_index, index_to_component, FaultPlan};
+use drs::sim::{ClusterSpec, NodeId, SimDuration, SimTime, World};
+
+proptest! {
+    /// Removing a failure can never disconnect a connected pair
+    /// (the predicate is monotone in the failure set).
+    #[test]
+    fn predicate_is_monotone(n in 2usize..20, seed in any::<u64>(), f in 0usize..10) {
+        let m = 2 * n + 2;
+        let f = f.min(m);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let failures = sample_failure_set(n, f, &mut rng);
+        if !pair_connected(n, &failures, 0, 1) {
+            // adding any failure keeps it disconnected
+            for add in 0..m {
+                let mut worse = failures;
+                worse.insert(add);
+                prop_assert!(!pair_connected(n, &worse, 0, 1),
+                    "adding failure {add} reconnected the pair");
+            }
+        } else {
+            // removing any failure keeps it connected
+            for del in failures.iter().collect::<Vec<_>>() {
+                let mut better = failures;
+                better.remove(del);
+                prop_assert!(pair_connected(n, &better, 0, 1),
+                    "removing failure {del} disconnected the pair");
+            }
+        }
+    }
+
+    /// All-pairs connectivity implies every individual pair's connectivity.
+    #[test]
+    fn all_pairs_implies_each_pair(n in 2usize..12, seed in any::<u64>(), f in 0usize..8) {
+        let f = f.min(2 * n + 2);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let failures = sample_failure_set(n, f, &mut rng);
+        if all_pairs_connected(n, &failures) {
+            for s in 0..n {
+                for t in 0..n {
+                    if s != t {
+                        prop_assert!(pair_connected(n, &failures, s, t), "pair ({s},{t})");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The predicate is symmetric in the pair.
+    #[test]
+    fn predicate_is_symmetric(n in 2usize..16, seed in any::<u64>(), f in 0usize..10) {
+        let f = f.min(2 * n + 2);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let failures = sample_failure_set(n, f, &mut rng);
+        let s = (seed as usize) % n;
+        let mut t = (seed as usize / 7) % n;
+        if t == s { t = (t + 1) % n; }
+        prop_assert_eq!(
+            pair_connected(n, &failures, s, t),
+            pair_connected(n, &failures, t, s)
+        );
+    }
+
+    /// By node symmetry of the component model, relabelling the pair does
+    /// not change the *probability*; spot-check that the count over a
+    /// random failure set matches for pair (0,1) and a random pair when
+    /// the set is symmetrized trivially (pure sanity, cheap).
+    #[test]
+    fn equation1_bounds_and_edges(n in 2u64..80, f_raw in 0u64..20) {
+        let f = f_raw.min(component_count(n));
+        let p = p_success(n, f);
+        prop_assert!((0.0..=1.0).contains(&p));
+        if f == 0 || f == 1 {
+            prop_assert_eq!(p, 1.0);
+        }
+        if f == component_count(n) {
+            prop_assert_eq!(p, 0.0);
+        }
+        // More failures never help.
+        if f < component_count(n) {
+            prop_assert!(p_success(n, f + 1) <= p + 1e-12);
+        }
+    }
+
+    /// FailureSet insert/remove/iter behave like a set of indices.
+    #[test]
+    fn failure_set_is_a_set(mut indices in proptest::collection::vec(0usize..256, 0..40)) {
+        let set = FailureSet::from_indices(&indices);
+        indices.sort_unstable();
+        indices.dedup();
+        prop_assert_eq!(set.len(), indices.len());
+        let got: Vec<usize> = set.iter().collect();
+        prop_assert_eq!(got, indices);
+    }
+
+    /// Component index mapping is a bijection shared by both crates.
+    #[test]
+    fn component_indexing_roundtrips(n in 2usize..100, idx_raw in 0usize..202) {
+        let idx = idx_raw % (2 * n + 2);
+        prop_assert_eq!(component_to_index(index_to_component(idx, n), n), idx);
+    }
+
+    /// The full simulator (DRS included) is deterministic: identical
+    /// seeds give identical statistics, bit for bit.
+    #[test]
+    fn simulator_is_deterministic(seed in any::<u64>()) {
+        let run = || {
+            let n = 5;
+            let cfg = DrsConfig::default()
+                .probe_timeout(SimDuration::from_millis(50))
+                .probe_interval(SimDuration::from_millis(250));
+            let spec = ClusterSpec::new(n).seed(seed);
+            let mut w = World::new(spec, |id| DrsDaemon::new(id, n, cfg));
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let (plan, _) = FaultPlan::random_simultaneous(SimTime(500_000_000), n, 3, &mut rng);
+            w.schedule_faults(plan);
+            w.send_app(SimTime(1_000_000_000), NodeId(0), NodeId(1), 128);
+            w.run_for(SimDuration::from_secs(8));
+            (
+                w.app_stats().clone(),
+                w.medium(drs::sim::NetId::A).stats,
+                w.medium(drs::sim::NetId::B).stats,
+                w.protocol(NodeId(0)).metrics.events.clone(),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Under any random 2-failure scenario, DRS keeps every *connected*
+    /// pair deliverable (heavier: fewer cases).
+    #[test]
+    fn drs_delivers_whatever_the_model_says_is_deliverable(seed in any::<u64>()) {
+        let n = 6;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let failures = sample_failure_set(n, 2, &mut rng);
+        let cfg = DrsConfig::default()
+            .probe_timeout(SimDuration::from_millis(50))
+            .probe_interval(SimDuration::from_millis(200));
+        let transport = drs::sim::scenario::TransportConfig {
+            initial_rto: SimDuration::from_millis(100),
+            backoff_factor: 2,
+            max_retries: 6,
+        };
+        let spec = ClusterSpec::new(n).seed(seed).transport(transport);
+        let mut w = World::new(spec, |id| DrsDaemon::new(id, n, cfg));
+        let mut plan = FaultPlan::new();
+        for idx in failures.iter() {
+            plan = plan.fail_at(SimTime(1_000_000_000), index_to_component(idx, n));
+        }
+        w.schedule_faults(plan);
+        w.run_for(SimDuration::from_secs(5));
+        let flow = w.send_app(w.now(), NodeId(0), NodeId(1), 64);
+        w.run_for(SimDuration::from_secs(20));
+        let delivered = matches!(
+            w.flow_outcome(flow),
+            Some(drs::sim::world::FlowOutcome::Delivered(_))
+        );
+        prop_assert_eq!(delivered, pair_connected(n, &failures, 0, 1));
+    }
+}
