@@ -24,17 +24,13 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 
-use crate::binom::binom;
+use crate::binom::shared_table;
 use crate::connectivity::all_pairs_connected_state;
 use crate::exact::{component_count, p_success};
 use crate::montecarlo::sample_failure_state;
 
 fn c(n: i64, k: i64) -> u128 {
-    if n < 0 || k < 0 || k > n {
-        0
-    } else {
-        binom(n as u64, k as u64).expect("binomial overflow")
-    }
+    shared_table().c(n, k)
 }
 
 /// `F_all(N, f)`: the number of `f`-failure combinations after which
@@ -64,7 +60,9 @@ pub fn all_pairs_success_count(n: u64, f: u64) -> u128 {
 /// components (uniform over failure combinations).
 #[must_use]
 pub fn p_all_pairs(n: u64, f: u64) -> f64 {
-    let total = binom(component_count(n), f).expect("binomial overflow");
+    let total = shared_table()
+        .get(component_count(n), f)
+        .expect("binomial overflow");
     assert!(f <= component_count(n), "cannot fail {f} components");
     all_pairs_success_count(n, f) as f64 / total as f64
 }

@@ -6,6 +6,13 @@
 //! overflow detection. A log-space `f64` fallback covers arbitrarily large
 //! parameters (used by the threshold sweeps that probe N in the hundreds with
 //! large f).
+//!
+//! Hot callers (Equation 1, the orbit counter, combination unranking, the
+//! sweep engine) share a process-wide memoized Pascal triangle
+//! ([`shared_table`]) instead of re-running the multiplicative formula per
+//! call.
+
+use std::sync::OnceLock;
 
 /// Exact binomial coefficient `C(n, k)`, or `None` on `u128` overflow.
 ///
@@ -69,6 +76,105 @@ pub fn binom_ratio(an: u64, ak: u64, bn: u64, bk: u64) -> f64 {
         (Some(a), Some(b)) if b != 0 => a as f64 / b as f64,
         _ => (ln_binom(an, ak) - ln_binom(bn, bk)).exp(),
     }
+}
+
+/// A memoized Pascal triangle of binomial coefficients.
+///
+/// Every hot path in this crate — Equation 1, the orbit counter, combination
+/// unranking, the sweep engine — needs the same `C(n, k)` values over and
+/// over; recomputing the multiplicative formula per call is `O(k)` each
+/// time. The table stores the full triangle up to `max_n` with
+/// overflow-checked `u128` entries (`None` marks an entry exceeding
+/// `u128::MAX`) and answers lookups in `O(1)`.
+#[derive(Debug)]
+pub struct BinomTable {
+    rows: Vec<Vec<Option<u128>>>,
+}
+
+impl BinomTable {
+    /// Builds the triangle for all `n ≤ max_n` via Pascal's rule, falling
+    /// back to the direct multiplicative formula when a parent entry has
+    /// already overflowed (entries past an overflow can re-enter `u128`
+    /// range only near the edges, where the direct formula is cheap).
+    #[must_use]
+    pub fn new(max_n: usize) -> Self {
+        let mut rows: Vec<Vec<Option<u128>>> = Vec::with_capacity(max_n + 1);
+        rows.push(vec![Some(1)]);
+        for n in 1..=max_n {
+            let prev = &rows[n - 1];
+            let mut row = Vec::with_capacity(n + 1);
+            row.push(Some(1));
+            for k in 1..n {
+                let entry = match (prev[k - 1], prev[k]) {
+                    (Some(a), Some(b)) => a.checked_add(b),
+                    _ => binom(n as u64, k as u64),
+                };
+                row.push(entry);
+            }
+            row.push(Some(1));
+            rows.push(row);
+        }
+        BinomTable { rows }
+    }
+
+    /// Largest `n` the table covers.
+    #[must_use]
+    pub fn max_n(&self) -> u64 {
+        (self.rows.len() - 1) as u64
+    }
+
+    /// `C(n, k)` from the table, or via the direct formula for `n` beyond
+    /// the table. `None` means the exact value overflows `u128`.
+    #[must_use]
+    pub fn get(&self, n: u64, k: u64) -> Option<u128> {
+        if k > n {
+            return Some(0);
+        }
+        match self.rows.get(n as usize) {
+            Some(row) => row[k as usize],
+            None => binom(n, k),
+        }
+    }
+
+    /// `C(n, k)` as an `f64`, using the log-space fallback on overflow.
+    #[must_use]
+    pub fn get_f64(&self, n: u64, k: u64) -> f64 {
+        match self.get(n, k) {
+            Some(v) => v as f64,
+            None => ln_binom(n, k).exp(),
+        }
+    }
+
+    /// Signed-argument convenience used by the counting formulas, which
+    /// index with offsets that can go negative: out-of-range arguments are
+    /// an empty choice (`0`), never an error.
+    ///
+    /// # Panics
+    /// Panics if the in-range value overflows `u128`.
+    #[must_use]
+    pub fn c(&self, n: i64, k: i64) -> u128 {
+        if n < 0 || k < 0 || k > n {
+            0
+        } else {
+            self.get(n as u64, k as u64)
+                .expect("binomial overflow; use the f64 path")
+        }
+    }
+}
+
+/// Nodes-side capacity the shared table is sized for: covers every
+/// `C(2N + 2, f)` lookup up to the bitset limit
+/// ([`crate::components::MAX_NODES`]) with headroom.
+pub const SHARED_TABLE_MAX_N: usize = 300;
+
+/// The process-wide shared [`BinomTable`], built once on first use.
+///
+/// Sized by [`SHARED_TABLE_MAX_N`]; lookups beyond it transparently fall
+/// back to the direct formula, so callers never need to range-check.
+#[must_use]
+pub fn shared_table() -> &'static BinomTable {
+    static TABLE: OnceLock<BinomTable> = OnceLock::new();
+    TABLE.get_or_init(|| BinomTable::new(SHARED_TABLE_MAX_N))
 }
 
 #[cfg(test)]
@@ -139,5 +245,58 @@ mod tests {
     fn binom_f64_consistent() {
         assert_eq!(binom_f64(10, 5), 252.0);
         assert!(binom_f64(1000, 500).is_finite());
+    }
+
+    #[test]
+    fn table_matches_direct_formula() {
+        // Wherever the multiplicative formula succeeds, the table agrees.
+        // The table can additionally be exact where the direct formula's
+        // *intermediate* product overflows even though the result fits
+        // (e.g. C(126, 61)): accept Some there, never a disagreement.
+        let t = BinomTable::new(140);
+        for n in 0..=140u64 {
+            for k in 0..=n + 2 {
+                match (t.get(n, k), binom(n, k)) {
+                    (got, Some(want)) => assert_eq!(got, Some(want), "C({n},{k})"),
+                    (_, None) => {}
+                }
+            }
+        }
+        assert!(t.get(126, 61).is_some(), "table exceeds direct formula");
+    }
+
+    #[test]
+    fn table_handles_overflow_and_reentry() {
+        // Row 1000 overflows u128 in the middle but its edges are small;
+        // the table must agree with the overflow-checked direct formula on
+        // both sides of the overflow region.
+        let t = BinomTable::new(1000);
+        assert_eq!(t.get(1000, 500), None);
+        assert_eq!(t.get(1000, 3), binom(1000, 3));
+        assert_eq!(t.get(1000, 997), binom(1000, 997));
+        assert!(t.get_f64(1000, 500).is_finite());
+    }
+
+    #[test]
+    fn table_falls_back_beyond_capacity() {
+        let t = BinomTable::new(10);
+        assert_eq!(t.max_n(), 10);
+        assert_eq!(t.get(50, 4), binom(50, 4));
+    }
+
+    #[test]
+    fn signed_convenience_clamps_out_of_range() {
+        let t = BinomTable::new(20);
+        assert_eq!(t.c(-1, 0), 0);
+        assert_eq!(t.c(5, -2), 0);
+        assert_eq!(t.c(5, 6), 0);
+        assert_eq!(t.c(10, 4), 210);
+    }
+
+    #[test]
+    fn shared_table_covers_component_range() {
+        let t = shared_table();
+        assert!(t.max_n() >= 258, "must cover C(2*128+2, f)");
+        assert_eq!(t.get(130, 10), Some(266_401_260_897_200));
     }
 }

@@ -88,6 +88,25 @@ impl ClusterState {
         }
     }
 
+    /// Marks the component with dense index `idx` as operational again —
+    /// the inverse of [`ClusterState::fail_index`], used by the
+    /// delta-update enumeration walk to step between adjacent failure
+    /// combinations without rebuilding the state.
+    pub fn restore_index(&mut self, idx: usize) {
+        match idx {
+            0 => self.bp_a = true,
+            1 => self.bp_b = true,
+            _ => {
+                let rel = idx - 2;
+                if rel < self.n {
+                    self.nic_a |= 1u128 << rel;
+                } else {
+                    self.nic_b |= 1u128 << (rel - self.n);
+                }
+            }
+        }
+    }
+
     /// Mask of nodes attached to live network A.
     #[inline]
     #[must_use]
@@ -317,6 +336,18 @@ mod tests {
     fn same_node_pair_panics() {
         let st = ClusterState::fully_up(4);
         let _ = pair_connected_state(&st, 1, 1);
+    }
+
+    #[test]
+    fn restore_inverts_fail() {
+        let n = 6;
+        for idx in 0..2 * n + 2 {
+            let mut st = ClusterState::fully_up(n);
+            st.fail_index(idx);
+            assert_ne!(st, ClusterState::fully_up(n), "idx={idx}");
+            st.restore_index(idx);
+            assert_eq!(st, ClusterState::fully_up(n), "idx={idx}");
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //!   exists: `2·C(N−2, f−2−(N−2))·2^{2(N−2)−(f−2)}`, possible only when
 //!   `f − 2 ≥ N − 2`.
 
-use crate::binom::{binom, binom_f64, ln_binom};
+use crate::binom::{ln_binom, shared_table};
 
 /// Number of failable components in an `n`-node cluster.
 #[must_use]
@@ -41,11 +41,7 @@ pub fn component_count(n: u64) -> u64 {
 }
 
 fn c(n: i64, k: i64) -> u128 {
-    if n < 0 || k < 0 || k > n {
-        0
-    } else {
-        binom(n as u64, k as u64).expect("binomial overflow; use disconnect_count_f64")
-    }
+    shared_table().c(n, k)
 }
 
 /// `D(N, f)`: the number of `f`-subsets of the `2N + 2` components whose
@@ -80,7 +76,9 @@ pub fn disconnect_count(n: u64, f: u64) -> u128 {
 /// connected (the numerator of Equation 1).
 #[must_use]
 pub fn success_count(n: u64, f: u64) -> u128 {
-    let total = binom(component_count(n), f).expect("binomial overflow");
+    let total = shared_table()
+        .get(component_count(n), f)
+        .expect("binomial overflow");
     total - disconnect_count(n, f)
 }
 
@@ -97,7 +95,9 @@ pub fn p_success(n: u64, f: u64) -> f64 {
         "cannot fail {f} of {} components",
         component_count(n)
     );
-    let total = binom(component_count(n), f).expect("binomial overflow");
+    let total = shared_table()
+        .get(component_count(n), f)
+        .expect("binomial overflow");
     let d = disconnect_count(n, f);
     1.0 - d as f64 / total as f64
 }
@@ -114,7 +114,7 @@ pub fn p_success_f64(n: u64, f: u64) -> f64 {
         if nn < 0 || kk < 0 || kk > nn {
             0.0
         } else {
-            binom_f64(nn as u64, kk as u64)
+            shared_table().get_f64(nn as u64, kk as u64)
         }
     };
     let mut d = cf(2 * ni, fi - 2);

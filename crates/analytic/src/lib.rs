@@ -14,7 +14,14 @@
 //!   `P\[S\](N, f) = F(N, f) / C(2N+2, f)` conditioned on exactly `f` failures
 //!   ([`exact`]),
 //! * an **exhaustive enumerator** over all failure sets, used to validate the
-//!   closed form ([`enumerate`]),
+//!   closed form ([`enumerate`]) — delta-updated, unrankable, and
+//!   rayon-parallel,
+//! * a **symmetry-reduced orbit counter** that collapses the subset walk to
+//!   polynomially many weighted equivalence classes, extending bit-exact
+//!   ground truth to the full node range ([`orbit`]),
+//! * a **parallel sweep engine** fanning `(N, f)` grids of
+//!   exact/enumerated/Monte-Carlo cells across a rayon pool with
+//!   deterministic seeds and a machine-readable JSON artifact ([`sweep`]),
 //! * a **Monte-Carlo estimator** reproducing the paper's validation
 //!   simulation ([`montecarlo`]) and its convergence study, Figure 3
 //!   ([`convergence`]),
@@ -47,8 +54,10 @@ pub mod convergence;
 pub mod enumerate;
 pub mod exact;
 pub mod montecarlo;
+pub mod orbit;
 pub mod qmodel;
 pub mod series;
+pub mod sweep;
 pub mod thresholds;
 
 pub use allpairs::{expected_disconnected_pairs, p_all_pairs};
@@ -56,4 +65,6 @@ pub use components::{Component, FailureSet};
 pub use connectivity::{all_pairs_connected, pair_connected};
 pub use exact::{disconnect_count, p_success, success_count};
 pub use montecarlo::{MonteCarlo, MonteCarloEstimate};
+pub use orbit::{orbit_p_success, orbit_pair_success};
+pub use sweep::{run_sweep, SweepConfig, SweepResult};
 pub use thresholds::first_n_exceeding;

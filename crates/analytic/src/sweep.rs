@@ -1,0 +1,403 @@
+//! The survivability sweep engine: fan an `(N, f)` grid of evaluation
+//! cells across a rayon pool and collect machine-readable results.
+//!
+//! Every experiment binary used to hand-roll its own nested loops over
+//! cluster sizes, failure counts and evaluation methods. This module gives
+//! them one engine: a [`SweepConfig`] names the cells (each an `(N, f)`
+//! pair plus a [`Method`]), [`run_sweep`] evaluates them in parallel with a
+//! deterministic per-cell seed derived by SplitMix64 mixing, and
+//! [`SweepResult::to_json`] serializes the whole run to the
+//! `BENCH_survivability.json` schema (documented in EXPERIMENTS.md) so the
+//! bench trajectory is tracked PR-over-PR.
+//!
+//! Determinism: for a fixed `(config, master seed)` the result — including
+//! its JSON form — is byte-identical regardless of thread count or
+//! scheduling. Exact cells carry their `u128` counts (as decimal strings
+//! in JSON: the values exceed what consumers can hold in a double);
+//! Monte-Carlo cells carry success/iteration counts. The committed
+//! benchmark grid ([`SweepConfig::bench_grid`]) uses only the
+//! counting methods, so the artifact is independent of the `rand` version.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::binom::shared_table;
+use crate::enumerate::{enumerate_pair_success, enumerate_pair_success_parallel};
+use crate::exact::{component_count, p_success_f64, success_count};
+use crate::montecarlo::MonteCarlo;
+use crate::orbit::orbit_pair_success;
+
+/// How one `(N, f)` cell is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Method {
+    /// Equation 1 closed form (`u128`-exact where possible, log-space
+    /// `f64` beyond).
+    Exact,
+    /// Symmetry-reduced orbit counting ([`crate::orbit`]).
+    Orbit,
+    /// Raw sequential subset enumeration with delta updates.
+    Enumerate,
+    /// Block-split rayon-parallel subset enumeration.
+    EnumerateParallel,
+    /// Monte-Carlo estimation with this many iterations.
+    MonteCarlo {
+        /// Random failure draws for the cell.
+        iterations: u64,
+    },
+}
+
+impl Method {
+    /// Stable label used in JSON and table output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Exact => "exact",
+            Method::Orbit => "orbit",
+            Method::Enumerate => "enumerate",
+            Method::EnumerateParallel => "enumerate_parallel",
+            Method::MonteCarlo { .. } => "monte_carlo",
+        }
+    }
+}
+
+/// One cell of a sweep grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// Cluster size.
+    pub n: u64,
+    /// Simultaneous component failures.
+    pub f: u64,
+    /// Evaluation method.
+    pub method: Method,
+}
+
+/// The result of one evaluated cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Cluster size.
+    pub n: u64,
+    /// Simultaneous component failures.
+    pub f: u64,
+    /// Evaluation method ([`Method::label`]).
+    pub method: &'static str,
+    /// The survivability value the cell produced.
+    pub p_success: f64,
+    /// Exact success count (or Monte-Carlo success count); `None` for
+    /// closed-form cells outside the `u128` range.
+    pub successes: Option<u128>,
+    /// Exact combination count (or Monte-Carlo iteration count).
+    pub total: Option<u128>,
+    /// The derived per-cell seed (only consumed by Monte-Carlo cells, but
+    /// recorded everywhere for reproducibility).
+    pub seed: u64,
+}
+
+/// A sweep to run: a master seed plus the grid of cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Master seed; per-cell seeds are derived from it.
+    pub seed: u64,
+    /// Cells, evaluated in parallel, reported in this order.
+    pub cells: Vec<CellSpec>,
+}
+
+impl SweepConfig {
+    /// An empty sweep with a master seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SweepConfig {
+            seed,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Adds one cell.
+    pub fn push(&mut self, n: u64, f: u64, method: Method) {
+        self.cells.push(CellSpec { n, f, method });
+    }
+
+    /// Adds a rectangular grid of cells (skipping infeasible `f > 2N + 2`
+    /// corners), one per `(n, f)` pair.
+    pub fn push_grid(
+        &mut self,
+        ns: impl IntoIterator<Item = u64> + Clone,
+        fs: impl IntoIterator<Item = u64>,
+        method: Method,
+    ) {
+        for f in fs {
+            for n in ns.clone() {
+                if f <= component_count(n) {
+                    self.push(n, f, method);
+                }
+            }
+        }
+    }
+
+    /// The committed benchmark grid: the paper's Figure 2 axes evaluated
+    /// by the closed form, cross-checked by orbit counting at every cell
+    /// and by raw/parallel enumeration where the subset walk is feasible,
+    /// plus the three milestone crossings. Counting methods only, so the
+    /// emitted artifact is reproducible independent of the `rand` crate.
+    #[must_use]
+    pub fn bench_grid(seed: u64) -> Self {
+        let mut cfg = SweepConfig::new(seed);
+        let ns = [4u64, 8, 16, 18, 24, 32, 45, 64];
+        cfg.push_grid(ns, 2..=10, Method::Exact);
+        cfg.push_grid(ns, 2..=10, Method::Orbit);
+        cfg.push_grid([2u64, 4, 6, 8], [2u64, 4, 6, 8], Method::Enumerate);
+        cfg.push(8, 6, Method::EnumerateParallel);
+        for (f, n_star) in [(2u64, 18u64), (3, 32), (4, 45)] {
+            cfg.push(n_star - 1, f, Method::Orbit);
+        }
+        cfg
+    }
+}
+
+/// The per-cell seed: SplitMix64-style mixing of the master seed with the
+/// cell coordinates, so cells are independent and any subset of the grid
+/// reproduces the full run's values.
+#[must_use]
+pub fn cell_seed(master: u64, n: u64, f: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(f.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A completed sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Master seed the sweep ran under.
+    pub seed: u64,
+    /// Cell results, in [`SweepConfig::cells`] order.
+    pub cells: Vec<CellResult>,
+}
+
+impl SweepResult {
+    /// The first cell matching `(n, f, method label)`, if any.
+    #[must_use]
+    pub fn get(&self, n: u64, f: u64, method: &str) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .find(|c| c.n == n && c.f == f && c.method == method)
+    }
+
+    /// All cells produced by `method`, in grid order.
+    pub fn by_method<'a>(&'a self, method: &'a str) -> impl Iterator<Item = &'a CellResult> {
+        self.cells.iter().filter(move |c| c.method == method)
+    }
+
+    /// Serializes to the `BENCH_survivability.json` schema: deterministic
+    /// field order and float formatting (shortest round-trip), `u128`
+    /// counts as decimal strings, no dependence on a JSON library.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.cells.len() * 128);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"drs-bench-survivability/v1\",\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"n\": {}, \"f\": {}, \"method\": \"{}\", \"p_success\": {}, \
+                 \"successes\": {}, \"total\": {}, \"seed\": {}}}{}\n",
+                c.n,
+                c.f,
+                c.method,
+                json_f64(c.p_success),
+                json_count(c.successes),
+                json_count(c.total),
+                c.seed,
+                if i + 1 < self.cells.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    // Rust's shortest-round-trip Display is deterministic and always a
+    // valid JSON number for the finite probabilities emitted here; pin the
+    // integer case to a float literal so consumers parse a uniform type.
+    if v.fract() == 0.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn json_count(v: Option<u128>) -> String {
+    // Decimal strings: exact counts routinely exceed 2^53 and would be
+    // silently rounded by double-based JSON parsers.
+    v.map_or_else(|| "null".to_string(), |v| format!("\"{v}\""))
+}
+
+/// Evaluates one cell.
+#[must_use]
+pub fn run_cell(master_seed: u64, spec: &CellSpec) -> CellResult {
+    let CellSpec { n, f, method } = *spec;
+    let seed = cell_seed(master_seed, n, f);
+    let (p, successes, total) = match method {
+        Method::Exact => {
+            if let Some(total) = shared_table().get(component_count(n), f) {
+                let s = success_count(n, f);
+                (s as f64 / total as f64, Some(s), Some(total))
+            } else {
+                (p_success_f64(n, f), None, None)
+            }
+        }
+        Method::Orbit => {
+            let (s, t) = orbit_pair_success(n, f).expect("orbit count overflows u128");
+            (s as f64 / t as f64, Some(s), Some(t))
+        }
+        Method::Enumerate => {
+            let (s, t) = enumerate_pair_success(n as usize, f as usize);
+            (s as f64 / t as f64, Some(s), Some(t))
+        }
+        Method::EnumerateParallel => {
+            let (s, t) = enumerate_pair_success_parallel(n as usize, f as usize);
+            (s as f64 / t as f64, Some(s), Some(t))
+        }
+        Method::MonteCarlo { iterations } => {
+            let est = MonteCarlo::new(n as usize, f as usize, seed).estimate(iterations);
+            (
+                est.p_hat,
+                Some(u128::from(est.successes)),
+                Some(u128::from(est.iterations)),
+            )
+        }
+    };
+    CellResult {
+        n,
+        f,
+        method: method.label(),
+        p_success: p,
+        successes,
+        total,
+        seed,
+    }
+}
+
+/// Runs every cell of the sweep across the rayon pool. Results come back
+/// in grid order; the run is deterministic for a fixed config.
+#[must_use]
+pub fn run_sweep(cfg: &SweepConfig) -> SweepResult {
+    let cells = cfg
+        .cells
+        .par_iter()
+        .map(|spec| run_cell(cfg.seed, spec))
+        .collect();
+    SweepResult {
+        seed: cfg.seed,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::p_success;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = SweepConfig::bench_grid(42);
+        let a = run_sweep(&cfg);
+        let b = run_sweep(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn methods_agree_on_shared_cells() {
+        let r = run_sweep(&SweepConfig::bench_grid(42));
+        for orbit in r.by_method("orbit") {
+            if let Some(exact) = r.get(orbit.n, orbit.f, "exact") {
+                assert_eq!(
+                    orbit.successes, exact.successes,
+                    "n={} f={}",
+                    orbit.n, orbit.f
+                );
+                assert_eq!(orbit.total, exact.total);
+            }
+        }
+        for en in r.by_method("enumerate") {
+            let orbit = r.get(en.n, en.f, "orbit");
+            if let Some(orbit) = orbit {
+                assert_eq!(en.successes, orbit.successes, "n={} f={}", en.n, en.f);
+            }
+        }
+        let par = r.get(8, 6, "enumerate_parallel").unwrap();
+        let seq = r.get(8, 6, "enumerate").unwrap();
+        assert_eq!(par.successes, seq.successes);
+        assert_eq!(par.total, seq.total);
+    }
+
+    #[test]
+    fn milestone_cells_bracket_the_crossing() {
+        let r = run_sweep(&SweepConfig::bench_grid(42));
+        for (f, n_star) in [(2u64, 18u64), (3, 32), (4, 45)] {
+            let at = r.get(n_star, f, "orbit").unwrap();
+            let before = r.get(n_star - 1, f, "orbit").unwrap();
+            // Integer cross-multiplication: s/t > 99/100 at N*, not at N*-1.
+            let (s, t) = (at.successes.unwrap(), at.total.unwrap());
+            assert!(s * 100 > t * 99, "f={f} at N={n_star}");
+            let (s, t) = (before.successes.unwrap(), before.total.unwrap());
+            assert!(s * 100 <= t * 99, "f={f} at N={}", n_star - 1);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_cells_are_seeded_deterministically() {
+        let mut cfg = SweepConfig::new(7);
+        cfg.push(12, 3, Method::MonteCarlo { iterations: 20_000 });
+        cfg.push(12, 4, Method::MonteCarlo { iterations: 20_000 });
+        let a = run_sweep(&cfg);
+        let b = run_sweep(&cfg);
+        assert_eq!(a, b);
+        assert_ne!(
+            a.cells[0].successes, a.cells[1].successes,
+            "distinct cells draw distinct streams"
+        );
+        let exact = p_success(12, 3);
+        assert!((a.cells[0].p_success - exact).abs() < 0.02);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let mut cfg = SweepConfig::new(1);
+        cfg.push(4, 2, Method::Exact);
+        cfg.push(4, 2, Method::Orbit);
+        let json = run_sweep(&cfg).to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"schema\": \"drs-bench-survivability/v1\""));
+        assert!(json.contains("\"method\": \"exact\""));
+        assert!(json.contains("\"method\": \"orbit\""));
+        // Counts are strings, probabilities are numbers.
+        assert!(json.contains("\"successes\": \""));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+        // Exactly one cell separator comma between the two cell objects.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn cell_seed_mixes_coordinates() {
+        let s = cell_seed(42, 8, 3);
+        assert_ne!(s, cell_seed(42, 8, 4));
+        assert_ne!(s, cell_seed(42, 9, 3));
+        assert_ne!(s, cell_seed(43, 8, 3));
+        assert_eq!(s, cell_seed(42, 8, 3));
+    }
+
+    #[test]
+    fn grid_skips_infeasible_corners() {
+        let mut cfg = SweepConfig::new(0);
+        cfg.push_grid([2u64, 20], [6u64, 50], Method::Exact);
+        // f=50 exceeds both 2·2+2 and 2·20+2: only the f=6 row survives.
+        assert_eq!(cfg.cells.len(), 2);
+        assert!(cfg.cells.iter().all(|c| c.f <= component_count(c.n)));
+    }
+}

@@ -7,11 +7,16 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use drs_analytic::allpairs::{all_pairs_success_count, p_all_pairs};
-use drs_analytic::binom::{binom, binom_f64, ln_binom};
+use drs_analytic::binom::{binom, binom_f64, ln_binom, shared_table};
 use drs_analytic::components::{Component, FailureSet};
 use drs_analytic::connectivity::{pair_connected_state, ClusterState};
+use drs_analytic::enumerate::{
+    enumerate_pair_success, enumerate_pair_success_block, enumerate_pair_success_parallel, rank_of,
+    unrank,
+};
 use drs_analytic::exact::{component_count, disconnect_count, p_success, success_count};
 use drs_analytic::montecarlo::{sample_failure_set, MonteCarlo};
+use drs_analytic::orbit::orbit_pair_success;
 use drs_analytic::qmodel::{binomial_failure_weight, geometric_failure_weight};
 
 proptest! {
@@ -173,5 +178,60 @@ proptest! {
             prop_assert!(p <= prev + 1e-12, "f={f}: {p} > {prev}");
             prev = p;
         }
+    }
+
+    /// Combinadic unranking is the inverse of ranking for every rank in
+    /// range, and produces strictly increasing in-range indices.
+    #[test]
+    fn unrank_rank_roundtrip(m in 1usize..22, k in 0usize..8, salt in any::<u64>()) {
+        let k = k.min(m);
+        let total = shared_table().get(m as u64, k as u64).unwrap();
+        let rank = if total == 0 { 0 } else { u128::from(salt) % total };
+        let subset = unrank(m, k, rank).expect("rank in range");
+        prop_assert_eq!(subset.len(), k);
+        for w in subset.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for &idx in &subset {
+            prop_assert!(idx < m);
+        }
+        prop_assert_eq!(rank_of(m, &subset), rank);
+        prop_assert_eq!(unrank(m, k, total), None);
+    }
+
+    /// Splitting the subset walk into contiguous rank blocks visits every
+    /// subset exactly once: block counts sum to the sequential totals.
+    #[test]
+    fn block_split_partitions_counts(n in 2u64..7, f in 0u64..6, blocks in 1u128..7) {
+        let f = f.min(component_count(n));
+        let total = shared_table().get(component_count(n), f).unwrap();
+        let (seq_succ, seq_total) = enumerate_pair_success(n as usize, f as usize);
+        let per = total.div_ceil(blocks.min(total.max(1)));
+        let mut succ_sum = 0u128;
+        let mut total_sum = 0u128;
+        let mut start = 0u128;
+        while start < total {
+            let count = per.min(total - start);
+            let (s, t) = enumerate_pair_success_block(n as usize, f as usize, start, count);
+            prop_assert_eq!(t, count);
+            succ_sum += s;
+            total_sum += t;
+            start += count;
+        }
+        prop_assert_eq!(total_sum, seq_total);
+        prop_assert_eq!(succ_sum, seq_succ);
+    }
+
+    /// Orbit counting, raw sequential enumeration, and block-parallel
+    /// enumeration agree count-for-count on random small cells.
+    #[test]
+    fn orbit_matches_enumeration(n in 2u64..7, f in 0u64..7) {
+        let f = f.min(component_count(n));
+        let seq = enumerate_pair_success(n as usize, f as usize);
+        let par = enumerate_pair_success_parallel(n as usize, f as usize);
+        let orbit = orbit_pair_success(n, f).expect("no overflow at this size");
+        prop_assert_eq!(par, seq);
+        prop_assert_eq!(orbit, seq);
+        prop_assert_eq!(orbit.0, success_count(n, f));
     }
 }

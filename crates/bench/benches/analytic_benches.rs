@@ -7,9 +7,11 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use drs_analytic::connectivity::{pair_connected_state, ClusterState};
-use drs_analytic::enumerate::enumerate_pair_success;
+use drs_analytic::enumerate::{enumerate_pair_success, enumerate_pair_success_parallel};
 use drs_analytic::exact::p_success;
 use drs_analytic::montecarlo::{sample_failure_state, MonteCarlo};
+use drs_analytic::orbit::orbit_pair_success;
+use drs_analytic::sweep::{run_sweep, SweepConfig};
 
 fn bench_closed_form(c: &mut Criterion) {
     let mut g = c.benchmark_group("equation1_closed_form");
@@ -66,6 +68,39 @@ fn bench_enumeration(c: &mut Criterion) {
     });
 }
 
+/// The acceptance comparison: sequential delta walk vs block-split rayon
+/// walk vs orbit counting, all on the same (n=8, f=6) cell — C(18,6) =
+/// 18 564 subsets. The parallel walk must beat sequential by ≥ 4× on an
+/// 8-core box; the orbit counter collapses the cell to ~10² weighted
+/// classes and should win by orders of magnitude.
+fn bench_enumeration_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enumeration_engines_n8_f6");
+    g.bench_function("sequential_delta", |b| {
+        b.iter(|| black_box(enumerate_pair_success(black_box(8), black_box(6))));
+    });
+    g.bench_function("parallel_blocks", |b| {
+        b.iter(|| black_box(enumerate_pair_success_parallel(black_box(8), black_box(6))));
+    });
+    g.bench_function("orbit_counting", |b| {
+        b.iter(|| black_box(orbit_pair_success(black_box(8), black_box(6))));
+    });
+    g.finish();
+
+    // Orbit counting at sizes the subset walk cannot reach at all.
+    c.bench_function("orbit_counting_n127_f10", |b| {
+        b.iter(|| black_box(orbit_pair_success(black_box(127), black_box(10))));
+    });
+}
+
+/// A full sweep-grid run (the `BENCH_survivability.json` workload), so the
+/// engine's end-to-end wall time is tracked PR-over-PR.
+fn bench_sweep_grid(c: &mut Criterion) {
+    let cfg = SweepConfig::bench_grid(42);
+    c.bench_function("sweep_bench_grid", |b| {
+        b.iter(|| black_box(run_sweep(black_box(&cfg))));
+    });
+}
+
 fn bench_state_construction(c: &mut Criterion) {
     c.bench_function("cluster_state_fully_up_n127", |b| {
         b.iter(|| black_box(ClusterState::fully_up(black_box(127))));
@@ -79,6 +114,8 @@ criterion_group!(
     bench_monte_carlo,
     bench_sampler,
     bench_enumeration,
+    bench_enumeration_engines,
+    bench_sweep_grid,
     bench_state_construction
 );
 criterion_main!(benches);

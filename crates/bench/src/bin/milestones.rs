@@ -1,6 +1,9 @@
 //! Regenerates the paper's **milestone claims** (text of §4/§6):
 //! the cluster sizes at which P\[Success\] surpasses 0.99 for each failure
-//! count, and the q^f multiple-failure decay argument.
+//! count, and the q^f multiple-failure decay argument. The crossings are
+//! additionally verified by **symmetry-reduced exact enumeration** (the
+//! orbit counter, via the sweep engine) — ground truth at cluster sizes the
+//! raw subset walk could never reach.
 //!
 //! Run: `cargo run --release -p drs-bench --bin milestones`
 
@@ -8,8 +11,9 @@ use drs_analytic::exact::p_success;
 use drs_analytic::qmodel::{
     geometric_failure_weight, unconditional_survivability, FailureWeighting,
 };
+use drs_analytic::sweep::{run_sweep, Method, SweepConfig};
 use drs_analytic::thresholds::milestone_table;
-use drs_bench::{fmt_p, row, section};
+use drs_bench::{fmt_p, row, section, BENCH_SEED};
 
 fn main() {
     println!("DRS survivability milestones (Equation 1, exact)");
@@ -37,6 +41,34 @@ fn main() {
     }
     println!();
     println!("paper: f=2 -> 18, f=3 -> 32, f=4 -> 45");
+
+    section("orbit-exact verification at the crossings (independent of Eq. 1)");
+    {
+        // Exhaustive ground truth by orbit counting: every failure set of
+        // the C(2N+2, f) space accounted for, in integer arithmetic.
+        let mut cfg = SweepConfig::new(BENCH_SEED);
+        for (f, n_star) in [(2u64, 18u64), (3, 32), (4, 45)] {
+            cfg.push(n_star - 1, f, Method::Orbit);
+            cfg.push(n_star, f, Method::Orbit);
+        }
+        let sweep = run_sweep(&cfg);
+        for (f, n_star) in [(2u64, 18u64), (3, 32), (4, 45)] {
+            let at = sweep.get(n_star, f, "orbit").expect("cell present");
+            let (s, t) = (at.successes.unwrap(), at.total.unwrap());
+            let before = sweep.get(n_star - 1, f, "orbit").expect("cell present");
+            let (sb, tb) = (before.successes.unwrap(), before.total.unwrap());
+            let verdict = s * 100 > t * 99 && sb * 100 <= tb * 99;
+            println!(
+                "  f={f}: F({n_star},{f}) = {s} of {t} sets survive ({}) — crossing {}",
+                fmt_p(at.p_success),
+                if verdict {
+                    "verified exactly"
+                } else {
+                    "VIOLATED"
+                },
+            );
+        }
+    }
 
     section("limit behaviour: P[S] -> 1 as N grows (f fixed)");
     for f in [2u64, 5, 10] {

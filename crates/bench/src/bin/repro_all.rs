@@ -6,11 +6,13 @@
 
 use drs_analytic::convergence::mean_abs_deviation;
 use drs_analytic::exact::p_success;
+use drs_analytic::sweep::{run_sweep, SweepConfig};
 use drs_analytic::thresholds::first_n_exceeding;
 use drs_baselines::compare::{run_scenario, ProtocolLabel, ScenarioSpec};
 use drs_baselines::ospf::{OspfConfig, OspfDaemon};
 use drs_baselines::reactive::{ReactiveConfig, ReactiveDaemon};
 use drs_baselines::rip::{RipConfig, RipDaemon};
+use drs_bench::BENCH_SEED;
 use drs_core::{DrsConfig, DrsDaemon};
 use drs_cost::model::ProbeCostModel;
 use drs_sim::fault::SimComponent;
@@ -52,6 +54,66 @@ fn main() {
         "milestones 18/32/45",
         m2 == Some(18) && m3 == Some(32) && m4 == Some(45),
         format!("{m2:?}/{m3:?}/{m4:?}"),
+    );
+
+    // The full benchmark sweep grid: Equation 1, orbit counting, and raw
+    // enumeration must agree count-for-count wherever they overlap, and
+    // the milestone crossings must hold by exact integer counting.
+    let sweep = run_sweep(&SweepConfig::bench_grid(BENCH_SEED));
+    let orbit_disagreements = sweep
+        .by_method("orbit")
+        .filter(|orbit| {
+            sweep.get(orbit.n, orbit.f, "exact").is_some_and(|exact| {
+                exact.successes.is_some() && exact.successes != orbit.successes
+            })
+        })
+        .count();
+    r.check(
+        "orbit counter == Equation 1 on the sweep grid",
+        orbit_disagreements == 0,
+        format!(
+            "{orbit_disagreements} disagreements / {} cells",
+            sweep.by_method("orbit").count()
+        ),
+    );
+    let enum_disagreements = sweep
+        .by_method("enumerate")
+        .filter(|en| {
+            sweep
+                .get(en.n, en.f, "orbit")
+                .is_some_and(|orbit| orbit.successes != en.successes)
+        })
+        .count();
+    r.check(
+        "raw enumeration == orbit counter (small cells)",
+        enum_disagreements == 0,
+        format!(
+            "{enum_disagreements} disagreements / {} cells",
+            sweep.by_method("enumerate").count()
+        ),
+    );
+    let par = sweep.get(8, 6, "enumerate_parallel");
+    let seq = sweep.get(8, 6, "enumerate");
+    r.check(
+        "parallel enumeration == sequential (N=8, f=6)",
+        matches!((par, seq), (Some(p), Some(s))
+            if p.successes == s.successes && p.total == s.total),
+        format!(
+            "{:?} vs {:?}",
+            par.and_then(|c| c.successes),
+            seq.and_then(|c| c.successes)
+        ),
+    );
+    let milestones_exact = [(2u64, 18u64), (3, 32), (4, 45)].iter().all(|&(f, n)| {
+        let at = sweep.get(n, f, "orbit").unwrap();
+        let before = sweep.get(n - 1, f, "orbit").unwrap();
+        at.successes.unwrap() * 100 > at.total.unwrap() * 99
+            && before.successes.unwrap() * 100 <= before.total.unwrap() * 99
+    });
+    r.check(
+        "milestones verified by orbit-exact integer counting",
+        milestones_exact,
+        "s*100 > t*99 at N*, not at N*-1".to_string(),
     );
 
     // Figure 2 limit.

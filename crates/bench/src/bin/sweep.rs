@@ -1,0 +1,89 @@
+//! Runs the survivability sweep grid and writes the machine-readable
+//! `BENCH_survivability.json` artifact — the tracked point of the bench
+//! trajectory (schema in EXPERIMENTS.md).
+//!
+//! The grid is [`SweepConfig::bench_grid`] under the fixed master seed
+//! [`drs_bench::BENCH_SEED`]: Equation 1 over the paper's Figure 2 axes,
+//! orbit-counting cross-checks at every cell, raw and parallel enumeration
+//! where feasible, and the three milestone crossings. Counting methods
+//! only, so the artifact is byte-reproducible on any machine.
+//!
+//! Run: `cargo run --release -p drs-bench --bin sweep [output.json]`
+
+use std::path::Path;
+use std::time::Instant;
+
+use drs_analytic::sweep::{run_sweep, SweepConfig};
+use drs_bench::{fmt_p, print_sweep_summary, section, write_artifact, BENCH_JSON, BENCH_SEED};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| BENCH_JSON.to_string());
+
+    println!("survivability sweep -> {path}");
+    let cfg = SweepConfig::bench_grid(BENCH_SEED);
+    let started = Instant::now();
+    let result = run_sweep(&cfg);
+    let elapsed = started.elapsed();
+
+    print_sweep_summary(&result);
+    println!("  evaluated in {elapsed:.2?}");
+
+    section("cross-validation (independent methods, identical counts)");
+    let mut disagreements = 0u32;
+    for orbit in result.by_method("orbit") {
+        if let Some(exact) = result.get(orbit.n, orbit.f, "exact") {
+            if exact.successes.is_some() && orbit.successes != exact.successes {
+                disagreements += 1;
+                println!("  MISMATCH orbit vs exact at N={} f={}", orbit.n, orbit.f);
+            }
+        }
+    }
+    for en in result.by_method("enumerate") {
+        if let Some(orbit) = result.get(en.n, en.f, "orbit") {
+            if en.successes != orbit.successes {
+                disagreements += 1;
+                println!("  MISMATCH enumerate vs orbit at N={} f={}", en.n, en.f);
+            }
+        }
+    }
+    if let (Some(par), Some(seq)) = (
+        result.get(8, 6, "enumerate_parallel"),
+        result.get(8, 6, "enumerate"),
+    ) {
+        if par.successes != seq.successes || par.total != seq.total {
+            disagreements += 1;
+            println!("  MISMATCH parallel vs sequential enumeration at N=8 f=6");
+        }
+    }
+    println!(
+        "  {}",
+        if disagreements == 0 {
+            "all methods agree count-for-count".to_string()
+        } else {
+            format!("{disagreements} disagreements")
+        }
+    );
+
+    section("milestone crossings (orbit-exact integer counting)");
+    for (f, n_star) in [(2u64, 18u64), (3, 32), (4, 45)] {
+        let at = result.get(n_star, f, "orbit").expect("grid covers N*");
+        let before = result
+            .get(n_star - 1, f, "orbit")
+            .expect("grid covers N*-1");
+        println!(
+            "  f={f}: P[S](N={n_star}) = {}  >  0.99  >=  P[S](N={}) = {}",
+            fmt_p(at.p_success),
+            n_star - 1,
+            fmt_p(before.p_success),
+        );
+    }
+
+    write_artifact(Path::new(&path), &result.to_json()).expect("write sweep artifact");
+    println!();
+    println!("wrote {path}");
+    if disagreements > 0 {
+        std::process::exit(1);
+    }
+}

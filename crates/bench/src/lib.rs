@@ -5,7 +5,48 @@
 //! little table-printing and formatting helpers they share, so the
 //! binaries read like experiment scripts.
 
+use std::path::Path;
+
+use drs_analytic::sweep::SweepResult;
 use drs_sim::time::SimDuration;
+
+/// The master seed every sweep-driven binary uses, so the committed
+/// artifact ([`BENCH_JSON`]) is reproducible from any of them.
+pub const BENCH_SEED: u64 = 42;
+
+/// File name of the machine-readable sweep artifact tracked in the repo
+/// root (schema documented in EXPERIMENTS.md).
+pub const BENCH_JSON: &str = "BENCH_survivability.json";
+
+/// Writes a sweep artifact (or any text) to `path`.
+///
+/// # Errors
+/// Propagates the underlying I/O error.
+pub fn write_artifact(path: &Path, contents: &str) -> std::io::Result<()> {
+    std::fs::write(path, contents)
+}
+
+/// Prints the per-method cell counts of a sweep — the quick summary the
+/// sweep-driven binaries share.
+pub fn print_sweep_summary(result: &SweepResult) {
+    println!(
+        "sweep: {} cells under master seed {}",
+        result.cells.len(),
+        result.seed
+    );
+    for method in [
+        "exact",
+        "orbit",
+        "enumerate",
+        "enumerate_parallel",
+        "monte_carlo",
+    ] {
+        let count = result.by_method(method).count();
+        if count > 0 {
+            println!("  {method:<19} {count:>4} cells");
+        }
+    }
+}
 
 /// Prints a section header in the style the binaries share.
 pub fn section(title: &str) {
