@@ -92,10 +92,17 @@ pub struct BinomTable {
 }
 
 impl BinomTable {
-    /// Builds the triangle for all `n ≤ max_n` via Pascal's rule, falling
-    /// back to the direct multiplicative formula when a parent entry has
-    /// already overflowed (entries past an overflow can re-enter `u128`
-    /// range only near the edges, where the direct formula is cheap).
+    /// Builds the triangle for all `n ≤ max_n` via Pascal's rule with
+    /// overflow-checked additions.
+    ///
+    /// Within the table, `None` marks *exactly* the entries exceeding
+    /// `u128::MAX`: the checked addition only fails on a true overflow,
+    /// and `C(n, k) = C(n-1, k-1) + C(n-1, k)` is at least as large as
+    /// either parent, so an overflowed parent forces an overflowed child —
+    /// propagating `None` loses nothing. (No fallback to the
+    /// multiplicative [`binom`] here: its intermediate products can
+    /// overflow even when the result fits, e.g. `C(126, 61)`, which would
+    /// turn table entries into false overflows.)
     #[must_use]
     pub fn new(max_n: usize) -> Self {
         let mut rows: Vec<Vec<Option<u128>>> = Vec::with_capacity(max_n + 1);
@@ -107,7 +114,7 @@ impl BinomTable {
             for k in 1..n {
                 let entry = match (prev[k - 1], prev[k]) {
                     (Some(a), Some(b)) => a.checked_add(b),
-                    _ => binom(n as u64, k as u64),
+                    _ => None,
                 };
                 row.push(entry);
             }
@@ -124,7 +131,13 @@ impl BinomTable {
     }
 
     /// `C(n, k)` from the table, or via the direct formula for `n` beyond
-    /// the table. `None` means the exact value overflows `u128`.
+    /// the table.
+    ///
+    /// Within the table, `None` means exactly that the value overflows
+    /// `u128` (see [`BinomTable::new`]). Beyond the table the direct
+    /// [`binom`] formula is conservative: it can return `None` when an
+    /// intermediate product overflows even though the result fits, so
+    /// callers fall back to the `f64` path slightly early there.
     #[must_use]
     pub fn get(&self, n: u64, k: u64) -> Option<u128> {
         if k > n {
@@ -275,6 +288,24 @@ mod tests {
         assert_eq!(t.get(1000, 3), binom(1000, 3));
         assert_eq!(t.get(1000, 997), binom(1000, 997));
         assert!(t.get_f64(1000, 500).is_finite());
+    }
+
+    #[test]
+    fn table_overflow_band_is_symmetric_and_contiguous() {
+        // Within the table, None is exact (never a false overflow): each
+        // row's overflow band must be contiguous and symmetric, exactly as
+        // the true binomials are — a conservative fallback would break
+        // both properties near the band's edges.
+        let t = BinomTable::new(1000);
+        for n in 0..=1000u64 {
+            let nones: Vec<u64> = (0..=n).filter(|&k| t.get(n, k).is_none()).collect();
+            for &k in &nones {
+                assert!(t.get(n, n - k).is_none(), "C({n},{k}) vs its mirror");
+            }
+            if let (Some(&lo), Some(&hi)) = (nones.first(), nones.last()) {
+                assert_eq!(nones.len() as u64, hi - lo + 1, "row {n} band");
+            }
+        }
     }
 
     #[test]

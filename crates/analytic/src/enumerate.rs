@@ -137,12 +137,20 @@ pub fn unrank(n: usize, k: usize, rank: u128) -> Option<Vec<usize>> {
             return None;
         }
     }
+    // When the total overflows u128 the bound check above is skipped, but
+    // every representable rank is then in range: rank ≤ u128::MAX < total.
     let mut idx = Vec::with_capacity(k);
     let mut r = rank;
     let mut x = 0usize; // smallest element still eligible
     for i in 0..k {
         loop {
-            debug_assert!(x < n, "unrank ran past the universe");
+            // Unreachable for in-range ranks (and when `C(n, k)` overflows
+            // `u128`, every `u128` rank is in range), but degrade to `None`
+            // rather than a wrong subset if the walk ever runs past the
+            // universe.
+            if x >= n {
+                return None;
+            }
             // Combinations that put x at position i: C(n-1-x, k-1-i).
             match table.get((n - 1 - x) as u64, (k - 1 - i) as u64) {
                 Some(c) if r >= c => {

@@ -72,7 +72,11 @@ pub struct CellSpec {
 }
 
 /// The result of one evaluated cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: `method` is a `&'static str` label, which serde can
+/// serialize but not deserialize into (the derived `Deserialize` impl
+/// would require `'de: 'static`).
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CellResult {
     /// Cluster size.
     pub n: u64,
@@ -166,8 +170,8 @@ pub fn cell_seed(master: u64, n: u64, f: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A completed sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A completed sweep. Serialize-only, like [`CellResult`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SweepResult {
     /// Master seed the sweep ran under.
     pub seed: u64,
@@ -235,6 +239,18 @@ fn json_count(v: Option<u128>) -> String {
     v.map_or_else(|| "null".to_string(), |v| format!("\"{v}\""))
 }
 
+/// `successes / total` with the empty space mapping to 0.0 rather than
+/// NaN: [`SweepConfig::push`] (unlike [`SweepConfig::push_grid`]) does not
+/// validate feasibility, and an `f > 2N + 2` cell counts over zero
+/// subsets — `NaN` would be an invalid JSON token in the artifact.
+fn ratio(successes: u128, total: u128) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        successes as f64 / total as f64
+    }
+}
+
 /// Evaluates one cell.
 #[must_use]
 pub fn run_cell(master_seed: u64, spec: &CellSpec) -> CellResult {
@@ -244,27 +260,27 @@ pub fn run_cell(master_seed: u64, spec: &CellSpec) -> CellResult {
         Method::Exact => {
             if let Some(total) = shared_table().get(component_count(n), f) {
                 let s = success_count(n, f);
-                (s as f64 / total as f64, Some(s), Some(total))
+                (ratio(s, total), Some(s), Some(total))
             } else {
                 (p_success_f64(n, f), None, None)
             }
         }
         Method::Orbit => {
             let (s, t) = orbit_pair_success(n, f).expect("orbit count overflows u128");
-            (s as f64 / t as f64, Some(s), Some(t))
+            (ratio(s, t), Some(s), Some(t))
         }
         Method::Enumerate => {
             let (s, t) = enumerate_pair_success(n as usize, f as usize);
-            (s as f64 / t as f64, Some(s), Some(t))
+            (ratio(s, t), Some(s), Some(t))
         }
         Method::EnumerateParallel => {
             let (s, t) = enumerate_pair_success_parallel(n as usize, f as usize);
-            (s as f64 / t as f64, Some(s), Some(t))
+            (ratio(s, t), Some(s), Some(t))
         }
         Method::MonteCarlo { iterations } => {
             let est = MonteCarlo::new(n as usize, f as usize, seed).estimate(iterations);
             (
-                est.p_hat,
+                ratio(u128::from(est.successes), u128::from(est.iterations)),
                 Some(u128::from(est.successes)),
                 Some(u128::from(est.iterations)),
             )
@@ -381,6 +397,26 @@ mod tests {
         assert!(!json.contains("NaN") && !json.contains("inf"));
         // Exactly one cell separator comma between the two cell objects.
         assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn infeasible_direct_push_yields_zero_not_nan() {
+        // push (unlike push_grid) does not validate f ≤ 2N + 2; such a
+        // cell counts over an empty space and must come back as p = 0
+        // with valid JSON, not 0/0 = NaN.
+        let mut cfg = SweepConfig::new(3);
+        cfg.push(2, 20, Method::Orbit);
+        cfg.push(2, 20, Method::Exact);
+        cfg.push(2, 20, Method::Enumerate);
+        cfg.push(2, 20, Method::EnumerateParallel);
+        let r = run_sweep(&cfg);
+        for c in &r.cells {
+            assert_eq!(c.p_success, 0.0, "n={} f={} {}", c.n, c.f, c.method);
+            assert_eq!(c.successes, Some(0));
+            assert_eq!(c.total, Some(0));
+        }
+        let json = r.to_json();
+        assert!(!json.contains("NaN") && !json.contains("inf"));
     }
 
     #[test]
