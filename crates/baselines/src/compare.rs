@@ -14,6 +14,11 @@
 
 use serde::{Deserialize, Serialize};
 
+use drs_core::{DrsConfig, DrsDaemon, DrsEventKind};
+use drs_harness::{
+    sort_events, Experiment, ExperimentRecord, Metric, RunMode, TraceEvent, TraceEventKind,
+    TrialRecord,
+};
 use drs_sim::app::Workload;
 use drs_sim::fault::{FaultPlan, SimComponent};
 use drs_sim::ids::{FlowId, NodeId};
@@ -21,6 +26,11 @@ use drs_sim::scenario::ClusterSpec;
 use drs_sim::time::{SimDuration, SimTime};
 use drs_sim::transport::max_flow_lifetime;
 use drs_sim::world::{FlowOutcome, Protocol, World};
+
+use crate::ospf::{OspfConfig, OspfDaemon};
+use crate::reactive::{ReactiveConfig, ReactiveDaemon};
+use crate::rip::{RipConfig, RipDaemon};
+use crate::static_route::StaticRouting;
 
 /// Which protocol produced a result row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,6 +45,29 @@ pub enum ProtocolLabel {
     Reactive,
     /// Static routes, no daemon.
     Static,
+}
+
+impl ProtocolLabel {
+    /// Every protocol, in the order the shootout tables print them.
+    pub const ALL: [ProtocolLabel; 5] = [
+        ProtocolLabel::Drs,
+        ProtocolLabel::Reactive,
+        ProtocolLabel::Ospf,
+        ProtocolLabel::Rip,
+        ProtocolLabel::Static,
+    ];
+
+    /// Stable short key used in trial ids and JSON artifacts.
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            ProtocolLabel::Drs => "drs",
+            ProtocolLabel::Rip => "rip",
+            ProtocolLabel::Ospf => "ospf",
+            ProtocolLabel::Reactive => "reactive",
+            ProtocolLabel::Static => "static",
+        }
+    }
 }
 
 impl std::fmt::Display for ProtocolLabel {
@@ -125,23 +158,35 @@ impl ScenarioResult {
     }
 }
 
-/// Runs one scenario under one protocol.
-///
-/// The factory builds the per-host daemon; everything else — cluster,
-/// faults, measurement stream — comes from the spec, so different
-/// protocols see byte-identical conditions.
-pub fn run_scenario<P: Protocol>(
+/// A finished scenario run before the world is torn down: the result row,
+/// the flow-level event trace, and the world itself so protocol-specific
+/// observers (the DRS daemon event log) can be harvested.
+struct ScenarioRun<P: Protocol> {
+    result: ScenarioResult,
+    events: Vec<TraceEvent>,
+    world: World<P>,
+    t0: SimTime,
+}
+
+/// Runs one scenario under one protocol, keeping the world alive.
+fn run_scenario_inner<P: Protocol>(
     label: ProtocolLabel,
     spec: &ScenarioSpec,
     factory: impl FnMut(NodeId) -> P,
-) -> ScenarioResult {
+) -> ScenarioRun<P> {
     let mut world = World::new(spec.cluster, factory);
     world.run_for(spec.warmup);
     let t0 = world.now();
 
+    let mut events = Vec::new();
     let mut plan = FaultPlan::new();
     for &c in &spec.faults {
         plan = plan.fail_at(t0, c);
+        events.push(TraceEvent::new(
+            t0.0,
+            TraceEventKind::FaultInjected,
+            format!("{c:?}"),
+        ));
     }
     world.schedule_faults(plan);
 
@@ -173,12 +218,28 @@ pub fn run_scenario<P: Protocol>(
     let mut stabilized = true;
     for (i, outcome) in outcomes.iter().enumerate() {
         match outcome {
-            Some(FlowOutcome::Delivered(rtt)) if *rtt < spec.prompt_threshold => {}
+            Some(FlowOutcome::Delivered(rtt)) if *rtt < spec.prompt_threshold => {
+                events.push(TraceEvent::new(
+                    (send_times[i] + *rtt).0,
+                    TraceEventKind::FlowDelivered,
+                    format!("msg {i} rtt {rtt}"),
+                ));
+            }
             Some(FlowOutcome::Delivered(rtt)) => {
                 outage_end = Some(send_times[i] + *rtt);
+                events.push(TraceEvent::new(
+                    (send_times[i] + *rtt).0,
+                    TraceEventKind::FlowDelivered,
+                    format!("msg {i} rtt {rtt} (late)"),
+                ));
             }
             Some(FlowOutcome::GaveUp) | None => {
                 stabilized = false;
+                events.push(TraceEvent::new(
+                    send_times[i].0,
+                    TraceEventKind::FlowGaveUp,
+                    format!("msg {i}"),
+                ));
             }
         }
     }
@@ -188,7 +249,7 @@ pub fn run_scenario<P: Protocol>(
         Some(outage_end.map_or(SimDuration::ZERO, |end| end.since(t0)))
     };
 
-    ScenarioResult {
+    let result = ScenarioResult {
         label,
         sent: stats.sent,
         delivered: stats.delivered,
@@ -196,6 +257,272 @@ pub fn run_scenario<P: Protocol>(
         gave_up: stats.gave_up,
         max_latency: stats.latency.max(),
         outage,
+    };
+    ScenarioRun {
+        result,
+        events,
+        world,
+        t0,
+    }
+}
+
+/// Runs one scenario under one protocol.
+///
+/// The factory builds the per-host daemon; everything else — cluster,
+/// faults, measurement stream — comes from the spec, so different
+/// protocols see byte-identical conditions.
+pub fn run_scenario<P: Protocol>(
+    label: ProtocolLabel,
+    spec: &ScenarioSpec,
+    factory: impl FnMut(NodeId) -> P,
+) -> ScenarioResult {
+    run_scenario_inner(label, spec, factory).result
+}
+
+/// Per-protocol daemon configurations for a dispatched scenario run —
+/// one value, five protocols, so a shootout grid carries its tuning as
+/// data instead of five hand-written closures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolConfigs {
+    /// DRS daemon configuration.
+    pub drs: DrsConfig,
+    /// Repair-on-RTO daemon configuration.
+    pub reactive: ReactiveConfig,
+    /// OSPF-style daemon configuration.
+    pub ospf: OspfConfig,
+    /// RIP-style daemon configuration.
+    pub rip: RipConfig,
+}
+
+impl ProtocolConfigs {
+    /// The configuration the committed benchmarks run under: DRS probing
+    /// at 500 ms sweeps / 100 ms timeout, OSPF and RIP at RFC timers
+    /// compressed 10:1 so a single scenario stays short.
+    #[must_use]
+    pub fn bench_defaults() -> Self {
+        ProtocolConfigs {
+            drs: DrsConfig::default()
+                .probe_timeout(SimDuration::from_millis(100))
+                .probe_interval(SimDuration::from_millis(500)),
+            reactive: ReactiveConfig::default(),
+            ospf: OspfConfig::default().scaled_down(10),
+            rip: RipConfig::default().scaled_down(10),
+        }
+    }
+}
+
+/// Runs one scenario under the labelled protocol, dispatching to the
+/// right daemon from `cfgs` — the data-driven form of [`run_scenario`].
+#[must_use]
+pub fn run_protocol(
+    label: ProtocolLabel,
+    spec: &ScenarioSpec,
+    cfgs: &ProtocolConfigs,
+) -> ScenarioResult {
+    run_protocol_traced(label, spec, cfgs).0
+}
+
+/// [`run_protocol`] plus the trial's structured event trace: fault
+/// injections and flow outcomes for every protocol, and for DRS also the
+/// source daemon's internal transitions (link state, route changes,
+/// discovery) translated into the harness vocabulary.
+#[must_use]
+pub fn run_protocol_traced(
+    label: ProtocolLabel,
+    spec: &ScenarioSpec,
+    cfgs: &ProtocolConfigs,
+) -> (ScenarioResult, Vec<TraceEvent>) {
+    let n = spec.cluster.n;
+    let (result, mut events) = match label {
+        ProtocolLabel::Drs => {
+            let cfg = cfgs.drs;
+            let run = run_scenario_inner(label, spec, |id| DrsDaemon::new(id, n, cfg));
+            let mut events = run.events;
+            events.extend(
+                run.world
+                    .protocol(spec.src)
+                    .metrics
+                    .events
+                    .iter()
+                    .filter(|e| e.at >= run.t0)
+                    .map(|e| drs_trace_event(e.at, &e.kind)),
+            );
+            (run.result, events)
+        }
+        ProtocolLabel::Reactive => {
+            let cfg = cfgs.reactive;
+            let run = run_scenario_inner(label, spec, |id| ReactiveDaemon::new(id, cfg));
+            (run.result, run.events)
+        }
+        ProtocolLabel::Ospf => {
+            let cfg = cfgs.ospf;
+            let run = run_scenario_inner(label, spec, |id| OspfDaemon::new(id, cfg));
+            (run.result, run.events)
+        }
+        ProtocolLabel::Rip => {
+            let cfg = cfgs.rip;
+            let run = run_scenario_inner(label, spec, |id| RipDaemon::new(id, cfg));
+            (run.result, run.events)
+        }
+        ProtocolLabel::Static => {
+            let run = run_scenario_inner(label, spec, |_| StaticRouting);
+            (run.result, run.events)
+        }
+    };
+    sort_events(&mut events);
+    (result, events)
+}
+
+/// Translates one DRS daemon event into the harness trace vocabulary.
+#[must_use]
+pub fn drs_trace_event(at: SimTime, kind: &DrsEventKind) -> TraceEvent {
+    match kind {
+        DrsEventKind::LinkDown { peer, net } => TraceEvent::new(
+            at.0,
+            TraceEventKind::LinkDown,
+            format!("peer {peer} net {net}"),
+        ),
+        DrsEventKind::LinkUp { peer, net } => TraceEvent::new(
+            at.0,
+            TraceEventKind::LinkUp,
+            format!("peer {peer} net {net}"),
+        ),
+        DrsEventKind::RouteChanged { dst, route } => TraceEvent::new(
+            at.0,
+            TraceEventKind::RouteChanged,
+            format!("{dst} -> {route:?}"),
+        ),
+        DrsEventKind::DiscoveryStarted { target } => TraceEvent::new(
+            at.0,
+            TraceEventKind::DiscoveryStarted,
+            format!("target {target}"),
+        ),
+        DrsEventKind::DiscoveryFailed { target } => TraceEvent::new(
+            at.0,
+            TraceEventKind::DiscoveryFailed,
+            format!("target {target}"),
+        ),
+    }
+}
+
+/// A named scenario of a shootout grid.
+#[derive(Debug, Clone)]
+pub struct NamedScenario {
+    /// Stable scenario key used in trial ids.
+    pub name: &'static str,
+    /// The scenario itself. Its cluster seed is a placeholder — the
+    /// shootout overrides it with the trial's derived seed.
+    pub spec: ScenarioSpec,
+}
+
+/// The three standard failure scenarios of the proactive-vs-reactive
+/// study: primary hub loss, destination NIC loss, and crossed NIC
+/// failures that force gateway relaying.
+#[must_use]
+pub fn standard_shootout_scenarios(n: usize) -> Vec<NamedScenario> {
+    use drs_sim::ids::NetId;
+    vec![
+        NamedScenario {
+            name: "hub_a",
+            spec: ScenarioSpec::standard(n, 0, vec![SimComponent::Hub(NetId::A)]),
+        },
+        NamedScenario {
+            name: "dst_nic",
+            spec: ScenarioSpec::standard(n, 0, vec![SimComponent::Nic(NodeId(1), NetId::A)]),
+        },
+        NamedScenario {
+            name: "crossed_nics",
+            spec: ScenarioSpec::standard(
+                n,
+                0,
+                vec![
+                    SimComponent::Nic(NodeId(0), NetId::B),
+                    SimComponent::Nic(NodeId(1), NetId::A),
+                ],
+            ),
+        },
+    ]
+}
+
+/// One row of a completed shootout: a scenario × protocol trial.
+#[derive(Debug, Clone)]
+pub struct ShootoutRow {
+    /// Scenario key ([`NamedScenario::name`]).
+    pub scenario: &'static str,
+    /// Protocol under test.
+    pub label: ProtocolLabel,
+    /// The derived per-trial seed the cluster ran under.
+    pub seed: u64,
+    /// What the application saw.
+    pub result: ScenarioResult,
+    /// The trial's structured event trace.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Runs the full scenario × protocol grid as one
+/// [`drs_harness::Experiment`]: each trial gets its own derived cluster
+/// seed, trials fan out across the rayon pool under
+/// [`RunMode::Parallel`], and rows come back in grid order (scenario-
+/// major) identically in both modes.
+#[must_use]
+pub fn run_shootout(
+    master_seed: u64,
+    scenarios: &[NamedScenario],
+    labels: &[ProtocolLabel],
+    cfgs: &ProtocolConfigs,
+    mode: RunMode,
+) -> Vec<ShootoutRow> {
+    let grid: Vec<(usize, usize)> = (0..scenarios.len())
+        .flat_map(|s| (0..labels.len()).map(move |l| (s, l)))
+        .collect();
+    let exp = Experiment::with_trials("protocol-shootout", master_seed, grid);
+    exp.run(mode, |ctx, &(s, l)| {
+        let scenario = &scenarios[s];
+        let label = labels[l];
+        let mut spec = scenario.spec.clone();
+        spec.cluster = spec.cluster.seed(ctx.seed);
+        let (result, events) = run_protocol_traced(label, &spec, cfgs);
+        ShootoutRow {
+            scenario: scenario.name,
+            label,
+            seed: ctx.seed,
+            result,
+            events,
+        }
+    })
+}
+
+/// Folds shootout rows into the artifact form: one
+/// [`TrialRecord`] per row, id `scenario/protocol`, with the application
+/// counters as metrics and the event trace attached.
+#[must_use]
+pub fn shootout_record(master_seed: u64, rows: &[ShootoutRow]) -> ExperimentRecord {
+    let trials = rows
+        .iter()
+        .map(|row| {
+            let r = &row.result;
+            let mut rec =
+                TrialRecord::new(format!("{}/{}", row.scenario, row.label.key()), row.seed)
+                    .metric(Metric::count("sent", r.sent))
+                    .metric(Metric::count("delivered", r.delivered))
+                    .metric(Metric::count("retransmits", r.retransmits))
+                    .metric(Metric::count("gave_up", r.gave_up))
+                    .metric(Metric::real("delivery_ratio", r.delivery_ratio()));
+            rec = rec.metric(match r.max_latency {
+                Some(d) => Metric::count("max_latency_ns", d.0),
+                None => Metric::missing("max_latency_ns"),
+            });
+            rec = rec.metric(match r.outage {
+                Some(d) => Metric::count("outage_ns", d.0),
+                None => Metric::missing("outage_ns"),
+            });
+            rec.with_events(row.events.clone())
+        })
+        .collect();
+    ExperimentRecord {
+        name: "protocol-shootout".to_string(),
+        master_seed,
+        trials,
     }
 }
 
@@ -268,6 +595,70 @@ mod tests {
             outage >= SimDuration::from_secs(5),
             "RIP must wait out its timeout: {outage}"
         );
+    }
+
+    #[test]
+    fn dispatch_matches_hand_built_factories() {
+        let spec = hub_a_failure(5, 9);
+        let n = spec.cluster.n;
+        let cfgs = ProtocolConfigs {
+            drs: fast_drs(),
+            ..ProtocolConfigs::bench_defaults()
+        };
+        let via_dispatch = run_protocol(ProtocolLabel::Drs, &spec, &cfgs);
+        let via_factory = run_scenario(ProtocolLabel::Drs, &spec, |id| {
+            DrsDaemon::new(id, n, fast_drs())
+        });
+        assert_eq!(via_dispatch.sent, via_factory.sent);
+        assert_eq!(via_dispatch.delivered, via_factory.delivered);
+        assert_eq!(via_dispatch.outage, via_factory.outage);
+    }
+
+    #[test]
+    fn traced_drs_run_tells_the_failover_story() {
+        let spec = hub_a_failure(5, 11);
+        let cfgs = ProtocolConfigs {
+            drs: fast_drs(),
+            ..ProtocolConfigs::bench_defaults()
+        };
+        let (r, events) = run_protocol_traced(ProtocolLabel::Drs, &spec, &cfgs);
+        assert_eq!(r.delivery_ratio(), 1.0, "{r:?}");
+        let kind_count =
+            |k: drs_harness::TraceEventKind| events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(kind_count(drs_harness::TraceEventKind::FaultInjected), 1);
+        assert!(
+            kind_count(drs_harness::TraceEventKind::RouteChanged) >= 1,
+            "DRS must reroute after the hub failure"
+        );
+        assert_eq!(
+            kind_count(drs_harness::TraceEventKind::FlowDelivered) as u64,
+            r.delivered
+        );
+        assert!(events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+    }
+
+    #[test]
+    fn shootout_is_mode_independent_and_grid_ordered() {
+        let scenarios = vec![NamedScenario {
+            name: "hub_a",
+            spec: hub_a_failure(4, 0),
+        }];
+        let labels = [ProtocolLabel::Drs, ProtocolLabel::Static];
+        let cfgs = ProtocolConfigs {
+            drs: fast_drs(),
+            ..ProtocolConfigs::bench_defaults()
+        };
+        let serial = run_shootout(3, &scenarios, &labels, &cfgs, RunMode::Serial);
+        let parallel = run_shootout(3, &scenarios, &labels, &cfgs, RunMode::Parallel);
+        assert_eq!(serial.len(), 2);
+        assert_eq!(serial[0].label, ProtocolLabel::Drs);
+        assert_eq!(serial[1].label, ProtocolLabel::Static);
+        assert_eq!(
+            shootout_record(3, &serial).trials,
+            shootout_record(3, &parallel).trials
+        );
+        // Different trials run under different derived seeds.
+        assert_ne!(serial[0].seed, serial[1].seed);
     }
 
     #[test]

@@ -32,7 +32,11 @@ pub mod reactive;
 pub mod rip;
 pub mod static_route;
 
-pub use compare::{run_scenario, ProtocolLabel, ScenarioResult, ScenarioSpec};
+pub use compare::{
+    drs_trace_event, run_protocol, run_protocol_traced, run_scenario, run_shootout,
+    shootout_record, standard_shootout_scenarios, NamedScenario, ProtocolConfigs, ProtocolLabel,
+    ScenarioResult, ScenarioSpec, ShootoutRow,
+};
 pub use ospf::{OspfConfig, OspfDaemon, OspfMsg};
 pub use reactive::{ReactiveConfig, ReactiveDaemon, ReactiveMsg};
 pub use rip::{RipConfig, RipDaemon, RipMsg};

@@ -5,11 +5,15 @@
 //!
 //! The trace is synthetic (calibrated component rates — see DESIGN.md §4);
 //! the binary reports the statistic's distribution over many simulated
-//! years, which is the honest form of a field number like "13%".
+//! years, which is the honest form of a field number like "13%". All
+//! replication loops run as [`drs_harness::Experiment`]s: per-year seeds
+//! come from the shared SplitMix64 stream and years fan out across the
+//! rayon pool.
 //!
 //! Run: `cargo run --release -p drs-bench --bin deployment_study`
 
 use drs_bench::section;
+use drs_harness::Experiment;
 use drs_trace::fleet::{generate_trace, FleetSpec};
 use drs_trace::study::{availability_gain, masking_analysis, network_fraction, replicate_study};
 
@@ -44,24 +48,23 @@ fn main() {
     let summary = replicate_study(&spec, 1_000, 7);
     println!("  mean failures / year: {:.1}", summary.mean_failures);
     println!(
-        "  network fraction: mean {:.1}%, std {:.1}%, range {:.0}%..{:.0}%",
+        "  network fraction: mean {:.1}%, std {:.1}%, range {:.0}%..{:.0}% ({} years classified)",
         summary.mean_network_fraction * 100.0,
         summary.std_network_fraction * 100.0,
         summary.min_fraction * 100.0,
-        summary.max_fraction * 100.0
+        summary.max_fraction * 100.0,
+        summary.classified,
     );
     println!("  (a single observed year like the paper's '13%' sits well inside this band)");
 
     section("DRS masking in the 27-cluster commercial deployment (4 h MTTR)");
     let deployment = FleetSpec::mci_deployment();
-    let mut masked_total = 0usize;
-    let mut net_total = 0usize;
-    for seed in 0..100u64 {
-        let t = generate_trace(&deployment, 10_000 + seed);
-        let m = masking_analysis(&t, 4.0 / 24.0);
-        masked_total += m.masked;
-        net_total += m.network_failures;
-    }
+    let masking = Experiment::replications("deployment-masking", 10_000, 100);
+    let reports = masking.run_parallel(|ctx, ()| {
+        masking_analysis(&generate_trace(&deployment, ctx.seed), 4.0 / 24.0)
+    });
+    let masked_total: usize = reports.iter().map(|m| m.masked).sum();
+    let net_total: usize = reports.iter().map(|m| m.network_failures).sum();
     println!(
         "  network failures over 100 deployment-years: {net_total}; masked by DRS: {masked_total} ({:.1}%)",
         masked_total as f64 / net_total as f64 * 100.0
@@ -69,22 +72,19 @@ fn main() {
     println!("  (without DRS every one of these interrupts server-to-server traffic)");
 
     section("network-attributable availability, fleet mean (4 h MTTR)");
-    let mut without = 0.0;
-    let mut with = 0.0;
-    let mut saved = 0.0;
-    let reps = 100u64;
-    for seed in 0..reps {
-        let t = generate_trace(&deployment, 20_000 + seed);
-        let r = availability_gain(
-            &t,
+    let reps = 100usize;
+    let availability = Experiment::replications("deployment-availability", 20_000, reps);
+    let gains = availability.run_parallel(|ctx, ()| {
+        availability_gain(
+            &generate_trace(&deployment, ctx.seed),
             deployment.clusters,
             deployment.duration_days,
             4.0 / 24.0,
-        );
-        without += r.availability_without;
-        with += r.availability_with;
-        saved += r.downtime_saved_days;
-    }
+        )
+    });
+    let without: f64 = gains.iter().map(|r| r.availability_without).sum();
+    let with: f64 = gains.iter().map(|r| r.availability_with).sum();
+    let saved: f64 = gains.iter().map(|r| r.downtime_saved_days).sum();
     let nines = |a: f64| -(1.0 - a).log10();
     let (aw, a_with) = (without / reps as f64, with / reps as f64);
     println!("  without DRS: {:.6} ({:.2} nines)", aw, nines(aw));

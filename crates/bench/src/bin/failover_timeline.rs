@@ -2,10 +2,17 @@
 //! daemon state transitions and route-table shape around a hub failure —
 //! the "what actually happens" view behind the outage numbers.
 //!
+//! The run is a single-trial [`drs_harness::Experiment`]: the cluster
+//! seed is the trial's derived seed, and the daemon's transition log
+//! comes back as a structured harness event trace — the same vocabulary
+//! the committed `BENCH_sim_survivability.json` rows use.
+//!
 //! Run: `cargo run --release -p drs-bench --bin failover_timeline`
 
+use drs_baselines::compare::drs_trace_event;
 use drs_bench::section;
-use drs_core::{DrsConfig, DrsDaemon, DrsEventKind};
+use drs_core::{DrsConfig, DrsDaemon};
+use drs_harness::{Experiment, Metric, TraceEvent, TrialRecord};
 use drs_sim::app::Workload;
 use drs_sim::fault::{FaultPlan, SimComponent};
 use drs_sim::ids::{NetId, NodeId};
@@ -13,12 +20,25 @@ use drs_sim::scenario::ClusterSpec;
 use drs_sim::time::{SimDuration, SimTime};
 use drs_sim::world::World;
 
-fn main() {
+/// One line of the per-second state table.
+struct SecondRow {
+    sec: u64,
+    util_a: f64,
+    util_b: f64,
+    on_a: usize,
+    on_b: usize,
+    delivered: u64,
+    rtx: u64,
+}
+
+/// Runs the timeline trial: returns the table, the structured event
+/// trace, and the artifact row.
+fn timeline_trial(seed: u64) -> (Vec<SecondRow>, Vec<TraceEvent>, TrialRecord) {
     let n = 8;
     let cfg = DrsConfig::default()
         .probe_timeout(SimDuration::from_millis(100))
         .probe_interval(SimDuration::from_millis(500));
-    let spec = ClusterSpec::new(n).seed(1);
+    let spec = ClusterSpec::new(n).seed(seed);
     let mut w = World::new(spec, move |id| DrsDaemon::new(id, n, cfg));
 
     // Background all-to-all traffic, 2 rounds/second.
@@ -39,11 +59,7 @@ fn main() {
             .repair_at(repair_at, SimComponent::Hub(NetId::A)),
     );
 
-    println!("timeline: 8-host DRS cluster; hub A fails at t=5s, repaired at t=10s");
-    println!("(500 ms probe sweeps, 2-miss threshold; all-to-all traffic at 2 rounds/s)");
-    section("per-second state");
-    println!("  t     netA util   netB util   routes on A   routes on B   delivered   rtx");
-
+    let mut table = Vec::new();
     let mut last_delivered = 0;
     let mut last_rtx = 0;
     for sec in 0..15u64 {
@@ -65,39 +81,75 @@ fn main() {
             }
         }
         let s = w.app_stats();
-        println!(
-            "  {:>2}s   {:>8.5}   {:>8.5}   {:>11}   {:>11}   {:>9}   {:>3}",
-            sec + 1,
+        table.push(SecondRow {
+            sec: sec + 1,
             util_a,
             util_b,
             on_a,
             on_b,
-            s.delivered - last_delivered,
-            s.retransmits - last_rtx,
-        );
+            delivered: s.delivered - last_delivered,
+            rtx: s.retransmits - last_rtx,
+        });
         last_delivered = s.delivered;
         last_rtx = s.retransmits;
     }
 
-    section("daemon event log (node 0, around the fault)");
-    for e in &w.protocol(NodeId(0)).metrics.events {
-        let tag = match e.kind {
-            DrsEventKind::LinkDown { peer, net } => format!("link DOWN  {peer} {net}"),
-            DrsEventKind::LinkUp { peer, net } => format!("link UP    {peer} {net}"),
-            DrsEventKind::RouteChanged { dst, route } => {
-                format!("route      {dst} -> {route:?}")
-            }
-            DrsEventKind::DiscoveryStarted { target } => format!("discovery  {target}"),
-            DrsEventKind::DiscoveryFailed { target } => format!("disc-fail  {target}"),
-        };
-        println!("  {}  {tag}", e.at);
-    }
+    // The observer node's transition log, in the harness vocabulary.
+    let events: Vec<TraceEvent> = w
+        .protocol(NodeId(0))
+        .metrics
+        .events
+        .iter()
+        .map(|e| drs_trace_event(e.at, &e.kind))
+        .collect();
 
     let s = w.app_stats();
+    let record = TrialRecord::new("hub_a_fail_and_repair", seed)
+        .metric(Metric::count("sent", s.sent))
+        .metric(Metric::count("delivered", s.delivered))
+        .metric(Metric::count("retransmits", s.retransmits))
+        .with_events(events.clone());
+    (table, events, record)
+}
+
+fn main() {
+    let exp = Experiment::replications("failover-timeline", 1, 1);
+    let (table, events, record) = exp.run_serial(|ctx, ()| timeline_trial(ctx.seed)).remove(0);
+
+    println!("timeline: 8-host DRS cluster; hub A fails at t=5s, repaired at t=10s");
+    println!("(500 ms probe sweeps, 2-miss threshold; all-to-all traffic at 2 rounds/s)");
+    section("per-second state");
+    println!("  t     netA util   netB util   routes on A   routes on B   delivered   rtx");
+    for r in &table {
+        println!(
+            "  {:>2}s   {:>8.5}   {:>8.5}   {:>11}   {:>11}   {:>9}   {:>3}",
+            r.sec, r.util_a, r.util_b, r.on_a, r.on_b, r.delivered, r.rtx,
+        );
+    }
+
+    section("daemon event log (node 0, harness trace vocabulary)");
+    for e in &events {
+        println!(
+            "  {}  {:<17} {}",
+            SimTime(e.at_ns),
+            e.kind.label(),
+            e.detail
+        );
+    }
+
+    let (delivered, sent, rtx) =
+        record
+            .metrics
+            .iter()
+            .fold((0, 0, 0), |acc, m| match (m.name, m.value) {
+                ("delivered", drs_harness::MetricValue::Count(c)) => (c, acc.1, acc.2),
+                ("sent", drs_harness::MetricValue::Count(c)) => (acc.0, c, acc.2),
+                ("retransmits", drs_harness::MetricValue::Count(c)) => (acc.0, acc.1, c),
+                _ => acc,
+            });
     println!();
     println!(
-        "totals: {}/{} delivered, {} retransmits — the fault window is visible in",
-        s.delivered, s.sent, s.retransmits
+        "totals: {delivered}/{sent} delivered, {rtx} retransmits — the fault window is visible in"
     );
     println!("the utilization columns (traffic jumps from net A to net B and back).");
 }

@@ -3,65 +3,40 @@
 //! better than traditional routing systems by fixing network problems
 //! before they effect application communication").
 //!
-//! Three failure scenarios × four protocols, identical traffic. The
-//! application-visible outage column is the paper's claim, quantified.
+//! The whole grid — three failure scenarios × five protocols, identical
+//! traffic — runs as one [`drs_harness::Experiment`] via
+//! [`drs_baselines::compare::run_shootout`]: per-trial seeds come from
+//! the shared SplitMix64 stream and trials fan out across the rayon pool.
+//! The application-visible outage column is the paper's claim, quantified.
 //!
 //! Run: `cargo run --release -p drs-bench --bin proactive_vs_reactive`
 
-use drs_baselines::compare::{run_scenario, ProtocolLabel, ScenarioResult, ScenarioSpec};
-use drs_baselines::ospf::{OspfConfig, OspfDaemon};
-use drs_baselines::reactive::{ReactiveConfig, ReactiveDaemon};
-use drs_baselines::rip::{RipConfig, RipDaemon};
-use drs_baselines::static_route::StaticRouting;
-use drs_bench::{fmt_opt_dur, section};
-use drs_core::{DrsConfig, DrsDaemon};
-use drs_sim::fault::SimComponent;
-use drs_sim::ids::{NetId, NodeId};
-use drs_sim::time::SimDuration;
+use drs_baselines::compare::{
+    run_shootout, standard_shootout_scenarios, ProtocolConfigs, ProtocolLabel, ShootoutRow,
+};
+use drs_bench::{fmt_opt_dur, section, BENCH_SEED};
+use drs_harness::{RunMode, TraceEventKind};
 
-fn print_result(r: &ScenarioResult) {
+fn print_row(r: &ShootoutRow) {
+    let route_changes = r
+        .events
+        .iter()
+        .filter(|e| e.kind == TraceEventKind::RouteChanged)
+        .count();
     println!(
-        "  {:<20}  delivered {:>3}/{:<3}  retransmits {:>4}  gave-up {:>3}  outage {:>10}",
-        r.label.to_string(),
-        r.delivered,
-        r.sent,
-        r.retransmits,
-        r.gave_up,
-        fmt_opt_dur(r.outage),
+        "  {:<20}  delivered {:>3}/{:<3}  retransmits {:>4}  gave-up {:>3}  outage {:>10}{}",
+        r.result.label.to_string(),
+        r.result.delivered,
+        r.result.sent,
+        r.result.retransmits,
+        r.result.gave_up,
+        fmt_opt_dur(r.result.outage),
+        if route_changes > 0 {
+            format!("  ({route_changes} route changes at src)")
+        } else {
+            String::new()
+        }
     );
-}
-
-fn run_all(name: &str, spec: &ScenarioSpec) {
-    section(name);
-    let n = spec.cluster.n;
-
-    let drs_cfg = DrsConfig::default()
-        .probe_timeout(SimDuration::from_millis(100))
-        .probe_interval(SimDuration::from_millis(500));
-    print_result(&run_scenario(ProtocolLabel::Drs, spec, |id| {
-        DrsDaemon::new(id, n, drs_cfg)
-    }));
-
-    print_result(&run_scenario(ProtocolLabel::Reactive, spec, |id| {
-        ReactiveDaemon::new(id, ReactiveConfig::default())
-    }));
-
-    // OSPF at RFC timers compressed 10:1 (1 s hello / 4 s dead interval).
-    let ospf_cfg = OspfConfig::default().scaled_down(10);
-    print_result(&run_scenario(ProtocolLabel::Ospf, spec, |id| {
-        OspfDaemon::new(id, ospf_cfg)
-    }));
-
-    // RIP at RFC timers compressed 10:1 (3 s updates / 18 s timeout) so a
-    // single run stays short; the outage scales linearly with the timers.
-    let rip_cfg = RipConfig::default().scaled_down(10);
-    print_result(&run_scenario(ProtocolLabel::Rip, spec, |id| {
-        RipDaemon::new(id, rip_cfg)
-    }));
-
-    print_result(&run_scenario(ProtocolLabel::Static, spec, |_| {
-        StaticRouting
-    }));
 }
 
 fn main() {
@@ -69,26 +44,26 @@ fn main() {
     println!("(8-host clusters; measurement stream 0 -> 1, 40 msgs @ 4/s after the fault;");
     println!(" outage = time until deliveries become and remain prompt; — = never)");
 
-    let n = 8;
-    run_all(
+    let scenarios = standard_shootout_scenarios(8);
+    let rows = run_shootout(
+        BENCH_SEED,
+        &scenarios,
+        &ProtocolLabel::ALL,
+        &ProtocolConfigs::bench_defaults(),
+        RunMode::Parallel,
+    );
+
+    let titles = [
         "scenario 1: primary hub (backplane A) fails",
-        &ScenarioSpec::standard(n, 1, vec![SimComponent::Hub(NetId::A)]),
-    );
-    run_all(
         "scenario 2: destination server loses its primary NIC",
-        &ScenarioSpec::standard(n, 2, vec![SimComponent::Nic(NodeId(1), NetId::A)]),
-    );
-    run_all(
         "scenario 3: crossed NIC failures (no shared direct network; needs a gateway)",
-        &ScenarioSpec::standard(
-            n,
-            3,
-            vec![
-                SimComponent::Nic(NodeId(0), NetId::B),
-                SimComponent::Nic(NodeId(1), NetId::A),
-            ],
-        ),
-    );
+    ];
+    for (scenario, title) in scenarios.iter().zip(titles) {
+        section(title);
+        for r in rows.iter().filter(|r| r.scenario == scenario.name) {
+            print_row(r);
+        }
+    }
 
     println!();
     println!("expected shape (paper): DRS outage is sub-RTO (applications unaware);");

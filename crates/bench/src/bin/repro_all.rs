@@ -8,15 +8,15 @@ use drs_analytic::convergence::mean_abs_deviation;
 use drs_analytic::exact::p_success;
 use drs_analytic::sweep::{run_sweep, SweepConfig};
 use drs_analytic::thresholds::first_n_exceeding;
-use drs_baselines::compare::{run_scenario, ProtocolLabel, ScenarioSpec};
-use drs_baselines::ospf::{OspfConfig, OspfDaemon};
-use drs_baselines::reactive::{ReactiveConfig, ReactiveDaemon};
-use drs_baselines::rip::{RipConfig, RipDaemon};
-use drs_bench::BENCH_SEED;
-use drs_core::{DrsConfig, DrsDaemon};
+use drs_baselines::compare::{run_protocol, ProtocolConfigs, ProtocolLabel, ScenarioSpec};
+use drs_baselines::ospf::OspfConfig;
+use drs_baselines::rip::RipConfig;
+use drs_bench::{e2e, BENCH_SEED};
+use drs_core::DrsConfig;
 use drs_cost::model::ProbeCostModel;
+use drs_harness::coord_seed;
 use drs_sim::fault::SimComponent;
-use drs_sim::ids::{NetId, NodeId};
+use drs_sim::ids::NetId;
 use drs_sim::time::SimDuration;
 use drs_trace::fleet::FleetSpec;
 use drs_trace::study::replicate_study;
@@ -154,24 +154,22 @@ fn main() {
         format!("mean {:.1}%", study.mean_network_fraction * 100.0),
     );
 
-    // Proactive-vs-reactive ordering (one hub-failure scenario).
+    // Proactive-vs-reactive ordering (one hub-failure scenario), run
+    // through the data-driven protocol dispatch.
     let n = 8;
     let spec = ScenarioSpec::standard(n, 1, vec![SimComponent::Hub(NetId::A)]);
-    let drs_cfg = DrsConfig::default()
-        .probe_timeout(SimDuration::from_millis(50))
-        .probe_interval(SimDuration::from_millis(250));
-    let drs = run_scenario(ProtocolLabel::Drs, &spec, |id| {
-        DrsDaemon::new(id, n, drs_cfg)
-    });
-    let reactive = run_scenario(ProtocolLabel::Reactive, &spec, |id| {
-        ReactiveDaemon::new(id, ReactiveConfig::default())
-    });
-    let ospf = run_scenario(ProtocolLabel::Ospf, &spec, |id| {
-        OspfDaemon::new(id, OspfConfig::default().scaled_down(10))
-    });
-    let rip = run_scenario(ProtocolLabel::Rip, &spec, |id| {
-        RipDaemon::new(id, RipConfig::default().scaled_down(10))
-    });
+    let cfgs = ProtocolConfigs {
+        drs: DrsConfig::default()
+            .probe_timeout(SimDuration::from_millis(50))
+            .probe_interval(SimDuration::from_millis(250)),
+        ospf: OspfConfig::default().scaled_down(10),
+        rip: RipConfig::default().scaled_down(10),
+        ..ProtocolConfigs::bench_defaults()
+    };
+    let drs = run_protocol(ProtocolLabel::Drs, &spec, &cfgs);
+    let reactive = run_protocol(ProtocolLabel::Reactive, &spec, &cfgs);
+    let ospf = run_protocol(ProtocolLabel::Ospf, &spec, &cfgs);
+    let rip = run_protocol(ProtocolLabel::Rip, &spec, &cfgs);
     let ordering = match (drs.outage, reactive.outage, ospf.outage, rip.outage) {
         (Some(d), Some(re), Some(os), Some(ri)) => d < re && re < os && os < ri,
         _ => false,
@@ -193,8 +191,9 @@ fn main() {
         format!("{}/{}", drs.delivered, drs.sent),
     );
 
-    // End-to-end DES <-> Equation 1 agreement (one configuration).
-    let agree = e2e_agreement(8, 3, 30);
+    // End-to-end DES <-> Equation 1 agreement (one configuration),
+    // through the shared harness-run e2e module.
+    let agree = e2e::mismatches(8, 3, 30, coord_seed(BENCH_SEED, 8, 3));
     r.check(
         "DES matches Equation 1 predicate per trial",
         agree == 0,
@@ -206,46 +205,4 @@ fn main() {
     if r.failed > 0 {
         std::process::exit(1);
     }
-}
-
-fn e2e_agreement(n: usize, f: usize, trials: u64) -> u64 {
-    use drs_analytic::connectivity::pair_connected;
-    use drs_analytic::montecarlo::sample_failure_set;
-    use drs_sim::fault::{index_to_component, FaultPlan};
-    use drs_sim::scenario::{ClusterSpec, TransportConfig};
-    use drs_sim::time::SimTime;
-    use drs_sim::world::{FlowOutcome, World};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
-
-    let mut mismatches = 0;
-    for t in 0..trials {
-        let seed = 0xA11 ^ t;
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let failures = sample_failure_set(n, f, &mut rng);
-        let predicted = pair_connected(n, &failures, 0, 1);
-        let cfg = DrsConfig::default()
-            .probe_timeout(SimDuration::from_millis(50))
-            .probe_interval(SimDuration::from_millis(200));
-        let transport = TransportConfig {
-            initial_rto: SimDuration::from_millis(100),
-            backoff_factor: 2,
-            max_retries: 6,
-        };
-        let spec = ClusterSpec::new(n).seed(seed).transport(transport);
-        let mut world = World::new(spec, |id| DrsDaemon::new(id, n, cfg));
-        let mut plan = FaultPlan::new();
-        for idx in failures.iter() {
-            plan = plan.fail_at(SimTime(1_000_000_000), index_to_component(idx, n));
-        }
-        world.schedule_faults(plan);
-        world.run_for(SimDuration::from_secs(6));
-        let flow = world.send_app(world.now(), NodeId(0), NodeId(1), 256);
-        world.run_for(SimDuration::from_secs(20));
-        let delivered = matches!(world.flow_outcome(flow), Some(FlowOutcome::Delivered(_)));
-        if delivered != predicted {
-            mismatches += 1;
-        }
-    }
-    mismatches
 }

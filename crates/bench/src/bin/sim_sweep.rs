@@ -1,0 +1,74 @@
+//! Runs the simulation benchmark through the experiment harness and
+//! writes the machine-readable `BENCH_sim_survivability.json` artifact —
+//! the DES-side sibling of the analytic sweep's artifact (schema in
+//! EXPERIMENTS.md).
+//!
+//! The run is [`drs_bench::sim_artifact::bench_artifact`] under the fixed
+//! master seed [`drs_bench::BENCH_SEED`]: the protocol shootout with full
+//! event traces plus the end-to-end survivability grid. Before writing,
+//! the binary re-runs everything serially and asserts the parallel and
+//! serial artifacts are byte-identical.
+//!
+//! Run: `cargo run --release -p drs-bench --bin sim_sweep [output.json]`
+
+use std::path::Path;
+use std::time::Instant;
+
+use drs_bench::sim_artifact::bench_artifact;
+use drs_bench::{section, write_artifact, BENCH_SEED, SIM_BENCH_JSON};
+use drs_harness::RunMode;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| SIM_BENCH_JSON.to_string());
+
+    println!("simulation survivability benchmark -> {path}");
+    let started = Instant::now();
+    let artifact = bench_artifact(RunMode::Parallel);
+    let parallel_elapsed = started.elapsed();
+
+    let started = Instant::now();
+    let serial = bench_artifact(RunMode::Serial);
+    let serial_elapsed = started.elapsed();
+
+    section("experiments");
+    for exp in &artifact.experiments {
+        let agreements: u64 = exp
+            .trials
+            .iter()
+            .flat_map(|t| &t.metrics)
+            .filter(|m| m.name == "agree")
+            .filter_map(|m| match m.value {
+                drs_harness::MetricValue::Count(c) => Some(c),
+                _ => None,
+            })
+            .sum();
+        let events: usize = exp.trials.iter().map(|t| t.events.len()).sum();
+        println!(
+            "  {:<24} {:>3} trials  {:>4} events{}",
+            exp.name,
+            exp.trials.len(),
+            events,
+            if exp.name.starts_with("e2e/") {
+                format!("  {agreements}/{} agree", exp.trials.len())
+            } else {
+                String::new()
+            }
+        );
+    }
+
+    section("determinism");
+    let json = artifact.to_json();
+    assert_eq!(
+        json,
+        serial.to_json(),
+        "parallel and serial artifacts must be byte-identical"
+    );
+    println!("  parallel == serial, byte-for-byte");
+    println!("  parallel {parallel_elapsed:.2?}, serial {serial_elapsed:.2?}");
+
+    write_artifact(Path::new(&path), &json).expect("write simulation artifact");
+    println!();
+    println!("wrote {path} (master seed {BENCH_SEED})");
+}

@@ -10,13 +10,22 @@ use std::path::Path;
 use drs_analytic::sweep::SweepResult;
 use drs_sim::time::SimDuration;
 
+pub mod e2e;
+pub mod sim_artifact;
+
 /// The master seed every sweep-driven binary uses, so the committed
-/// artifact ([`BENCH_JSON`]) is reproducible from any of them.
+/// artifacts ([`BENCH_JSON`], [`SIM_BENCH_JSON`]) are reproducible from
+/// any of them.
 pub const BENCH_SEED: u64 = 42;
 
 /// File name of the machine-readable sweep artifact tracked in the repo
 /// root (schema documented in EXPERIMENTS.md).
 pub const BENCH_JSON: &str = "BENCH_survivability.json";
+
+/// File name of the machine-readable simulation artifact tracked in the
+/// repo root (schema documented in EXPERIMENTS.md): the harness-run
+/// protocol shootout and end-to-end survivability grid.
+pub const SIM_BENCH_JSON: &str = "BENCH_sim_survivability.json";
 
 /// Writes a sweep artifact (or any text) to `path`.
 ///

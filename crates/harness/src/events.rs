@@ -1,0 +1,120 @@
+//! Structured per-trial event traces.
+//!
+//! A trial's story — faults injected, routes changed, flows delivered or
+//! abandoned — is recorded as a flat list of [`TraceEvent`]s with
+//! simulation timestamps. The kinds mirror what the DRS daemon and the
+//! simulation world already observe; the harness only fixes the shared
+//! vocabulary and the artifact form so the `failover_timeline` narrative
+//! and the shootout rows speak the same language.
+
+use serde::Serialize;
+
+/// What happened. Labels are the stable strings used in JSON artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TraceEventKind {
+    /// A fault plan took a component down.
+    FaultInjected,
+    /// A fault plan repaired a component.
+    Repaired,
+    /// A protocol observed a link/network go down.
+    LinkDown,
+    /// A protocol observed a link/network come back.
+    LinkUp,
+    /// A protocol switched the route for some destination.
+    RouteChanged,
+    /// A protocol began gateway/path discovery.
+    DiscoveryStarted,
+    /// A discovery round ended with no usable path.
+    DiscoveryFailed,
+    /// An application flow was delivered end-to-end.
+    FlowDelivered,
+    /// An application flow exhausted its retries.
+    FlowGaveUp,
+}
+
+impl TraceEventKind {
+    /// Stable label used in JSON and table output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceEventKind::FaultInjected => "fault_injected",
+            TraceEventKind::Repaired => "repaired",
+            TraceEventKind::LinkDown => "link_down",
+            TraceEventKind::LinkUp => "link_up",
+            TraceEventKind::RouteChanged => "route_changed",
+            TraceEventKind::DiscoveryStarted => "discovery_started",
+            TraceEventKind::DiscoveryFailed => "discovery_failed",
+            TraceEventKind::FlowDelivered => "flow_delivered",
+            TraceEventKind::FlowGaveUp => "flow_gave_up",
+        }
+    }
+}
+
+/// One timestamped event in a trial's trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TraceEvent {
+    /// Simulation time of the event, in nanoseconds since trial start.
+    pub at_ns: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// Free-form detail (node, component, flow id) for human readers.
+    pub detail: String,
+}
+
+impl TraceEvent {
+    /// A new event.
+    #[must_use]
+    pub fn new(at_ns: u64, kind: TraceEventKind, detail: impl Into<String>) -> Self {
+        TraceEvent {
+            at_ns,
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Sorts events by timestamp, preserving recording order within a
+/// timestamp — merged traces from multiple observers stay deterministic.
+pub fn sort_events(events: &mut [TraceEvent]) {
+    events.sort_by_key(|e| e.at_ns);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique_and_snake_case() {
+        let kinds = [
+            TraceEventKind::FaultInjected,
+            TraceEventKind::Repaired,
+            TraceEventKind::LinkDown,
+            TraceEventKind::LinkUp,
+            TraceEventKind::RouteChanged,
+            TraceEventKind::DiscoveryStarted,
+            TraceEventKind::DiscoveryFailed,
+            TraceEventKind::FlowDelivered,
+            TraceEventKind::FlowGaveUp,
+        ];
+        let mut labels: Vec<&str> = kinds.iter().map(TraceEventKind::label).collect();
+        assert!(labels
+            .iter()
+            .all(|l| l.chars().all(|c| c.is_ascii_lowercase() || c == '_')));
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn sort_is_stable_within_a_timestamp() {
+        let mut events = vec![
+            TraceEvent::new(5, TraceEventKind::LinkDown, "b"),
+            TraceEvent::new(1, TraceEventKind::FaultInjected, "a"),
+            TraceEvent::new(5, TraceEventKind::RouteChanged, "c"),
+        ];
+        sort_events(&mut events);
+        assert_eq!(events[0].detail, "a");
+        assert_eq!(events[1].detail, "b");
+        assert_eq!(events[2].detail, "c");
+    }
+}

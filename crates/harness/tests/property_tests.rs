@@ -1,0 +1,106 @@
+//! Property-based tests for the experiment harness: the serial and
+//! parallel trial paths must be indistinguishable — result-for-result and
+//! artifact-byte-for-byte — for every experiment shape, and the seed
+//! stream must behave like an injective hash of `(master, index)`.
+
+use proptest::prelude::*;
+
+use drs_harness::{
+    stream_seed, Experiment, ExperimentRecord, Metric, RunMode, SimArtifact, Summary, TraceEvent,
+    TraceEventKind, TrialCtx, TrialRecord,
+};
+
+/// A deterministic trial body with enough structure to notice ordering
+/// bugs: the record depends on the trial's index, seed, and spec.
+fn trial_record(ctx: TrialCtx, spec: &u64) -> TrialRecord {
+    let mixed = ctx.seed ^ spec;
+    TrialRecord::new(format!("trial-{}", ctx.index), ctx.seed)
+        .metric(Metric::count("spec", *spec))
+        .metric(Metric::real("mixed", mixed as f64 / u64::MAX as f64))
+        .with_events(vec![TraceEvent::new(
+            mixed % 1_000,
+            TraceEventKind::RouteChanged,
+            format!("via {}", mixed % 7),
+        )])
+}
+
+fn artifact(exp: &Experiment<u64>, mode: RunMode) -> SimArtifact {
+    let trials = exp.run(mode, trial_record);
+    let mut a = SimArtifact::new(exp.master_seed);
+    a.push(ExperimentRecord {
+        name: exp.name.clone(),
+        master_seed: exp.master_seed,
+        trials,
+    });
+    a
+}
+
+proptest! {
+    /// `Experiment::run` with the serial path and the rayon path produce
+    /// identical artifacts — the tentpole determinism guarantee.
+    #[test]
+    fn serial_and_parallel_artifacts_are_identical(
+        master in any::<u64>(),
+        specs in prop::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let exp = Experiment::with_trials("prop", master, specs);
+        let serial = artifact(&exp, RunMode::Serial);
+        let parallel = artifact(&exp, RunMode::Parallel);
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(serial.to_json(), parallel.to_json());
+    }
+
+    /// Per-trial seeds are reproducible, independent of sibling trials,
+    /// and collision-free within any experiment-sized index range.
+    #[test]
+    fn trial_seeds_are_stable_and_distinct(master in any::<u64>(), count in 1usize..200) {
+        let exp = Experiment::replications("seeds", master, count);
+        let seeds: Vec<u64> = exp.run_serial(|ctx, ()| ctx.seed);
+        for (i, s) in seeds.iter().enumerate() {
+            prop_assert_eq!(*s, stream_seed(master, i as u64));
+        }
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), count, "seed collision under master {}", master);
+    }
+
+    /// Artifact JSON is deterministic and structurally sane for any
+    /// experiment: one row per trial, no NaN/inf tokens.
+    #[test]
+    fn artifact_json_is_deterministic_and_well_formed(
+        master in any::<u64>(),
+        specs in prop::collection::vec(any::<u64>(), 0..20),
+    ) {
+        let exp = Experiment::with_trials("json", master, specs.clone());
+        let a = artifact(&exp, RunMode::Parallel);
+        let json = a.to_json();
+        prop_assert_eq!(json.clone(), artifact(&exp, RunMode::Parallel).to_json());
+        prop_assert_eq!(json.matches("\"id\": \"trial-").count(), specs.len());
+        prop_assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    /// Summaries never produce NaN or infinities from finite samples, and
+    /// the mean stays within the observed range.
+    #[test]
+    fn summary_is_finite_and_bounded(values in prop::collection::vec(-1e6f64..1e6, 0..50)) {
+        let s = Summary::of(&values);
+        prop_assert!(s.mean.is_finite() && s.std.is_finite());
+        prop_assert!(s.min.is_finite() && s.max.is_finite());
+        prop_assert_eq!(s.count, values.len());
+        if !values.is_empty() {
+            prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+            prop_assert!(s.std >= 0.0);
+        }
+    }
+}
+
+/// The serial path accepts stateful (`FnMut`) bodies and still visits
+/// trials in order — the contract replication studies fold over.
+#[test]
+fn serial_visits_trials_in_order() {
+    let exp = Experiment::with_trials("order", 3, (0..10u64).collect());
+    let mut seen = Vec::new();
+    exp.run_serial(|ctx, spec| seen.push((ctx.index, *spec)));
+    assert_eq!(seen, (0..10).map(|i| (i as usize, i)).collect::<Vec<_>>());
+}

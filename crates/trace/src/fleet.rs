@@ -98,6 +98,27 @@ fn poisson_times(rate_per_year: f64, duration_days: f64, rng: &mut SmallRng) -> 
     }
 }
 
+/// The seed for replication `index` of a study derived from `master`:
+/// the workspace-wide SplitMix64 stream ([`drs_harness::stream_seed`]).
+///
+/// This replaces the old `master.wrapping_add(i).wrapping_mul(…)` scheme,
+/// whose consecutive outputs differed by a fixed constant and fed
+/// correlated states into the trace generator's `SmallRng` — a bias in
+/// the replicated fleet study.
+#[must_use]
+pub fn replication_seed(master: u64, index: u64) -> u64 {
+    drs_harness::stream_seed(master, index)
+}
+
+/// Generates the trace for replication `index` of a study seeded by
+/// `master` — [`generate_trace`] under [`replication_seed`], the exact
+/// per-trial seed [`crate::study::replicate_study`] uses, so one
+/// replication can be reproduced without re-running the study.
+#[must_use]
+pub fn generate_replication(spec: &FleetSpec, master: u64, index: u64) -> Vec<FailureRecord> {
+    generate_trace(spec, replication_seed(master, index))
+}
+
 /// Generates a complete, time-sorted failure trace for a fleet.
 #[must_use]
 pub fn generate_trace(spec: &FleetSpec, seed: u64) -> Vec<FailureRecord> {
@@ -189,6 +210,22 @@ mod tests {
     fn deterministic_per_seed() {
         let spec = FleetSpec::hundred_servers_one_year();
         assert_eq!(generate_trace(&spec, 9), generate_trace(&spec, 9));
+    }
+
+    #[test]
+    fn replication_helper_uses_the_shared_stream() {
+        let spec = FleetSpec::hundred_servers_one_year();
+        assert_eq!(
+            generate_replication(&spec, 13, 4),
+            generate_trace(&spec, drs_harness::stream_seed(13, 4))
+        );
+        // The stream must not reproduce the weak legacy derivation, whose
+        // consecutive seeds were an affine sequence.
+        let legacy = |seed: u64, i: u64| seed.wrapping_add(i).wrapping_mul(0x9E37_79B9);
+        assert_ne!(replication_seed(13, 0), legacy(13, 0));
+        let d0 = replication_seed(13, 1).wrapping_sub(replication_seed(13, 0));
+        let d1 = replication_seed(13, 2).wrapping_sub(replication_seed(13, 1));
+        assert_ne!(d0, d1, "replication seeds form an affine sequence");
     }
 
     #[test]

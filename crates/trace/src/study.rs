@@ -1,6 +1,7 @@
 //! The study pipeline: classify traces, replicate the 13 % statistic, and
 //! estimate how many network failures DRS masks.
 
+use drs_harness::{Experiment, Summary};
 use serde::{Deserialize, Serialize};
 
 use crate::fleet::{generate_trace, FailureRecord, FleetSpec};
@@ -21,6 +22,10 @@ pub fn network_fraction(trace: &[FailureRecord]) -> Option<f64> {
 pub struct StudySummary {
     /// Replications run.
     pub replications: usize,
+    /// Replications whose trace was non-empty and therefore contributed
+    /// a classified network fraction. When this is zero, every fraction
+    /// statistic below is a well-defined `0.0`, not `NaN`.
+    pub classified: usize,
     /// Mean failures observed per replication.
     pub mean_failures: f64,
     /// Mean network fraction.
@@ -34,32 +39,37 @@ pub struct StudySummary {
 }
 
 /// Replicates the paper's one-year study over `replications` independent
-/// seeds derived from `seed`.
+/// trials of a [`drs_harness::Experiment`].
+///
+/// Per-trial seeds come from the shared SplitMix64 stream
+/// ([`crate::fleet::replication_seed`]); trials fan out across the rayon
+/// pool, and because each replication is an independent function of its
+/// seed the result is identical to a serial run. A study in which every
+/// replication yields an empty trace (zeroed failure rates, tiny windows)
+/// reports zeroed fraction statistics with `classified == 0` rather than
+/// `NaN` mean/std and an infinite minimum.
 ///
 /// # Panics
 /// Panics if `replications == 0`.
 #[must_use]
 pub fn replicate_study(spec: &FleetSpec, replications: usize, seed: u64) -> StudySummary {
     assert!(replications > 0, "need at least one replication");
-    let mut fractions = Vec::with_capacity(replications);
-    let mut total_failures = 0usize;
-    for i in 0..replications {
-        let trace = generate_trace(spec, seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9));
-        total_failures += trace.len();
-        if let Some(f) = network_fraction(&trace) {
-            fractions.push(f);
-        }
-    }
-    let n = fractions.len() as f64;
-    let mean = fractions.iter().sum::<f64>() / n;
-    let var = fractions.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / (n - 1.0).max(1.0);
+    let exp = Experiment::replications("fleet-study", seed, replications);
+    let per_trial: Vec<(usize, Option<f64>)> = exp.run_parallel(|ctx, ()| {
+        let trace = generate_trace(spec, ctx.seed);
+        (trace.len(), network_fraction(&trace))
+    });
+    let total_failures: usize = per_trial.iter().map(|(len, _)| len).sum();
+    let fractions: Vec<f64> = per_trial.iter().filter_map(|(_, frac)| *frac).collect();
+    let stats = Summary::of(&fractions);
     StudySummary {
         replications,
+        classified: stats.count,
         mean_failures: total_failures as f64 / replications as f64,
-        mean_network_fraction: mean,
-        std_network_fraction: var.sqrt(),
-        min_fraction: fractions.iter().cloned().fold(f64::INFINITY, f64::min),
-        max_fraction: fractions.iter().cloned().fold(0.0, f64::max),
+        mean_network_fraction: stats.mean,
+        std_network_fraction: stats.std,
+        min_fraction: stats.min,
+        max_fraction: stats.max,
     }
 }
 
@@ -210,6 +220,50 @@ mod tests {
         // reason a single-year field number like "13%" carries noise.
         assert!(s.std_network_fraction > 0.03);
         assert!(s.mean_failures > 5.0 && s.mean_failures < 40.0);
+    }
+
+    #[test]
+    fn all_empty_replications_yield_zeroed_summary_not_nan() {
+        // Regression: with every failure rate zeroed, each replication's
+        // trace is empty, so no network fraction is ever classified. The
+        // old implementation divided 0/0 (NaN mean/std) and folded min
+        // from +inf; the summary must now be finite and all-zero.
+        let mut spec = FleetSpec::hundred_servers_one_year();
+        spec.rates = crate::components::FailureRates {
+            nic: 0.0,
+            cable: 0.0,
+            hub: 0.0,
+            disk: 0.0,
+            memory: 0.0,
+            power_supply: 0.0,
+            fan: 0.0,
+            cpu: 0.0,
+            motherboard: 0.0,
+        };
+        let s = replicate_study(&spec, 8, 1);
+        assert_eq!(s.replications, 8);
+        assert_eq!(s.classified, 0);
+        assert_eq!(s.mean_failures, 0.0);
+        assert!(s.mean_network_fraction == 0.0 && s.std_network_fraction == 0.0);
+        assert!(s.min_fraction == 0.0 && s.max_fraction == 0.0);
+        assert!(
+            s.mean_network_fraction.is_finite() && s.min_fraction.is_finite(),
+            "summary must never carry NaN/inf"
+        );
+    }
+
+    #[test]
+    fn replications_use_the_shared_seed_stream() {
+        // One replication reproduced by hand through the fleet helper
+        // must see exactly the trace the study saw.
+        let spec = FleetSpec::hundred_servers_one_year();
+        let single = crate::fleet::generate_replication(&spec, 2026, 0);
+        let s = replicate_study(&spec, 1, 2026);
+        assert_eq!(s.mean_failures, single.len() as f64);
+        assert_eq!(s.classified, usize::from(!single.is_empty()));
+        if let Some(f) = network_fraction(&single) {
+            assert_eq!(s.mean_network_fraction, f);
+        }
     }
 
     #[test]

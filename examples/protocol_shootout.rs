@@ -3,14 +3,9 @@
 //!
 //! Run: `cargo run --release --example protocol_shootout`
 
-use drs::baselines::compare::{run_scenario, ProtocolLabel, ScenarioSpec};
-use drs::baselines::ospf::{OspfConfig, OspfDaemon};
-use drs::baselines::reactive::{ReactiveConfig, ReactiveDaemon};
-use drs::baselines::rip::{RipConfig, RipDaemon};
-use drs::baselines::static_route::StaticRouting;
-use drs::core::{DrsConfig, DrsDaemon};
+use drs::baselines::compare::{run_protocol, ProtocolConfigs, ProtocolLabel, ScenarioSpec};
 use drs::sim::fault::SimComponent;
-use drs::sim::{NetId, NodeId, SimDuration};
+use drs::sim::{NetId, NodeId};
 
 fn main() {
     println!("one failure, four routing strategies");
@@ -20,24 +15,13 @@ fn main() {
     let n = 10;
     let spec = ScenarioSpec::standard(n, 99, vec![SimComponent::Nic(NodeId(1), NetId::A)]);
 
-    let drs_cfg = DrsConfig::default()
-        .probe_timeout(SimDuration::from_millis(100))
-        .probe_interval(SimDuration::from_millis(500));
-    let results = vec![
-        run_scenario(ProtocolLabel::Drs, &spec, |id| {
-            DrsDaemon::new(id, n, drs_cfg)
-        }),
-        run_scenario(ProtocolLabel::Reactive, &spec, |id| {
-            ReactiveDaemon::new(id, ReactiveConfig::default())
-        }),
-        run_scenario(ProtocolLabel::Ospf, &spec, |id| {
-            OspfDaemon::new(id, OspfConfig::default().scaled_down(10))
-        }),
-        run_scenario(ProtocolLabel::Rip, &spec, |id| {
-            RipDaemon::new(id, RipConfig::default().scaled_down(10))
-        }),
-        run_scenario(ProtocolLabel::Static, &spec, |_| StaticRouting),
-    ];
+    // One config bundle, one dispatch call per protocol — the same
+    // data-driven path the benchmark shootout takes.
+    let cfgs = ProtocolConfigs::bench_defaults();
+    let results: Vec<_> = ProtocolLabel::ALL
+        .iter()
+        .map(|&label| run_protocol(label, &spec, &cfgs))
+        .collect();
 
     println!(
         "{:<22} {:>10} {:>12} {:>8} {:>12}",
@@ -56,8 +40,9 @@ fn main() {
     }
 
     println!();
-    let drs_outage = results[0].outage.expect("DRS stabilizes");
-    let rip_outage = results[3].outage.expect("RIP stabilizes");
+    let by = |l: ProtocolLabel| results.iter().find(|r| r.label == l).unwrap();
+    let drs_outage = by(ProtocolLabel::Drs).outage.expect("DRS stabilizes");
+    let rip_outage = by(ProtocolLabel::Rip).outage.expect("RIP stabilizes");
     println!(
         "DRS restored prompt service {:.0}x faster than the RIP-style baseline",
         rip_outage.as_secs_f64() / drs_outage.as_secs_f64().max(1e-9)

@@ -4,7 +4,8 @@
 //! System protocol ([`core`]), the discrete-event cluster simulator it
 //! runs on ([`sim`]), the survivability mathematics ([`analytic`]), the
 //! reactive baselines ([`baselines`]), the proactive-cost model
-//! ([`cost`]), and the deployment failure-trace study ([`trace`]).
+//! ([`cost`]), the deployment failure-trace study ([`trace`]), and the
+//! experiment harness that orchestrates simulation trials ([`harness`]).
 //!
 //! See the repository README for a guided tour and `DESIGN.md` for the
 //! paper-to-module map.
@@ -13,5 +14,6 @@ pub use drs_analytic as analytic;
 pub use drs_baselines as baselines;
 pub use drs_core as core;
 pub use drs_cost as cost;
+pub use drs_harness as harness;
 pub use drs_sim as sim;
 pub use drs_trace as trace;

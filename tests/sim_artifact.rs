@@ -1,0 +1,88 @@
+//! Integration: the committed `BENCH_sim_survivability.json` artifact is
+//! exactly what the harness regenerates — same bytes, serial or parallel.
+//!
+//! If an intentional change shifts the simulation results, regenerate the
+//! artifact (`cargo run --release -p drs-bench --bin sim_sweep`) and
+//! commit it alongside the change; this test then documents the new
+//! ground truth. CI runs the same regenerate-and-diff check.
+
+use drs::harness::RunMode;
+use drs_bench::sim_artifact::bench_artifact;
+use drs_bench::{BENCH_SEED, SIM_BENCH_JSON};
+
+fn committed() -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(SIM_BENCH_JSON);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read committed artifact {}: {e}", path.display()))
+}
+
+#[test]
+fn committed_artifact_regenerates_byte_for_byte() {
+    let regenerated = bench_artifact(RunMode::Parallel).to_json();
+    assert_eq!(
+        regenerated,
+        committed(),
+        "BENCH_sim_survivability.json drifted from what the harness \
+         produces under master seed {BENCH_SEED}; regenerate it with \
+         `cargo run --release -p drs-bench --bin sim_sweep` if the \
+         change is intentional"
+    );
+}
+
+#[test]
+fn serial_and_parallel_artifacts_are_byte_identical() {
+    let parallel = bench_artifact(RunMode::Parallel);
+    let serial = bench_artifact(RunMode::Serial);
+    assert_eq!(parallel.to_json(), serial.to_json());
+}
+
+#[test]
+fn artifact_traces_tell_a_complete_story() {
+    // Every shootout trial accounts for each sent flow with a terminal
+    // event, and every e2e trial records its fault injections.
+    let artifact = bench_artifact(RunMode::Parallel);
+    let shootout = artifact.get("protocol-shootout").expect("shootout runs");
+    for t in &shootout.trials {
+        let sent = t
+            .metrics
+            .iter()
+            .find(|m| m.name == "sent")
+            .and_then(|m| match m.value {
+                drs::harness::MetricValue::Count(c) => Some(c),
+                _ => None,
+            })
+            .expect("sent metric");
+        let terminal = t
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    drs::harness::TraceEventKind::FlowDelivered
+                        | drs::harness::TraceEventKind::FlowGaveUp
+                )
+            })
+            .count() as u64;
+        assert_eq!(
+            terminal, sent,
+            "{}: every flow ends in a terminal event",
+            t.id
+        );
+    }
+    let e2e_experiments: Vec<_> = artifact
+        .experiments
+        .iter()
+        .filter(|e| e.name.starts_with("e2e/"))
+        .collect();
+    assert!(!e2e_experiments.is_empty(), "e2e grid present");
+    for exp in e2e_experiments {
+        for t in &exp.trials {
+            let faults = t
+                .events
+                .iter()
+                .filter(|e| e.kind == drs::harness::TraceEventKind::FaultInjected)
+                .count();
+            assert!(faults > 0, "{}/{}: fault trace recorded", exp.name, t.id);
+        }
+    }
+}
