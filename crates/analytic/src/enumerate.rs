@@ -232,10 +232,9 @@ fn walk_states(
                 for &old in &cur[pivot..] {
                     st.restore_index(old);
                 }
-                for j in pivot..f {
-                    let new = combos.current()[j];
+                for (slot, &new) in cur[pivot..f].iter_mut().zip(&combos.current()[pivot..f]) {
                     st.fail_index(new);
-                    cur[j] = new;
+                    *slot = new;
                 }
             }
         }

@@ -16,13 +16,14 @@ use serde::{Deserialize, Serialize};
 
 use drs_core::{DrsConfig, DrsDaemon, DrsEventKind};
 use drs_harness::{
-    sort_events, Experiment, ExperimentRecord, Metric, RunMode, TraceEvent, TraceEventKind,
-    TrialRecord,
+    Experiment, ExperimentRecord, Metric, RunMode, TraceEvent, TraceEventKind, TrialRecord,
+    TrialTrace,
 };
 use drs_sim::app::Workload;
 use drs_sim::fault::{FaultPlan, SimComponent};
 use drs_sim::ids::{FlowId, NodeId};
 use drs_sim::scenario::ClusterSpec;
+use drs_sim::stats::{LatencyHistogram, ProbeObs};
 use drs_sim::time::{SimDuration, SimTime};
 use drs_sim::transport::max_flow_lifetime;
 use drs_sim::world::{FlowOutcome, Protocol, World};
@@ -140,6 +141,10 @@ pub struct ScenarioResult {
     pub gave_up: u64,
     /// Worst delivered latency.
     pub max_latency: Option<SimDuration>,
+    /// The full distribution of delivered end-to-end latencies (log₂
+    /// buckets) behind `max_latency` — empty when nothing was delivered,
+    /// in which case its quantiles report `None`.
+    pub latency: LatencyHistogram,
     /// Application-visible outage: time from the fault until deliveries
     /// become (and remain) prompt. `None` when service never stabilized
     /// within the measurement window.
@@ -159,11 +164,13 @@ impl ScenarioResult {
 }
 
 /// A finished scenario run before the world is torn down: the result row,
-/// the flow-level event trace, and the world itself so protocol-specific
-/// observers (the DRS daemon event log) can be harvested.
+/// the flow-level event trace (still unsealed — more producers may append
+/// before it is sorted exactly once), and the world itself so
+/// protocol-specific observers (the DRS daemon event log, the probe-path
+/// histograms) can be harvested.
 struct ScenarioRun<P: Protocol> {
     result: ScenarioResult,
-    events: Vec<TraceEvent>,
+    trace: TrialTrace,
     world: World<P>,
     t0: SimTime,
 }
@@ -178,15 +185,11 @@ fn run_scenario_inner<P: Protocol>(
     world.run_for(spec.warmup);
     let t0 = world.now();
 
-    let mut events = Vec::new();
+    let mut trace = TrialTrace::new();
     let mut plan = FaultPlan::new();
     for &c in &spec.faults {
         plan = plan.fail_at(t0, c);
-        events.push(TraceEvent::new(
-            t0.0,
-            TraceEventKind::FaultInjected,
-            format!("{c:?}"),
-        ));
+        trace.record(t0.0, TraceEventKind::FaultInjected, format!("{c:?}"));
     }
     world.schedule_faults(plan);
 
@@ -219,27 +222,27 @@ fn run_scenario_inner<P: Protocol>(
     for (i, outcome) in outcomes.iter().enumerate() {
         match outcome {
             Some(FlowOutcome::Delivered(rtt)) if *rtt < spec.prompt_threshold => {
-                events.push(TraceEvent::new(
+                trace.record(
                     (send_times[i] + *rtt).0,
                     TraceEventKind::FlowDelivered,
                     format!("msg {i} rtt {rtt}"),
-                ));
+                );
             }
             Some(FlowOutcome::Delivered(rtt)) => {
                 outage_end = Some(send_times[i] + *rtt);
-                events.push(TraceEvent::new(
+                trace.record(
                     (send_times[i] + *rtt).0,
                     TraceEventKind::FlowDelivered,
                     format!("msg {i} rtt {rtt} (late)"),
-                ));
+                );
             }
             Some(FlowOutcome::GaveUp) | None => {
                 stabilized = false;
-                events.push(TraceEvent::new(
+                trace.record(
                     send_times[i].0,
                     TraceEventKind::FlowGaveUp,
                     format!("msg {i}"),
-                ));
+                );
             }
         }
     }
@@ -256,11 +259,12 @@ fn run_scenario_inner<P: Protocol>(
         retransmits: stats.retransmits,
         gave_up: stats.gave_up,
         max_latency: stats.latency.max(),
+        latency: stats.latency.clone(),
         outage,
     };
     ScenarioRun {
         result,
-        events,
+        trace,
         world,
         t0,
     }
@@ -319,7 +323,23 @@ pub fn run_protocol(
     spec: &ScenarioSpec,
     cfgs: &ProtocolConfigs,
 ) -> ScenarioResult {
-    run_protocol_traced(label, spec, cfgs).0
+    run_protocol_observed(label, spec, cfgs).result
+}
+
+/// Everything one observed protocol run hands to the reporting layer.
+#[derive(Debug, Clone)]
+pub struct ProtocolObservation {
+    /// What the application saw.
+    pub result: ScenarioResult,
+    /// The sealed (time-sorted) structured event trace.
+    pub events: Vec<TraceEvent>,
+    /// The cluster-merged probe-path record: probe gaps, RTTs, detection
+    /// and reroute latencies, and originated probe bytes. The world
+    /// charges probe bytes for any echo-using protocol; the latency
+    /// histograms are populated only by daemons that record into them
+    /// (today: DRS), so for the others they are empty and their quantiles
+    /// report `None`.
+    pub probe_obs: ProbeObs,
 }
 
 /// [`run_protocol`] plus the trial's structured event trace: fault
@@ -332,13 +352,28 @@ pub fn run_protocol_traced(
     spec: &ScenarioSpec,
     cfgs: &ProtocolConfigs,
 ) -> (ScenarioResult, Vec<TraceEvent>) {
+    let o = run_protocol_observed(label, spec, cfgs);
+    (o.result, o.events)
+}
+
+/// [`run_protocol_traced`] plus the probe-path observability harvest —
+/// the full form the shootout and the observability benchmark run.
+///
+/// Event producers append in whatever order is natural to them; the trace
+/// is sorted exactly once, when the [`TrialTrace`] is sealed here.
+#[must_use]
+pub fn run_protocol_observed(
+    label: ProtocolLabel,
+    spec: &ScenarioSpec,
+    cfgs: &ProtocolConfigs,
+) -> ProtocolObservation {
     let n = spec.cluster.n;
-    let (result, mut events) = match label {
+    let (result, trace, probe_obs) = match label {
         ProtocolLabel::Drs => {
             let cfg = cfgs.drs;
             let run = run_scenario_inner(label, spec, |id| DrsDaemon::new(id, n, cfg));
-            let mut events = run.events;
-            events.extend(
+            let mut trace = run.trace;
+            trace.extend(
                 run.world
                     .protocol(spec.src)
                     .metrics
@@ -347,30 +382,33 @@ pub fn run_protocol_traced(
                     .filter(|e| e.at >= run.t0)
                     .map(|e| drs_trace_event(e.at, &e.kind)),
             );
-            (run.result, events)
+            (run.result, trace, run.world.merged_probe_obs())
         }
         ProtocolLabel::Reactive => {
             let cfg = cfgs.reactive;
             let run = run_scenario_inner(label, spec, |id| ReactiveDaemon::new(id, cfg));
-            (run.result, run.events)
+            (run.result, run.trace, run.world.merged_probe_obs())
         }
         ProtocolLabel::Ospf => {
             let cfg = cfgs.ospf;
             let run = run_scenario_inner(label, spec, |id| OspfDaemon::new(id, cfg));
-            (run.result, run.events)
+            (run.result, run.trace, run.world.merged_probe_obs())
         }
         ProtocolLabel::Rip => {
             let cfg = cfgs.rip;
             let run = run_scenario_inner(label, spec, |id| RipDaemon::new(id, cfg));
-            (run.result, run.events)
+            (run.result, run.trace, run.world.merged_probe_obs())
         }
         ProtocolLabel::Static => {
             let run = run_scenario_inner(label, spec, |_| StaticRouting);
-            (run.result, run.events)
+            (run.result, run.trace, run.world.merged_probe_obs())
         }
     };
-    sort_events(&mut events);
-    (result, events)
+    ProtocolObservation {
+        result,
+        events: trace.seal(),
+        probe_obs,
+    }
 }
 
 /// Translates one DRS daemon event into the harness trace vocabulary.
@@ -457,6 +495,8 @@ pub struct ShootoutRow {
     pub result: ScenarioResult,
     /// The trial's structured event trace.
     pub events: Vec<TraceEvent>,
+    /// The trial's cluster-merged probe-path observability record.
+    pub probe_obs: ProbeObs,
 }
 
 /// Runs the full scenario × protocol grid as one
@@ -481,13 +521,14 @@ pub fn run_shootout(
         let label = labels[l];
         let mut spec = scenario.spec.clone();
         spec.cluster = spec.cluster.seed(ctx.seed);
-        let (result, events) = run_protocol_traced(label, &spec, cfgs);
+        let o = run_protocol_observed(label, &spec, cfgs);
         ShootoutRow {
             scenario: scenario.name,
             label,
             seed: ctx.seed,
-            result,
-            events,
+            result: o.result,
+            events: o.events,
+            probe_obs: o.probe_obs,
         }
     })
 }
@@ -635,6 +676,38 @@ mod tests {
             r.delivered
         );
         assert!(events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+    }
+
+    #[test]
+    fn observed_run_harvests_probe_path_and_latency() {
+        let spec = hub_a_failure(5, 13);
+        let cfgs = ProtocolConfigs {
+            drs: fast_drs(),
+            ..ProtocolConfigs::bench_defaults()
+        };
+        let drs = run_protocol_observed(ProtocolLabel::Drs, &spec, &cfgs);
+        let obs = &drs.probe_obs;
+        assert!(obs.probe_bytes > 0, "DRS must have originated probes");
+        assert!(obs.probe_rtt.count() > 0);
+        assert!(
+            obs.failover_detect.count() >= 1,
+            "the hub failure must be detected"
+        );
+        assert_eq!(
+            drs.result.latency.count(),
+            drs.result.delivered,
+            "one latency sample per delivered message"
+        );
+        assert_eq!(drs.result.latency.max(), drs.result.max_latency);
+        assert!(drs.events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+
+        // Static routing probes nothing and (here) delivers nothing, so
+        // every channel is empty and quantiles honestly report None.
+        let st = run_protocol_observed(ProtocolLabel::Static, &spec, &cfgs);
+        assert_eq!(st.probe_obs.probe_bytes, 0);
+        assert_eq!(st.probe_obs.probe_rtt.count(), 0);
+        assert_eq!(st.result.latency.count(), 0);
+        assert_eq!(st.result.latency.quantile_upper_bound(0.5), None);
     }
 
     #[test]

@@ -15,7 +15,9 @@
 use drs_bench::section;
 use drs_harness::Experiment;
 use drs_trace::fleet::{generate_trace, FleetSpec};
-use drs_trace::study::{availability_gain, masking_analysis, network_fraction, replicate_study};
+use drs_trace::study::{
+    availability_gain, fmt_fraction_pct, masking_analysis, network_fraction, replicate_study,
+};
 
 fn main() {
     println!("Deployment failure study (synthetic reproduction of the field data)");
@@ -39,9 +41,9 @@ fn main() {
     let trace = generate_trace(&spec, 1999);
     println!("  hardware failures observed: {}", trace.len());
     println!(
-        "  network related: {} ({:.1}%)",
+        "  network related: {} ({})",
         trace.iter().filter(|r| r.is_network()).count(),
-        network_fraction(&trace).unwrap_or(0.0) * 100.0
+        fmt_fraction_pct(network_fraction(&trace))
     );
 
     section("the statistic's spread over 1,000 independent study years");

@@ -11,6 +11,7 @@ use drs_analytic::sweep::SweepResult;
 use drs_sim::time::SimDuration;
 
 pub mod e2e;
+pub mod obs_artifact;
 pub mod sim_artifact;
 
 /// The master seed every sweep-driven binary uses, so the committed
@@ -26,6 +27,12 @@ pub const BENCH_JSON: &str = "BENCH_survivability.json";
 /// repo root (schema documented in EXPERIMENTS.md): the harness-run
 /// protocol shootout and end-to-end survivability grid.
 pub const SIM_BENCH_JSON: &str = "BENCH_sim_survivability.json";
+
+/// File name of the machine-readable observability artifact tracked in
+/// the repo root (schema documented in EXPERIMENTS.md): failover-latency
+/// percentiles, DRS probe-path histograms, probe-overhead-vs-budget
+/// cells, and event-count breakdowns.
+pub const OBS_BENCH_JSON: &str = "BENCH_observability.json";
 
 /// Writes a sweep artifact (or any text) to `path`.
 ///
@@ -81,6 +88,14 @@ pub fn fmt_opt_dur(d: Option<SimDuration>) -> String {
     d.map_or_else(|| "—".to_string(), |d| d.to_string())
 }
 
+/// Formats an optional nanosecond count as an adaptive duration, with a
+/// dash for `None` — the terminal face of the observability layer's
+/// "no samples ≠ 0 ns" rule.
+#[must_use]
+pub fn fmt_opt_ns(ns: Option<u64>) -> String {
+    fmt_opt_dur(ns.map(SimDuration))
+}
+
 /// Renders one table row of fixed-width cells.
 pub fn row(cells: &[String], widths: &[usize]) {
     let line: Vec<String> = cells
@@ -100,5 +115,7 @@ mod tests {
         assert_eq!(fmt_p(0.99042), "0.9904");
         assert_eq!(fmt_dur(SimDuration::from_millis(1500)), "1.500s");
         assert_eq!(fmt_opt_dur(None), "—");
+        assert_eq!(fmt_opt_ns(None), "—");
+        assert_eq!(fmt_opt_ns(Some(1_500_000)), "1.500ms");
     }
 }

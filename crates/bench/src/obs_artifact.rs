@@ -1,0 +1,304 @@
+//! The committed observability benchmark: builds the
+//! `BENCH_observability.json` artifact ([`drs_obs::SCHEMA`]).
+//!
+//! Four sections, all regenerated from the same rand-free paths as the
+//! other committed artifacts and therefore byte-reproducible on any
+//! machine, any thread count:
+//!
+//! * **`failover_latency`** — the protocol shootout re-run with the
+//!   instrumentation harvested: per-protocol delivered-latency
+//!   histograms merged across the three standard failure scenarios.
+//!   Static routing delivers nothing in these scenarios, so its row is
+//!   the committed regression for the "no samples ≠ 0 ns" rule: count 0
+//!   and `null` quantiles.
+//! * **`drs_probe_path`** — the DRS daemon's probe-path histograms
+//!   (probe gap, probe RTT, failover detection, reroute completion)
+//!   merged across every host of every DRS shootout trial, plus the
+//!   probe bytes those hosts originated.
+//! * **`probe_overhead`** — healthy `n`-host clusters probing at the
+//!   fastest sweep period Figure 1's cost model allows for each
+//!   bandwidth budget, with measured per-segment probe bytes checked
+//!   against the budget. Every cell must come in at or under budget.
+//! * **`event_counts`** — how many structured trace events of each
+//!   [`TraceEventKind`] the shootout and the end-to-end grid produced.
+//!
+//! Wall-clock profiling is deliberately absent here: profilers observe
+//! the same runs through [`drs_harness::Profiler`] hooks, but their
+//! nondeterministic timings go to the terminal (`obs_report`), never
+//! into this committed file.
+
+use drs_baselines::compare::{
+    run_shootout, standard_shootout_scenarios, ProtocolConfigs, ProtocolLabel,
+};
+use drs_core::{DrsConfig, DrsDaemon};
+use drs_cost::model::ProbeCostModel;
+use drs_harness::{coord_seed, RunMode, TraceEventKind};
+use drs_obs::{Histogram, ObsArtifact, Row, Section};
+use drs_sim::ids::{NetId, NodeId};
+use drs_sim::scenario::ClusterSpec;
+use drs_sim::stats::LatencyHistogram;
+use drs_sim::time::SimDuration;
+use drs_sim::world::World;
+
+use crate::e2e::{run_cell, E2E_GRID};
+use crate::sim_artifact::{E2E_TRIALS_PER_CELL, SHOOTOUT_HOSTS};
+use crate::BENCH_SEED;
+
+/// Cluster sizes of the probe-overhead grid.
+pub const OBS_OVERHEAD_N: [usize; 4] = [8, 16, 24, 32];
+
+/// Bandwidth budgets of the probe-overhead grid, in percent — the
+/// Figure 1 operating points.
+pub const OBS_OVERHEAD_BUDGETS_PCT: [u64; 4] = [5, 10, 15, 25];
+
+/// Measured sweeps per probe-overhead cell (after a two-period warmup).
+pub const OBS_OVERHEAD_SWEEPS: u64 = 8;
+
+/// Rebuilds an observability histogram from a simulator latency
+/// histogram — both use the same 64-bucket log₂ layout, so the copy is
+/// exact (identical counts, sum, min, max and quantile bounds).
+#[must_use]
+pub fn obs_histogram(h: &LatencyHistogram) -> Histogram {
+    Histogram::from_parts(
+        h.bucket_counts(),
+        h.count(),
+        h.sum_ns(),
+        h.min().map_or(u64::MAX, |d| d.0),
+        h.max().map_or(0, |d| d.0),
+    )
+}
+
+/// Builds the full observability artifact under `mode`.
+///
+/// [`RunMode::Serial`] and [`RunMode::Parallel`] produce identical
+/// artifacts; the `obs_report` binary asserts this on every run before
+/// writing the file.
+#[must_use]
+pub fn obs_bench_artifact(mode: RunMode) -> ObsArtifact {
+    let mut artifact = ObsArtifact::new(BENCH_SEED);
+
+    // The instrumented shootout: same scenarios, seeds and configs as
+    // the `BENCH_sim_survivability.json` shootout, so the latency
+    // histograms here describe exactly the trials committed there.
+    let scenarios = standard_shootout_scenarios(SHOOTOUT_HOSTS);
+    let rows = run_shootout(
+        BENCH_SEED,
+        &scenarios,
+        &ProtocolLabel::ALL,
+        &ProtocolConfigs::bench_defaults(),
+        mode,
+    );
+
+    let mut failover = Section::new("failover_latency");
+    for label in ProtocolLabel::ALL {
+        let mut delivered = 0;
+        let mut latency = Histogram::new();
+        for row in rows.iter().filter(|r| r.label == label) {
+            delivered += row.result.delivered;
+            latency.merge(&obs_histogram(&row.result.latency));
+        }
+        failover.push(
+            Row::new(label.key())
+                .count("delivered", delivered)
+                .hist(&latency),
+        );
+    }
+    artifact.push(failover);
+
+    let mut drs_obs = drs_sim::stats::ProbeObs::default();
+    for row in rows.iter().filter(|r| r.label == ProtocolLabel::Drs) {
+        drs_obs.merge(&row.probe_obs);
+    }
+    let mut probe_path = Section::new("drs_probe_path");
+    for (id, h) in [
+        ("probe_gap", &drs_obs.probe_gap),
+        ("probe_rtt", &drs_obs.probe_rtt),
+        ("failover_detect", &drs_obs.failover_detect),
+        ("reroute_complete", &drs_obs.reroute_complete),
+    ] {
+        probe_path.push(Row::new(id).hist(&obs_histogram(h)));
+    }
+    probe_path.push(Row::new("probe_bytes").count("bytes", drs_obs.probe_bytes));
+    artifact.push(probe_path);
+
+    artifact.push(probe_overhead_section());
+
+    // Event-count breakdown over both committed experiment families.
+    let mut shootout_counts = [0u64; 9];
+    for row in &rows {
+        for e in &row.events {
+            shootout_counts[kind_index(e.kind)] += 1;
+        }
+    }
+    let mut e2e_counts = [0u64; 9];
+    for &(n, f) in &E2E_GRID {
+        let master = coord_seed(BENCH_SEED, n as u64, f as u64);
+        for trial in run_cell(n, f, E2E_TRIALS_PER_CELL, master, mode) {
+            for e in &trial.events {
+                e2e_counts[kind_index(e.kind)] += 1;
+            }
+        }
+    }
+    let mut counts = Section::new("event_counts");
+    for kind in ALL_KINDS {
+        let i = kind_index(kind);
+        counts.push(
+            Row::new(kind.label())
+                .count("shootout", shootout_counts[i])
+                .count("e2e", e2e_counts[i])
+                .count("total", shootout_counts[i] + e2e_counts[i]),
+        );
+    }
+    artifact.push(counts);
+
+    artifact
+}
+
+/// Every trace-event kind, in artifact row order.
+const ALL_KINDS: [TraceEventKind; 9] = [
+    TraceEventKind::FaultInjected,
+    TraceEventKind::Repaired,
+    TraceEventKind::LinkDown,
+    TraceEventKind::LinkUp,
+    TraceEventKind::RouteChanged,
+    TraceEventKind::DiscoveryStarted,
+    TraceEventKind::DiscoveryFailed,
+    TraceEventKind::FlowDelivered,
+    TraceEventKind::FlowGaveUp,
+];
+
+fn kind_index(kind: TraceEventKind) -> usize {
+    ALL_KINDS
+        .iter()
+        .position(|&k| k == kind)
+        .expect("known kind")
+}
+
+/// Runs the probe-overhead grid: for each `(n, budget)` cell a healthy
+/// cluster probes at one nanosecond over the fastest sweep period the
+/// Figure 1 cost model allows, and the per-segment probe bytes admitted
+/// over [`OBS_OVERHEAD_SWEEPS`] periods are measured against the budget.
+///
+/// The extra nanosecond absorbs the float rounding in the model's
+/// period computation, making "measured utilization ≤ budget" strict
+/// rather than knife-edge. The run is rand-free: no frame loss, no
+/// faults, first-offer gateway policy — the cluster's RNG is never
+/// consulted, so the measured counts are exact and reproducible.
+fn probe_overhead_section() -> Section {
+    let model = ProbeCostModel::default();
+    let mut section = Section::new("probe_overhead");
+    for &n in &OBS_OVERHEAD_N {
+        for &pct in &OBS_OVERHEAD_BUDGETS_PCT {
+            let beta = pct as f64 / 100.0;
+            let period = model.min_sweep_period(n as u64, beta) + SimDuration(1);
+            let cfg = DrsConfig::default()
+                .probe_timeout(SimDuration(period.0 / 4))
+                .probe_interval(period);
+            let spec = ClusterSpec::new(n)
+                .seed(coord_seed(BENCH_SEED, n as u64, pct))
+                .bandwidth_bps(model.bandwidth_bps);
+            let mut world = World::new(spec, |id| DrsDaemon::new(id, n, cfg));
+
+            // Two warmup periods let every staggered probe cycle reach
+            // steady state, then the measurement window covers an exact
+            // number of periods so each periodic probe stream
+            // contributes exactly OBS_OVERHEAD_SWEEPS sweeps.
+            world.run_for(period.saturating_mul(2));
+            let before = [
+                world.medium(NetId::A).stats.probe_bytes,
+                world.medium(NetId::B).stats.probe_bytes,
+            ];
+            let host_before: u64 = (0..n)
+                .map(|i| world.host(NodeId(i as u32)).obs.probe_bytes)
+                .sum();
+            world.run_for(period.saturating_mul(OBS_OVERHEAD_SWEEPS));
+            let measured = [
+                world.medium(NetId::A).stats.probe_bytes - before[0],
+                world.medium(NetId::B).stats.probe_bytes - before[1],
+            ];
+            // Per-host request accounting over the same window: on a
+            // loss-free cluster every admitted probe frame is a host's
+            // echo request or the kernel's matching auto-reply, so the
+            // wire carries exactly twice the request bytes.
+            let host_request_bytes: u64 = (0..n)
+                .map(|i| world.host(NodeId(i as u32)).obs.probe_bytes)
+                .sum::<u64>()
+                - host_before;
+
+            let window_secs = period.saturating_mul(OBS_OVERHEAD_SWEEPS).as_secs_f64();
+            let budget_bytes = beta * model.bandwidth_bps as f64 * window_secs / 8.0;
+            let worst = measured[0].max(measured[1]);
+            let utilization = worst as f64 * 8.0 / (model.bandwidth_bps as f64 * window_secs);
+            section.push(
+                Row::new(format!("n{n}_b{pct}"))
+                    .count("n", n as u64)
+                    .count("budget_pct", pct)
+                    .count("period_ns", period.0)
+                    .count("sweeps", OBS_OVERHEAD_SWEEPS)
+                    .count("probe_bytes_a", measured[0])
+                    .count("probe_bytes_b", measured[1])
+                    .count("host_request_bytes", host_request_bytes)
+                    .real("budget_bytes", budget_bytes)
+                    .real("utilization", utilization)
+                    .count("within_budget", u64::from(worst as f64 <= budget_bytes)),
+            );
+        }
+    }
+    section
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_histogram_copy_is_exact() {
+        let mut sim = LatencyHistogram::new();
+        for us in [120u64, 450, 9_000, 31] {
+            sim.record(SimDuration::from_micros(us));
+        }
+        let obs = obs_histogram(&sim);
+        assert_eq!(obs.count(), sim.count());
+        assert_eq!(obs.sum(), sim.sum_ns());
+        assert_eq!(obs.min(), sim.min().map(|d| d.0));
+        assert_eq!(obs.max(), sim.max().map(|d| d.0));
+        assert_eq!(obs_histogram(&LatencyHistogram::new()), Histogram::new());
+    }
+
+    #[test]
+    fn probe_overhead_cells_stay_within_budget() {
+        // One cheap cell end-to-end; the full grid is covered by the
+        // committed-artifact integration test.
+        let section = probe_overhead_section();
+        assert_eq!(
+            section.rows.len(),
+            OBS_OVERHEAD_N.len() * OBS_OVERHEAD_BUDGETS_PCT.len()
+        );
+        for row in &section.rows {
+            let get = |name: &str| {
+                row.fields
+                    .iter()
+                    .find(|f| f.name == name)
+                    .unwrap_or_else(|| panic!("{}: missing {name}", row.id))
+                    .value
+                    .clone()
+            };
+            let count = |name: &str| match get(name) {
+                drs_obs::FieldValue::Count(c) => c,
+                v => panic!("{}: {name} not a count: {v:?}", row.id),
+            };
+            assert_eq!(count("within_budget"), 1, "{} over budget", row.id);
+            assert!(count("probe_bytes_a") > 0, "{} measured nothing", row.id);
+            // Requests charged to hosts are half the wire traffic (the
+            // other half is the kernel's echo replies), mirrored on both
+            // segments.
+            assert_eq!(
+                2 * count("host_request_bytes"),
+                count("probe_bytes_a") + count("probe_bytes_b"),
+                "{}: request accounting must match the wire",
+                row.id
+            );
+            assert_eq!(count("probe_bytes_a"), count("probe_bytes_b"), "{}", row.id);
+        }
+    }
+}

@@ -24,6 +24,7 @@ use std::collections::HashMap;
 
 use rand::Rng;
 
+use drs_obs::Span;
 use drs_sim::ids::{NetId, NodeId};
 use drs_sim::routes::Route;
 use drs_sim::time::SimDuration;
@@ -76,6 +77,18 @@ pub struct DrsDaemon {
     last_discovery: HashMap<NodeId, drs_sim::time::SimTime>,
     /// Counters and the timestamped event log.
     pub metrics: DrsMetrics,
+    // Observability spans, all clocked on simulation time. Recording
+    // into them never schedules events or draws randomness, so the
+    // instrumented daemon is event-for-event identical to PR-2's.
+    /// Open span per monitored `(peer, net)`: the in-flight monitor
+    /// cycle. Closed into `probe_gap`/`probe_rtt` histograms.
+    probe_spans: HashMap<(NodeId, NetId), Span>,
+    /// Last time each `(peer, net)` answered a probe — the baseline for
+    /// failure-detection latency.
+    last_ok: HashMap<(NodeId, NetId), drs_sim::time::SimTime>,
+    /// Open repair span per destination: failure observed → new route
+    /// installed. Closed into the `reroute_complete` histogram.
+    pending_reroute: HashMap<NodeId, Span>,
 }
 
 impl DrsDaemon {
@@ -98,6 +111,9 @@ impl DrsDaemon {
             discovery: HashMap::new(),
             last_discovery: HashMap::new(),
             metrics: DrsMetrics::default(),
+            probe_spans: HashMap::new(),
+            last_ok: HashMap::new(),
+            pending_reroute: HashMap::new(),
         }
     }
 
@@ -140,11 +156,23 @@ impl DrsDaemon {
         self.metrics.route_changes += 1;
         self.metrics
             .log(ctx.now(), DrsEventKind::RouteChanged { dst, route });
+        // A repair span for this destination closes on the first actual
+        // route change after the failure — if discovery had to wait for
+        // the peer to recover, the recorded latency honestly covers the
+        // whole outage.
+        if let Some(span) = self.pending_reroute.remove(&dst) {
+            let elapsed = SimDuration(span.elapsed_ns(ctx.now().0));
+            ctx.probe_obs_mut().reroute_complete.record(elapsed);
+        }
     }
 
     /// Repairs the route to `dst` after its current path broke: redundant
     /// direct link first, gateway discovery second.
     fn repair_route(&mut self, ctx: &mut Ctx<'_, DrsMsg>, dst: NodeId) {
+        let now = ctx.now();
+        self.pending_reroute
+            .entry(dst)
+            .or_insert_with(|| Span::begin(now.0));
         if let Some(net) = self.best_direct(dst) {
             let new = Route::Direct(net);
             if ctx.route(dst) != Some(new) {
@@ -160,6 +188,13 @@ impl DrsDaemon {
         self.metrics.link_down_events += 1;
         self.metrics
             .log(ctx.now(), DrsEventKind::LinkDown { peer, net });
+        // Failure-detection latency: last healthy reply → this event. A
+        // link that never answered has no baseline and records nothing
+        // (no samples, not a fake zero).
+        if let Some(&ok) = self.last_ok.get(&(peer, net)) {
+            let detect = ctx.now().since(ok);
+            ctx.probe_obs_mut().failover_detect.record(detect);
+        }
 
         // The direct route to this peer may have died...
         if ctx.route(peer) == Some(Route::Direct(net)) {
@@ -358,6 +393,14 @@ impl Protocol for DrsDaemon {
                 let seq = self.alloc_seq();
                 self.peers.probe_sent(peer, net, seq);
                 self.metrics.probes_sent += 1;
+                // One monitor-cycle span per (peer, net): opening the new
+                // one closes the old one into the probe-gap histogram —
+                // the realized sweep period, stagger and backoff included.
+                let span = Span::begin(ctx.now().0);
+                if let Some(prev) = self.probe_spans.insert((peer, net), span) {
+                    let gap = SimDuration(prev.elapsed_ns(span.start_ns()));
+                    ctx.probe_obs_mut().probe_gap.record(gap);
+                }
                 ctx.send_echo(net, peer, ECHO_ID, seq);
                 ctx.set_timer(
                     self.cfg.probe_timeout,
@@ -409,7 +452,16 @@ impl Protocol for DrsDaemon {
             return; // someone else's ping
         }
         self.metrics.replies_received += 1;
-        if self.peers.reply_received(from, net, ctx.now()) == Transition::WentUp {
+        let now = ctx.now();
+        // Round-trip of the monitor cycle's probe, measured against the
+        // most recent request on this (peer, net) — probes never overlap
+        // on a link because the timeout is armed under the interval.
+        if let Some(span) = self.probe_spans.get(&(from, net)) {
+            let rtt = SimDuration(span.elapsed_ns(now.0));
+            ctx.probe_obs_mut().probe_rtt.record(rtt);
+        }
+        self.last_ok.insert((from, net), now);
+        if self.peers.reply_received(from, net, now) == Transition::WentUp {
             self.handle_link_up(ctx, from, net);
         }
     }
@@ -836,6 +888,66 @@ mod tests {
         );
         assert!(rec_full && rec_backed, "both recover after the repair");
         assert_eq!(det_full, det_backed, "failure detection speed unchanged");
+    }
+
+    #[test]
+    fn healthy_cluster_probe_observability() {
+        let cfg = DrsConfig::default();
+        let mut w = drs_world(4, 21, cfg);
+        w.run_for(SimDuration::from_secs(10));
+        for i in 0..4u32 {
+            let obs = &w.host(NodeId(i)).obs;
+            let probes = w.protocol(NodeId(i)).metrics.probes_sent;
+            // Every probe request is charged to its sender at the ICMP
+            // wire size — the measured half of the Figure 1 budget.
+            assert_eq!(obs.probe_bytes, probes * 74, "node {i}");
+            // The realized monitor cycle is the configured interval.
+            let gap = &obs.probe_gap;
+            assert!(gap.count() > 0, "node {i} recorded probe gaps");
+            assert_eq!(
+                gap.min(),
+                Some(cfg.probe_interval),
+                "node {i}: healthy links re-arm at exactly the interval"
+            );
+            // RTTs on an idle 100 Mb/s hub are microseconds, far under
+            // the probe timeout.
+            let rtt = &obs.probe_rtt;
+            assert!(rtt.count() > 0, "node {i} recorded RTTs");
+            assert!(rtt.max().unwrap() < cfg.probe_timeout, "node {i}");
+            // Nothing failed, so failure channels must be *empty* — not
+            // zero-valued.
+            assert_eq!(obs.failover_detect.count(), 0, "node {i}");
+            assert_eq!(obs.reroute_complete.count(), 0, "node {i}");
+            assert_eq!(obs.failover_detect.quantile_upper_bound(0.5), None);
+        }
+    }
+
+    #[test]
+    fn failover_latency_lands_in_the_histograms() {
+        let cfg = fast_cfg();
+        let mut w = drs_world(4, 22, cfg);
+        let t0 = SimTime(2_000_000_000);
+        w.schedule_faults(FaultPlan::new().fail_at(t0, SimComponent::Nic(NodeId(1), NetId::A)));
+        w.run_for(SimDuration::from_secs(6));
+        for i in [0u32, 2, 3] {
+            let obs = &w.host(NodeId(i)).obs;
+            assert_eq!(obs.failover_detect.count(), 1, "node {i}");
+            // Measured from the last healthy reply, which precedes the
+            // fault by up to one probe interval.
+            let detect = obs.failover_detect.max().unwrap();
+            assert!(
+                detect <= cfg.worst_case_detection() + cfg.probe_interval,
+                "node {i}: detection latency {detect}"
+            );
+            // The failed link carried this node's route to node 1, so a
+            // repair span must have opened and closed.
+            assert_eq!(obs.reroute_complete.count(), 1, "node {i}");
+            let reroute = obs.reroute_complete.max().unwrap();
+            assert!(reroute < SimDuration::from_millis(1), "repair is immediate");
+        }
+        // The failed host's own histograms see the probes *it* lost.
+        let failed = &w.host(NodeId(1)).obs;
+        assert!(failed.failover_detect.count() >= 1);
     }
 
     #[test]

@@ -83,26 +83,39 @@ pub struct DrsMetrics {
     pub discoveries: u64,
     /// Gateway offers this daemon sent to others.
     pub offers_sent: u64,
-    /// Timestamped transition log.
+    /// Timestamped transition log, kept sorted by timestamp ([`DrsMetrics::log`]).
     pub events: Vec<DrsEvent>,
 }
 
 impl DrsMetrics {
-    /// Appends a timestamped event.
+    /// Appends a timestamped event, keeping the log sorted by timestamp.
+    ///
+    /// The daemon logs in virtual-time order, so this is an O(1) push on
+    /// the hot path; an out-of-order timestamp (a replayed or merged
+    /// log) falls back to a sorted insert *after* existing events with
+    /// the same timestamp, preserving arrival order among equals.
     pub fn log(&mut self, at: SimTime, kind: DrsEventKind) {
-        self.events.push(DrsEvent { at, kind });
+        let event = DrsEvent { at, kind };
+        match self.events.last() {
+            Some(last) if last.at > at => {
+                let i = self.events.partition_point(|e| e.at <= at);
+                self.events.insert(i, event);
+            }
+            _ => self.events.push(event),
+        }
     }
 
-    /// First event after `t0` matching `pred`, for latency measurements.
+    /// First event at or after `t0` matching `pred`, for latency
+    /// measurements. Binary-searches to the first candidate timestamp
+    /// (the log is sorted — see [`DrsMetrics::log`]), then scans only the
+    /// tail, so dense logs stay cheap to query repeatedly.
     pub fn first_after(
         &self,
         t0: SimTime,
         mut pred: impl FnMut(&DrsEventKind) -> bool,
     ) -> Option<DrsEvent> {
-        self.events
-            .iter()
-            .find(|e| e.at >= t0 && pred(&e.kind))
-            .copied()
+        let start = self.events.partition_point(|e| e.at < t0);
+        self.events[start..].iter().find(|e| pred(&e.kind)).copied()
     }
 }
 
@@ -139,5 +152,55 @@ mod tests {
                 DrsEventKind::RouteChanged { .. }
             ))
             .is_none());
+    }
+
+    fn discovery(target: u32) -> DrsEventKind {
+        DrsEventKind::DiscoveryStarted {
+            target: NodeId(target),
+        }
+    }
+
+    #[test]
+    fn out_of_order_insertion_keeps_the_log_sorted_and_queries_exact() {
+        let mut m = DrsMetrics::default();
+        for (t, target) in [
+            (30u64, 30u32),
+            (10, 10),
+            (20, 20),
+            (25, 25),
+            (5, 5),
+            (20, 21),
+        ] {
+            m.log(SimTime(t), discovery(target));
+        }
+        let times: Vec<u64> = m.events.iter().map(|e| e.at.0).collect();
+        assert_eq!(times, [5, 10, 20, 20, 25, 30]);
+        // Equal timestamps preserve arrival order: target 20 was logged
+        // before target 21.
+        let ats_20: Vec<u32> = m
+            .events
+            .iter()
+            .filter(|e| e.at == SimTime(20))
+            .map(|e| match e.kind {
+                DrsEventKind::DiscoveryStarted { target } => target.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ats_20, [20, 21]);
+        // Binary-searched queries agree with a linear scan at every cut.
+        for t0 in 0..35u64 {
+            let fast = m.first_after(SimTime(t0), |_| true);
+            let slow = m.events.iter().find(|e| e.at >= SimTime(t0)).copied();
+            assert_eq!(fast, slow, "t0={t0}");
+        }
+    }
+
+    #[test]
+    fn first_after_skips_earlier_matches() {
+        let mut m = DrsMetrics::default();
+        m.log(SimTime(1), discovery(1));
+        m.log(SimTime(9), discovery(9));
+        let hit = m.first_after(SimTime(2), |_| true).unwrap();
+        assert_eq!(hit.at, SimTime(9));
     }
 }

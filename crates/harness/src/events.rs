@@ -79,6 +79,64 @@ pub fn sort_events(events: &mut [TraceEvent]) {
     events.sort_by_key(|e| e.at_ns);
 }
 
+/// A trial's trace under construction: observers append in any order,
+/// and [`TrialTrace::seal`] sorts exactly once at the end.
+///
+/// Producers used to call [`sort_events`] ad hoc — some before merging
+/// observer streams, some after, some not at all — which made "is this
+/// trace sorted?" a per-call-site question. The collector centralizes
+/// the answer: record through a `TrialTrace`, seal when the trial ends,
+/// and hand the sealed events to [`crate::TrialRecord::with_events`]
+/// (which debug-asserts the order it is given).
+#[derive(Debug, Clone, Default)]
+pub struct TrialTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl TrialTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        TrialTrace::default()
+    }
+
+    /// Appends one event (any timestamp order).
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Records one event from its parts.
+    pub fn record(&mut self, at_ns: u64, kind: TraceEventKind, detail: impl Into<String>) {
+        self.push(TraceEvent::new(at_ns, kind, detail));
+    }
+
+    /// Appends a batch of events from another observer.
+    pub fn extend(&mut self, events: impl IntoIterator<Item = TraceEvent>) {
+        self.events.extend(events);
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finishes the trace: sorts by timestamp (stable — recording order
+    /// is preserved within a timestamp) and returns the events. This is
+    /// the single place a trace gets sorted.
+    #[must_use]
+    pub fn seal(mut self) -> Vec<TraceEvent> {
+        sort_events(&mut self.events);
+        self.events
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +161,30 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn trial_trace_seals_sorted_exactly_once() {
+        let mut trace = TrialTrace::new();
+        trace.record(9, TraceEventKind::FlowDelivered, "late");
+        trace.push(TraceEvent::new(1, TraceEventKind::FaultInjected, "early"));
+        trace.extend(vec![
+            TraceEvent::new(5, TraceEventKind::RouteChanged, "mid"),
+            TraceEvent::new(1, TraceEventKind::LinkDown, "early-second"),
+        ]);
+        assert_eq!(trace.len(), 4);
+        assert!(!trace.is_empty());
+        let events = trace.seal();
+        let times: Vec<u64> = events.iter().map(|e| e.at_ns).collect();
+        assert_eq!(times, [1, 1, 5, 9]);
+        // Stable: recording order preserved among the two t=1 events.
+        assert_eq!(events[0].detail, "early");
+        assert_eq!(events[1].detail, "early-second");
+    }
+
+    #[test]
+    fn empty_trace_seals_to_nothing() {
+        assert!(TrialTrace::new().seal().is_empty());
     }
 
     #[test]

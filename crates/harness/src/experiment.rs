@@ -10,6 +10,9 @@
 //! path trivially equal to the serial one: trials share no mutable state,
 //! and results are collected back in trial order.
 
+use std::time::Instant;
+
+use drs_obs::Profiler;
 use rayon::prelude::*;
 
 use crate::seed::stream_seed;
@@ -158,6 +161,38 @@ impl<S> Experiment<S> {
             RunMode::Parallel => self.run_parallel(body),
         }
     }
+
+    /// Like [`Experiment::run`], but reports each trial's wall-clock
+    /// duration to `profiler` under the experiment's name.
+    ///
+    /// The profiler observes; it cannot influence. Trial results are the
+    /// body's alone, so `run_profiled(mode, &NullProfiler, body)` is
+    /// result-for-result identical to `run(mode, body)` — which is what
+    /// lets instrumentation stay compiled in under committed-artifact
+    /// runs. Wall-clock numbers are inherently nondeterministic: print
+    /// them, never serialize them into a committed artifact.
+    pub fn run_profiled<R>(
+        &self,
+        mode: RunMode,
+        profiler: &dyn Profiler,
+        body: impl Fn(TrialCtx, &S) -> R + Sync,
+    ) -> Vec<R>
+    where
+        S: Sync,
+        R: Send,
+    {
+        if !profiler.enabled() {
+            return self.run(mode, body);
+        }
+        let timed = |ctx: TrialCtx, spec: &S| {
+            let start = Instant::now();
+            let out = body(ctx, spec);
+            let dur = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            profiler.record(&self.name, dur);
+            out
+        };
+        self.run(mode, timed)
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +238,26 @@ mod tests {
         let mut total = 0usize;
         exp.run_serial(|ctx, ()| total += ctx.index);
         assert_eq!(total, 0 + 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn run_profiled_matches_run_and_counts_trials() {
+        use drs_obs::{NullProfiler, WallProfiler};
+        let exp = Experiment::with_trials("profiled", 3, (0..8u64).collect());
+        let body = |ctx: TrialCtx, spec: &u64| ctx.seed ^ spec;
+        let plain = exp.run(RunMode::Serial, body);
+        assert_eq!(
+            exp.run_profiled(RunMode::Serial, &NullProfiler, body),
+            plain
+        );
+        let wall = WallProfiler::new();
+        assert_eq!(exp.run_profiled(RunMode::Parallel, &wall, body), plain);
+        let report = wall.report();
+        assert_eq!(
+            report.histogram("profiled").map(|h| h.count()),
+            Some(8),
+            "one wall-clock sample per trial"
+        );
     }
 
     #[test]

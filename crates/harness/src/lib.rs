@@ -16,6 +16,11 @@
 //! shootout through it, `drs-trace` its fleet replications, and
 //! `drs-bench` its end-to-end survivability grid; see EXPERIMENTS.md for
 //! the trial lifecycle and artifact schema.
+//!
+//! Observability plugs in from `drs-obs`: traces are collected through a
+//! seal-once [`TrialTrace`], and [`Experiment::run_profiled`] reports
+//! per-trial wall-clock timings to any [`Profiler`] (re-exported here so
+//! downstream study crates need no direct `drs-obs` dependency).
 
 pub mod events;
 pub mod experiment;
@@ -23,7 +28,8 @@ pub mod record;
 pub mod seed;
 pub mod summary;
 
-pub use events::{sort_events, TraceEvent, TraceEventKind};
+pub use drs_obs::{NullProfiler, Profiler, WallProfiler};
+pub use events::{sort_events, TraceEvent, TraceEventKind, TrialTrace};
 pub use experiment::{Experiment, RunMode, TrialCtx};
 pub use record::{ExperimentRecord, Metric, MetricValue, SimArtifact, TrialRecord, SCHEMA};
 pub use seed::{coord_seed, mix64, stream_seed, SeedStream};

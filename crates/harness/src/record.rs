@@ -99,8 +99,19 @@ impl TrialRecord {
     }
 
     /// Attaches an event trace and returns `self` (builder style).
+    ///
+    /// The trace must already be sealed — sorted by timestamp, as
+    /// [`crate::TrialTrace::seal`] produces — because the serializer
+    /// writes events verbatim and a misordered committed artifact would
+    /// silently change bytes between producers. Debug builds assert it.
     #[must_use]
     pub fn with_events(mut self, events: Vec<TraceEvent>) -> Self {
+        debug_assert!(
+            events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns),
+            "trial {}: event trace must be sealed (time-sorted) before \
+             serialization — build it in a TrialTrace and seal() it",
+            self.id
+        );
         self.events = events;
         self
     }

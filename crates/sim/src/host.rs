@@ -3,7 +3,7 @@
 
 use crate::ids::{NetId, NodeId};
 use crate::routes::RouteTable;
-use crate::stats::HostCounters;
+use crate::stats::{HostCounters, ProbeObs};
 use crate::transport::TransportState;
 
 /// The simulated state of one server host.
@@ -19,6 +19,9 @@ pub struct HostState {
     pub transport: TransportState,
     /// Stack-level event counters.
     pub counters: HostCounters,
+    /// Probe-path observability recorded by the routing daemon running
+    /// on this host (histograms + probe-byte accounting).
+    pub obs: ProbeObs,
 }
 
 impl HostState {
@@ -33,6 +36,7 @@ impl HostState {
             routes: RouteTable::new_default(id, n),
             transport: TransportState::default(),
             counters: HostCounters::default(),
+            obs: ProbeObs::default(),
         }
     }
 

@@ -109,6 +109,21 @@ impl LatencyHistogram {
         Some(SimDuration(self.max_ns))
     }
 
+    /// The raw per-bucket counts (64 log₂ buckets) — together with
+    /// [`LatencyHistogram::count`], [`LatencyHistogram::sum_ns`] and the
+    /// min/max these are the parts the observability layer rebuilds its
+    /// own histograms from, exactly.
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Exact sum of all recorded durations, in nanoseconds.
+    #[must_use]
+    pub fn sum_ns(&self) -> u128 {
+        self.sum_ns
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -118,6 +133,43 @@ impl LatencyHistogram {
         self.sum_ns += other.sum_ns;
         self.min_ns = self.min_ns.min(other.min_ns);
         self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// Per-host probe-path observability: the four histograms the unified
+/// observability layer tracks for every routing daemon. The simulator
+/// owns the storage (one [`ProbeObs`] per host, reachable through
+/// `world::Ctx::probe_obs_mut`) so protocols record into it without the
+/// sim crate depending on any protocol, and harvesting merges host
+/// histograms with the same exact, order-independent arithmetic the
+/// histograms themselves guarantee.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeObs {
+    /// Gap between consecutive probe transmissions to the same
+    /// `(peer, net)` — the realized monitor cycle.
+    pub probe_gap: LatencyHistogram,
+    /// Probe round-trip time: echo request out → valid echo reply in.
+    pub probe_rtt: LatencyHistogram,
+    /// Failure-detection latency: last healthy reply on a link → the
+    /// daemon declaring that link down.
+    pub failover_detect: LatencyHistogram,
+    /// Repair latency: failure observed → a changed route installed.
+    pub reroute_complete: LatencyHistogram,
+    /// Probe traffic this host originated, in on-wire bytes — echo
+    /// requests only; the kernel's echo auto-replies show up in the
+    /// probe-byte stats of [`crate::medium`] instead. Together they
+    /// are the measured side of the Figure 1 bandwidth budget.
+    pub probe_bytes: u64,
+}
+
+impl ProbeObs {
+    /// Merges another host's probe observations into this one.
+    pub fn merge(&mut self, other: &ProbeObs) {
+        self.probe_gap.merge(&other.probe_gap);
+        self.probe_rtt.merge(&other.probe_rtt);
+        self.failover_detect.merge(&other.failover_detect);
+        self.reroute_complete.merge(&other.reroute_complete);
+        self.probe_bytes += other.probe_bytes;
     }
 }
 
@@ -229,6 +281,22 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.max(), Some(SimDuration::from_secs(1)));
         assert_eq!(a.min(), Some(SimDuration::from_millis(1)));
+    }
+
+    #[test]
+    fn probe_obs_merge_combines_all_channels() {
+        let mut a = ProbeObs::default();
+        a.probe_rtt.record(SimDuration::from_micros(40));
+        a.probe_bytes = 74;
+        let mut b = ProbeObs::default();
+        b.probe_rtt.record(SimDuration::from_micros(60));
+        b.failover_detect.record(SimDuration::from_millis(400));
+        b.probe_bytes = 148;
+        a.merge(&b);
+        assert_eq!(a.probe_rtt.count(), 2);
+        assert_eq!(a.failover_detect.count(), 1);
+        assert_eq!(a.probe_gap.count(), 0);
+        assert_eq!(a.probe_bytes, 222);
     }
 
     #[test]

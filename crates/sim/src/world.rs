@@ -17,7 +17,7 @@ use crate::ids::{FlowId, NetId, NodeId};
 use crate::medium::{SharedMedium, TrafficClass};
 use crate::routes::{Route, RouteTable};
 use crate::scenario::ClusterSpec;
-use crate::stats::{AppStats, HostCounters};
+use crate::stats::{AppStats, HostCounters, ProbeObs};
 use crate::time::{SimDuration, SimTime};
 use crate::transport::{rto_for_attempt, OutstandingSend};
 
@@ -346,6 +346,7 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
     pub fn send_echo(&mut self, net: NetId, dst: NodeId, id: u32, seq: u32) {
         self.core.hosts[self.node.idx()].counters.echo_sent += 1;
         let wire = self.core.spec.icmp_wire_bytes;
+        self.core.hosts[self.node.idx()].obs.probe_bytes += u64::from(wire);
         self.core.transmit(Frame {
             src: self.node,
             dst: Destination::Node(dst),
@@ -440,6 +441,21 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
     pub fn counters(&self) -> &HostCounters {
         &self.core.hosts[self.node.idx()].counters
     }
+
+    /// The local probe-path observability record.
+    #[must_use]
+    pub fn probe_obs(&self) -> &ProbeObs {
+        &self.core.hosts[self.node.idx()].obs
+    }
+
+    /// Mutable access to the local probe-path observability record, for
+    /// daemons recording probe gaps, RTTs, detection and reroute latency.
+    /// Recording is pure bookkeeping: it never schedules events, draws
+    /// randomness or touches routes, so instrumented runs stay
+    /// event-for-event identical to uninstrumented ones.
+    pub fn probe_obs_mut(&mut self) -> &mut ProbeObs {
+        &mut self.core.hosts[self.node.idx()].obs
+    }
 }
 
 /// The simulated cluster: the event engine plus one protocol instance per
@@ -506,6 +522,19 @@ impl<P: Protocol> World<P> {
     #[must_use]
     pub fn app_stats(&self) -> &AppStats {
         &self.core.app_stats
+    }
+
+    /// Every host's probe-path observability record merged into one —
+    /// the cluster-wide view a finished run hands to the reporting
+    /// layer. Histogram merging is exact and order-independent, so this
+    /// equals recording every sample into a single [`ProbeObs`].
+    #[must_use]
+    pub fn merged_probe_obs(&self) -> ProbeObs {
+        let mut merged = ProbeObs::default();
+        for host in &self.core.hosts {
+            merged.merge(&host.obs);
+        }
+        merged
     }
 
     /// Outcome of a completed flow, if it has completed.

@@ -29,6 +29,6 @@ pub mod study;
 pub use components::{ComponentClass, FailureRates};
 pub use fleet::{generate_trace, FailureRecord, FleetSpec};
 pub use study::{
-    availability_gain, masking_analysis, network_fraction, replicate_study, AvailabilityReport,
-    MaskingReport, StudySummary,
+    availability_gain, fmt_fraction_pct, masking_analysis, network_fraction, replicate_study,
+    replicate_study_profiled, AvailabilityReport, MaskingReport, StudySummary,
 };

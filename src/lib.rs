@@ -4,8 +4,10 @@
 //! System protocol ([`core`]), the discrete-event cluster simulator it
 //! runs on ([`sim`]), the survivability mathematics ([`analytic`]), the
 //! reactive baselines ([`baselines`]), the proactive-cost model
-//! ([`cost`]), the deployment failure-trace study ([`trace`]), and the
-//! experiment harness that orchestrates simulation trials ([`harness`]).
+//! ([`cost`]), the deployment failure-trace study ([`trace`]), the
+//! experiment harness that orchestrates simulation trials ([`harness`]),
+//! and the unified observability layer — metric registries, spans and
+//! the observability artifact ([`obs`]).
 //!
 //! See the repository README for a guided tour and `DESIGN.md` for the
 //! paper-to-module map.
@@ -15,5 +17,6 @@ pub use drs_baselines as baselines;
 pub use drs_core as core;
 pub use drs_cost as cost;
 pub use drs_harness as harness;
+pub use drs_obs as obs;
 pub use drs_sim as sim;
 pub use drs_trace as trace;

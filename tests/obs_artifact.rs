@@ -1,0 +1,102 @@
+//! Integration: the committed `BENCH_observability.json` artifact is
+//! exactly what the instrumented suite regenerates — same bytes, serial
+//! or parallel — and its probe-overhead section stays within the
+//! Figure 1 bandwidth budget in every cell.
+//!
+//! If an intentional change shifts the results, regenerate the artifact
+//! (`cargo run --release -p drs-bench --bin obs_report`) and commit it
+//! alongside the change; this test then documents the new ground truth.
+//! CI runs the same regenerate-and-diff check.
+
+use drs::harness::RunMode;
+use drs::obs::{FieldValue, Row};
+use drs_bench::obs_artifact::obs_bench_artifact;
+use drs_bench::{BENCH_SEED, OBS_BENCH_JSON};
+
+fn committed() -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(OBS_BENCH_JSON);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read committed artifact {}: {e}", path.display()))
+}
+
+fn count_field(row: &Row, name: &str) -> Option<u64> {
+    row.fields
+        .iter()
+        .find(|f| f.name == name)
+        .and_then(|f| match f.value {
+            FieldValue::Count(c) => Some(c),
+            _ => None,
+        })
+}
+
+fn real_field(row: &Row, name: &str) -> Option<f64> {
+    row.fields
+        .iter()
+        .find(|f| f.name == name)
+        .and_then(|f| match f.value {
+            FieldValue::Real(r) => Some(r),
+            _ => None,
+        })
+}
+
+#[test]
+fn committed_artifact_regenerates_byte_for_byte() {
+    let regenerated = obs_bench_artifact(RunMode::Parallel).to_json();
+    assert_eq!(
+        regenerated,
+        committed(),
+        "BENCH_observability.json drifted from what the instrumented \
+         suite produces under master seed {BENCH_SEED}; regenerate it \
+         with `cargo run --release -p drs-bench --bin obs_report` if \
+         the change is intentional"
+    );
+}
+
+#[test]
+fn serial_and_parallel_artifacts_are_byte_identical() {
+    let parallel = obs_bench_artifact(RunMode::Parallel);
+    let serial = obs_bench_artifact(RunMode::Serial);
+    assert_eq!(parallel.to_json(), serial.to_json());
+}
+
+#[test]
+fn every_probe_overhead_cell_stays_within_budget() {
+    let artifact = obs_bench_artifact(RunMode::Parallel);
+    let overhead = artifact.get("probe_overhead").expect("overhead section");
+    assert!(!overhead.rows.is_empty());
+    for row in &overhead.rows {
+        assert_eq!(
+            count_field(row, "within_budget"),
+            Some(1),
+            "{}: probe bytes exceeded the Figure 1 budget",
+            row.id
+        );
+        let bytes_a = count_field(row, "probe_bytes_a").expect("bytes_a");
+        let budget = real_field(row, "budget_bytes").expect("budget");
+        assert!(bytes_a > 0, "{}: probes observed", row.id);
+        assert!(bytes_a as f64 <= budget, "{}: measured ≤ budgeted", row.id);
+    }
+}
+
+#[test]
+fn empty_histograms_serialize_as_null_not_zero() {
+    // The static protocol never fails over, so its failover-latency
+    // histogram is empty — the committed artifact must carry `null`
+    // quantiles for it, never a fabricated 0 ns.
+    let json = committed();
+    let static_row = json
+        .lines()
+        .find(|l| l.contains("\"id\": \"static\""))
+        .expect("static protocol row present");
+    assert!(static_row.contains("\"count\": 0"));
+    for q in ["mean_ns", "min_ns", "max_ns", "p50_ns", "p99_ns", "p999_ns"] {
+        assert!(
+            static_row.contains(&format!("\"{q}\": null")),
+            "static row must report {q} as null, got: {static_row}"
+        );
+    }
+    assert!(
+        !static_row.contains("_ns\": 0"),
+        "no quantile of an empty histogram may print as 0"
+    );
+}

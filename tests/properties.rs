@@ -11,7 +11,9 @@ use drs::analytic::connectivity::{all_pairs_connected, pair_connected};
 use drs::analytic::exact::{component_count, p_success};
 use drs::analytic::montecarlo::sample_failure_set;
 use drs::core::{DrsConfig, DrsDaemon};
+use drs::obs::Histogram;
 use drs::sim::fault::{component_to_index, index_to_component, FaultPlan};
+use drs::sim::stats::LatencyHistogram;
 use drs::sim::{ClusterSpec, NodeId, SimDuration, SimTime, World};
 
 proptest! {
@@ -137,6 +139,67 @@ proptest! {
             )
         };
         prop_assert_eq!(run(), run());
+    }
+}
+
+/// Deterministic Fisher–Yates permutation of `0..k` driven by `seed`.
+fn permutation(k: usize, seed: u64) -> Vec<usize> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..k).collect();
+    for i in (1..k).rev() {
+        let j = rand::Rng::gen_range(&mut rng, 0..i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+const MERGE_QUANTILES: [f64; 6] = [0.0, 0.5, 0.9, 0.99, 0.999, 1.0];
+
+proptest! {
+    /// Merging K per-worker histograms — in any order — is exactly the
+    /// histogram of all samples recorded serially: same count, sum,
+    /// min, max, and every quantile bound. This is what makes the
+    /// parallel and serial artifact paths byte-identical.
+    #[test]
+    fn histogram_merge_is_order_independent_and_exact(
+        samples in proptest::collection::vec(any::<u64>(), 1..200),
+        k in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let k = k.min(samples.len());
+        let mut whole = Histogram::new();
+        let mut whole_lat = LatencyHistogram::new();
+        let mut parts = vec![Histogram::new(); k];
+        let mut parts_lat = vec![LatencyHistogram::new(); k];
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record(s);
+            whole_lat.record(SimDuration(s));
+            parts[i % k].record(s);
+            parts_lat[i % k].record(SimDuration(s));
+        }
+        let mut merged = Histogram::new();
+        let mut merged_lat = LatencyHistogram::new();
+        for idx in permutation(k, seed) {
+            merged.merge(&parts[idx]);
+            merged_lat.merge(&parts_lat[idx]);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.sum(), whole.sum());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        prop_assert_eq!(&merged_lat, &whole_lat);
+        for q in MERGE_QUANTILES {
+            prop_assert_eq!(
+                merged.quantile_upper_bound(q),
+                whole.quantile_upper_bound(q),
+                "obs quantile {} diverged after merge", q
+            );
+            prop_assert_eq!(
+                merged_lat.quantile_upper_bound(q),
+                whole_lat.quantile_upper_bound(q),
+                "sim quantile {} diverged after merge", q
+            );
+        }
     }
 }
 
