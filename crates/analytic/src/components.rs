@@ -1,12 +1,14 @@
 //! The component model of the paper's survivability analysis.
 //!
-//! A cluster of `N` nodes contains exactly `2N + 2` failable components:
-//! the two network backplanes (hubs) and, for every node, one NIC per
-//! network. The analysis conditions on exactly `f` of these components
-//! having failed, with every `f`-subset equally likely.
+//! A cluster of `N` nodes with `K` network planes contains exactly
+//! `K·N + K` failable components: the `K` network backplanes (hubs) and,
+//! for every node, one NIC per plane. The paper's cluster has `K = 2`
+//! (networks A and B), giving the familiar `2N + 2` universe. The
+//! analysis conditions on exactly `f` of these components having failed,
+//! with every `f`-subset equally likely.
 //!
 //! Components are indexed densely so that failure sets can be stored in a
-//! flat bitset:
+//! flat bitset. At `K = 2`:
 //!
 //! | index            | component                  |
 //! |------------------|----------------------------|
@@ -14,6 +16,11 @@
 //! | `1`              | backplane of network B     |
 //! | `2 + i`          | NIC of node `i` on net A   |
 //! | `2 + N + i`      | NIC of node `i` on net B   |
+//!
+//! and in general: indices `0..K` are the backplanes in plane order,
+//! followed by one block of `N` NICs per plane (`K + p·N + i` is node
+//! `i`'s NIC on plane `p`). The `K = 2` layout is the general layout
+//! specialized, so two-plane failure sets index identically either way.
 
 use serde::{Deserialize, Serialize};
 
@@ -22,32 +29,45 @@ use serde::{Deserialize, Serialize};
 /// [`crate::exact`] has no such limit.
 pub const MAX_NODES: usize = 127;
 
-/// One failable component of the dual-network cluster.
+/// One failable component of the redundant-network cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Component {
-    /// The shared backplane (hub) of one of the two networks (0 = A, 1 = B).
+    /// The shared backplane (hub) of one network plane (0 = A, 1 = B, …).
     Backplane(u8),
-    /// The NIC of node `node` on network `net` (0 = A, 1 = B).
+    /// The NIC of node `node` on network plane `net` (0 = A, 1 = B, …).
     Nic { node: u32, net: u8 },
 }
 
 impl Component {
-    /// Dense index of this component in a cluster of `n` nodes.
+    /// Dense index of this component in a two-plane cluster of `n` nodes.
     ///
     /// # Panics
     /// Panics if the component is out of range for `n` (node id ≥ `n`, or a
     /// network id other than 0/1).
     #[must_use]
     pub fn index(self, n: usize) -> usize {
+        self.index_k(n, 2)
+    }
+
+    /// Dense index of this component in a `planes`-plane cluster of `n`
+    /// nodes: backplanes first (`0..planes`), then one block of `n` NICs
+    /// per plane.
+    ///
+    /// # Panics
+    /// Panics if the component is out of range (node id ≥ `n`, or a
+    /// network id ≥ `planes`).
+    #[must_use]
+    pub fn index_k(self, n: usize, planes: u8) -> usize {
+        let k = planes as usize;
         match self {
             Component::Backplane(net) => {
-                assert!(net < 2, "network id must be 0 or 1");
+                assert!(net < planes, "network id {net} out of range for K={planes}");
                 net as usize
             }
             Component::Nic { node, net } => {
-                assert!(net < 2, "network id must be 0 or 1");
+                assert!(net < planes, "network id {net} out of range for K={planes}");
                 assert!((node as usize) < n, "node {node} out of range for n={n}");
-                2 + net as usize * n + node as usize
+                k + net as usize * n + node as usize
             }
         }
     }
@@ -58,19 +78,27 @@ impl Component {
     /// Panics if `idx ≥ 2n + 2`.
     #[must_use]
     pub fn from_index(idx: usize, n: usize) -> Self {
+        Component::from_index_k(idx, n, 2)
+    }
+
+    /// Inverse of [`Component::index_k`].
+    ///
+    /// # Panics
+    /// Panics if `idx ≥ planes·n + planes`.
+    #[must_use]
+    pub fn from_index_k(idx: usize, n: usize, planes: u8) -> Self {
+        let k = planes as usize;
         assert!(
-            idx < 2 * n + 2,
-            "component index {idx} out of range for n={n}"
+            idx < k * n + k,
+            "component index {idx} out of range for n={n}, K={planes}"
         );
-        match idx {
-            0 => Component::Backplane(0),
-            1 => Component::Backplane(1),
-            _ => {
-                let rel = idx - 2;
-                Component::Nic {
-                    node: (rel % n) as u32,
-                    net: (rel / n) as u8,
-                }
+        if idx < k {
+            Component::Backplane(idx as u8)
+        } else {
+            let rel = idx - k;
+            Component::Nic {
+                node: (rel % n) as u32,
+                net: (rel / n) as u8,
             }
         }
     }
@@ -207,6 +235,35 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn node_out_of_range_panics() {
         let _ = Component::Nic { node: 5, net: 0 }.index(5);
+    }
+
+    #[test]
+    fn k_plane_index_roundtrip_and_layout() {
+        for planes in 2u8..=5 {
+            let n = 7;
+            let k = planes as usize;
+            for idx in 0..k * n + k {
+                let c = Component::from_index_k(idx, n, planes);
+                assert_eq!(c.index_k(n, planes), idx, "K={planes} idx={idx}");
+            }
+            // Backplanes lead, then plane-major NIC blocks.
+            assert_eq!(Component::Backplane(planes - 1).index_k(n, planes), k - 1);
+            assert_eq!(Component::Nic { node: 0, net: 0 }.index_k(n, planes), k);
+            assert_eq!(
+                Component::Nic {
+                    node: (n - 1) as u32,
+                    net: planes - 1
+                }
+                .index_k(n, planes),
+                k * n + k - 1
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for K=3")]
+    fn net_out_of_range_for_k_panics() {
+        let _ = Component::Nic { node: 0, net: 3 }.index_k(4, 3);
     }
 
     #[test]

@@ -1,71 +1,113 @@
 //! The DRS connectivity predicate: given a set of failed components, can a
 //! pair of servers (or every pair) still communicate?
 //!
-//! Under DRS routing a frame from `s` reaches `t` iff
+//! The model is the paper's two-network cluster generalized to `K ≥ 2`
+//! planes (`K = 2` everywhere by default). Under DRS routing a frame from
+//! `s` reaches `t` iff
 //!
-//! 1. both are attached to live network A (direct route), or
-//! 2. both are attached to live network B (redundant direct route), or
-//! 3. each is attached to *some* live network and some node is attached to
-//!    **both** live networks and can act as a one-hop gateway (the DRS
-//!    broadcast-discovery repair path).
+//! 1. both are attached to some common live plane (a direct route), or
+//! 2. each is attached to *some* live plane, and some node is attached to
+//!    both a live plane of `s` and a live plane of `t`, so it can act as a
+//!    **one-hop** gateway (the DRS broadcast-discovery repair path).
 //!
-//! A node is *attached to* network X iff the X backplane is alive **and**
-//! its own X NIC is alive.
+//! A node is *attached to* plane `p` iff the plane's backplane is alive
+//! **and** its own NIC on `p` is alive. Relaying is deliberately not
+//! transitive: DRS gateways forward exactly one hop, so two nodes whose
+//! planes are only connected through a *chain* of bridges do not
+//! communicate — the predicate mirrors the deployed protocol, not graph
+//! reachability.
 //!
-//! The predicate is evaluated on a compact [`ClusterState`] (two 128-bit
-//! node masks plus two backplane flags) so the Monte-Carlo estimator can
-//! test millions of failure draws per second without allocating.
+//! The predicate is evaluated on a compact [`ClusterState`] (one 128-bit
+//! node mask per plane plus a backplane bitmask) so the Monte-Carlo
+//! estimator can test millions of failure draws per second without
+//! allocating.
 
 use crate::components::{FailureSet, MAX_NODES};
 
+/// Maximum number of network planes the fixed-width [`ClusterState`]
+/// supports. Bounded well under the [`FailureSet`] bitset capacity
+/// (`K·N + K ≤ 256`) for any interesting `N`.
+pub const MAX_PLANES: usize = 8;
+
 /// Liveness snapshot of a cluster: which NICs and backplanes are up.
 ///
-/// Bit `i` of `nic_a`/`nic_b` is set iff node `i`'s NIC on that network is
-/// operational (regardless of backplane state).
+/// Bit `i` of `nic[p]` is set iff node `i`'s NIC on plane `p` is
+/// operational (regardless of backplane state); bit `p` of `bp` is set iff
+/// plane `p`'s backplane is operational.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterState {
     /// Number of nodes.
     pub n: usize,
-    /// Backplane (hub) of network A operational.
-    pub bp_a: bool,
-    /// Backplane (hub) of network B operational.
-    pub bp_b: bool,
-    /// Per-node NIC liveness on network A.
-    pub nic_a: u128,
-    /// Per-node NIC liveness on network B.
-    pub nic_b: u128,
+    /// Number of network planes (`2` for the paper's cluster).
+    pub planes: u8,
+    /// Backplane (hub) liveness bitmask, bit `p` = plane `p` up.
+    pub bp: u8,
+    /// Per-node NIC liveness per plane.
+    pub nic: [u128; MAX_PLANES],
 }
 
 impl ClusterState {
-    /// A fully-operational cluster of `n` nodes.
+    /// A fully-operational two-plane cluster of `n` nodes — the paper's
+    /// configuration.
     ///
     /// # Panics
     /// Panics if `n` is 0 or exceeds [`MAX_NODES`].
     #[must_use]
     pub fn fully_up(n: usize) -> Self {
+        ClusterState::fully_up_k(n, 2)
+    }
+
+    /// A fully-operational `planes`-plane cluster of `n` nodes.
+    ///
+    /// # Panics
+    /// Panics if `n` is 0 or exceeds [`MAX_NODES`], if `planes` is outside
+    /// `2..=MAX_PLANES`, or if the `planes·n + planes` components exceed
+    /// the [`FailureSet`] index space (256).
+    #[must_use]
+    pub fn fully_up_k(n: usize, planes: u8) -> Self {
         assert!(
             (1..=MAX_NODES).contains(&n),
             "n={n} outside 1..={MAX_NODES}"
+        );
+        let k = planes as usize;
+        assert!(
+            (2..=MAX_PLANES).contains(&k),
+            "planes={planes} outside 2..={MAX_PLANES}"
+        );
+        assert!(
+            k * n + k <= 256,
+            "universe {k}*{n}+{k} exceeds the 256-component index space"
         );
         let full = if n == 128 {
             u128::MAX
         } else {
             (1u128 << n) - 1
         };
+        let mut nic = [0u128; MAX_PLANES];
+        for plane in &mut nic[..k] {
+            *plane = full;
+        }
         ClusterState {
             n,
-            bp_a: true,
-            bp_b: true,
-            nic_a: full,
-            nic_b: full,
+            planes,
+            bp: if k == 8 { u8::MAX } else { (1u8 << k) - 1 },
+            nic,
         }
     }
 
     /// Applies a failure set (indexed per [`crate::components`]) to a
-    /// fully-up cluster of `n` nodes.
+    /// fully-up two-plane cluster of `n` nodes.
     #[must_use]
     pub fn from_failures(n: usize, failures: &FailureSet) -> Self {
-        let mut st = ClusterState::fully_up(n);
+        ClusterState::from_failures_k(n, 2, failures)
+    }
+
+    /// Applies a failure set (indexed per the generalized layout:
+    /// `0..planes` backplanes, then plane-0 NICs, plane-1 NICs, …) to a
+    /// fully-up `planes`-plane cluster of `n` nodes.
+    #[must_use]
+    pub fn from_failures_k(n: usize, planes: u8, failures: &FailureSet) -> Self {
+        let mut st = ClusterState::fully_up_k(n, planes);
         for idx in failures.iter() {
             st.fail_index(idx);
         }
@@ -74,17 +116,12 @@ impl ClusterState {
 
     /// Marks the component with dense index `idx` as failed.
     pub fn fail_index(&mut self, idx: usize) {
-        match idx {
-            0 => self.bp_a = false,
-            1 => self.bp_b = false,
-            _ => {
-                let rel = idx - 2;
-                if rel < self.n {
-                    self.nic_a &= !(1u128 << rel);
-                } else {
-                    self.nic_b &= !(1u128 << (rel - self.n));
-                }
-            }
+        let k = self.planes as usize;
+        if idx < k {
+            self.bp &= !(1u8 << idx);
+        } else {
+            let rel = idx - k;
+            self.nic[rel / self.n] &= !(1u128 << (rel % self.n));
         }
     }
 
@@ -93,47 +130,59 @@ impl ClusterState {
     /// delta-update enumeration walk to step between adjacent failure
     /// combinations without rebuilding the state.
     pub fn restore_index(&mut self, idx: usize) {
-        match idx {
-            0 => self.bp_a = true,
-            1 => self.bp_b = true,
-            _ => {
-                let rel = idx - 2;
-                if rel < self.n {
-                    self.nic_a |= 1u128 << rel;
-                } else {
-                    self.nic_b |= 1u128 << (rel - self.n);
-                }
-            }
+        let k = self.planes as usize;
+        if idx < k {
+            self.bp |= 1u8 << idx;
+        } else {
+            let rel = idx - k;
+            self.nic[rel / self.n] |= 1u128 << (rel % self.n);
         }
     }
 
-    /// Mask of nodes attached to live network A.
+    /// Mask of nodes attached to live plane `p` (zero when the backplane
+    /// is down).
+    #[inline]
+    #[must_use]
+    pub fn on(&self, p: usize) -> u128 {
+        if self.bp >> p & 1 != 0 {
+            self.nic[p]
+        } else {
+            0
+        }
+    }
+
+    /// Mask of nodes attached to live network A (plane 0).
     #[inline]
     #[must_use]
     pub fn on_a(&self) -> u128 {
-        if self.bp_a {
-            self.nic_a
-        } else {
-            0
-        }
+        self.on(0)
     }
 
-    /// Mask of nodes attached to live network B.
+    /// Mask of nodes attached to live network B (plane 1).
     #[inline]
     #[must_use]
     pub fn on_b(&self) -> u128 {
-        if self.bp_b {
-            self.nic_b
-        } else {
-            0
-        }
+        self.on(1)
     }
 
-    /// Whether some node can bridge the two networks (attached to both).
+    /// Bitmask of planes node `i` is attached to.
+    #[inline]
+    #[must_use]
+    pub fn attachment(&self, i: usize) -> u8 {
+        let mut m = 0u8;
+        for p in 0..self.planes as usize {
+            m |= (((self.on(p) >> i) & 1) as u8) << p;
+        }
+        m
+    }
+
+    /// Whether some node can bridge planes 0 and 1 (attached to both).
+    /// Two-plane convenience; the general relay test lives in
+    /// [`pair_connected_state`].
     #[inline]
     #[must_use]
     pub fn has_bridge(&self) -> bool {
-        self.on_a() & self.on_b() != 0
+        self.on(0) & self.on(1) != 0
     }
 }
 
@@ -148,23 +197,49 @@ pub fn pair_connected_state(st: &ClusterState, s: usize, t: usize) -> bool {
         "invalid pair ({s},{t}) for n={}",
         st.n
     );
-    let (sa, sb) = (st.on_a() >> s & 1 != 0, st.on_b() >> s & 1 != 0);
-    let (ta, tb) = (st.on_a() >> t & 1 != 0, st.on_b() >> t & 1 != 0);
-    (sa && ta) || (sb && tb) || (st.has_bridge() && (sa || sb) && (ta || tb))
+    let (ms, mt) = (st.attachment(s), st.attachment(t));
+    if ms & mt != 0 {
+        return true; // a shared live plane carries a direct route
+    }
+    if ms == 0 || mt == 0 {
+        return false; // an endpoint is completely detached
+    }
+    // One-hop relay: some node attached to both a live plane of s and a
+    // live plane of t.
+    let k = st.planes as usize;
+    for p in 0..k {
+        if ms >> p & 1 == 0 {
+            continue;
+        }
+        let op = st.on(p);
+        for q in 0..k {
+            if mt >> q & 1 != 0 && op & st.on(q) != 0 {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// Can nodes `s` and `t` communicate, given a failure set over the
-/// `2n + 2` components of an `n`-node cluster?
+/// `2n + 2` components of an `n`-node two-plane cluster?
 #[must_use]
 pub fn pair_connected(n: usize, failures: &FailureSet, s: usize, t: usize) -> bool {
     pair_connected_state(&ClusterState::from_failures(n, failures), s, t)
 }
 
+/// [`pair_connected`] for a `planes`-plane cluster (failure indices in the
+/// generalized layout).
+#[must_use]
+pub fn pair_connected_k(n: usize, planes: u8, failures: &FailureSet, s: usize, t: usize) -> bool {
+    pair_connected_state(&ClusterState::from_failures_k(n, planes, failures), s, t)
+}
+
 /// Can **every** pair of nodes communicate?
 ///
-/// True iff either some node bridges both networks and every node is
-/// attached to at least one live network, or all nodes share one live
-/// network.
+/// True iff every node is attached to at least one live plane **and**
+/// every pair of attachment profiles present in the cluster is connected
+/// — directly (shared plane) or by a one-hop relay.
 #[must_use]
 pub fn all_pairs_connected_state(st: &ClusterState) -> bool {
     let full = if st.n == 128 {
@@ -172,17 +247,64 @@ pub fn all_pairs_connected_state(st: &ClusterState) -> bool {
     } else {
         (1u128 << st.n) - 1
     };
-    let (a, b) = (st.on_a(), st.on_b());
-    if a | b != full {
+    let k = st.planes as usize;
+    let mut union = 0u128;
+    for p in 0..k {
+        union |= st.on(p);
+    }
+    if union != full {
         return false; // some node is completely detached
     }
-    st.has_bridge() || a == full || b == full
+    // reach[p]: planes q such that some node is attached to both p and q
+    // (includes p itself whenever plane p has any attached node). Two
+    // attachment profiles are connected iff one's reach meets the other.
+    let mut reach = [0u8; MAX_PLANES];
+    for p in 0..k {
+        let op = st.on(p);
+        if op == 0 {
+            continue;
+        }
+        for q in 0..k {
+            if op & st.on(q) != 0 {
+                reach[p] |= 1u8 << q;
+            }
+        }
+    }
+    // The distinct attachment profiles present among the nodes (at most
+    // 2^k − 1 of them; coverage above rules out 0).
+    let mut present = [false; 1 << MAX_PLANES];
+    let mut profiles: Vec<u8> = Vec::new();
+    for i in 0..st.n {
+        let m = st.attachment(i);
+        if !present[m as usize] {
+            present[m as usize] = true;
+            profiles.push(m);
+        }
+    }
+    for (i, &ma) in profiles.iter().enumerate() {
+        let ra = (0..k)
+            .filter(|&p| ma >> p & 1 != 0)
+            .fold(0u8, |acc, p| acc | reach[p]);
+        for &mb in &profiles[i..] {
+            if ma & mb == 0 && ra & mb == 0 {
+                return false;
+            }
+        }
+    }
+    true
 }
 
-/// [`all_pairs_connected_state`] evaluated from a failure set.
+/// [`all_pairs_connected_state`] evaluated from a failure set over a
+/// two-plane cluster.
 #[must_use]
 pub fn all_pairs_connected(n: usize, failures: &FailureSet) -> bool {
     all_pairs_connected_state(&ClusterState::from_failures(n, failures))
+}
+
+/// [`all_pairs_connected`] for a `planes`-plane cluster.
+#[must_use]
+pub fn all_pairs_connected_k(n: usize, planes: u8, failures: &FailureSet) -> bool {
+    all_pairs_connected_state(&ClusterState::from_failures_k(n, planes, failures))
 }
 
 #[cfg(test)]
@@ -340,13 +462,16 @@ mod tests {
 
     #[test]
     fn restore_inverts_fail() {
-        let n = 6;
-        for idx in 0..2 * n + 2 {
-            let mut st = ClusterState::fully_up(n);
-            st.fail_index(idx);
-            assert_ne!(st, ClusterState::fully_up(n), "idx={idx}");
-            st.restore_index(idx);
-            assert_eq!(st, ClusterState::fully_up(n), "idx={idx}");
+        for planes in [2u8, 3, 5] {
+            let n = 6;
+            let k = planes as usize;
+            for idx in 0..k * n + k {
+                let mut st = ClusterState::fully_up_k(n, planes);
+                st.fail_index(idx);
+                assert_ne!(st, ClusterState::fully_up_k(n, planes), "idx={idx}");
+                st.restore_index(idx);
+                assert_eq!(st, ClusterState::fully_up_k(n, planes), "idx={idx}");
+            }
         }
     }
 
@@ -356,5 +481,83 @@ mod tests {
         let st = ClusterState::fully_up(n);
         assert!(pair_connected_state(&st, 0, n - 1));
         assert!(all_pairs_connected_state(&st));
+    }
+
+    #[test]
+    fn third_plane_survives_two_dead_backplanes() {
+        // K = 3, backplanes 0 and 1 down: everything still flows on plane 2.
+        let n = 4;
+        let mut st = ClusterState::fully_up_k(n, 3);
+        st.fail_index(0);
+        st.fail_index(1);
+        assert!(pair_connected_state(&st, 0, 3));
+        assert!(all_pairs_connected_state(&st));
+        // Killing the last backplane disconnects everyone.
+        st.fail_index(2);
+        assert!(!pair_connected_state(&st, 0, 3));
+        assert!(!all_pairs_connected_state(&st));
+    }
+
+    #[test]
+    fn relay_is_one_hop_not_transitive() {
+        // K = 3, n = 4: node 0 on plane 0 only, node 1 on plane 2 only,
+        // node 2 bridges planes 0+1, node 3 bridges planes 1+2. Plane 0
+        // and plane 2 are only connected through a chain of two bridges,
+        // which DRS's one-hop relay cannot use.
+        let n = 4;
+        let mut st = ClusterState::fully_up_k(n, 3);
+        let k = 3;
+        let nic = |node: usize, plane: usize| k + plane * n + node;
+        st.fail_index(nic(0, 1));
+        st.fail_index(nic(0, 2));
+        st.fail_index(nic(1, 0));
+        st.fail_index(nic(1, 1));
+        st.fail_index(nic(2, 2));
+        st.fail_index(nic(3, 0));
+        assert_eq!(st.attachment(0), 0b001);
+        assert_eq!(st.attachment(1), 0b100);
+        assert_eq!(st.attachment(2), 0b011);
+        assert_eq!(st.attachment(3), 0b110);
+        assert!(!pair_connected_state(&st, 0, 1), "needs two hops");
+        assert!(pair_connected_state(&st, 0, 3), "one hop via node 2");
+        assert!(pair_connected_state(&st, 2, 3), "shared plane 1");
+        assert!(!all_pairs_connected_state(&st));
+    }
+
+    #[test]
+    fn generalized_predicates_match_legacy_at_k2() {
+        // Exhaustive over every failure subset of a small cluster: the
+        // K-general code path at planes=2 must agree with the paper's
+        // two-network formulation, expressed directly.
+        let n = 3;
+        let m = 2 * n + 2;
+        for bits in 0u32..1 << m {
+            let mut st = ClusterState::fully_up(n);
+            for idx in 0..m {
+                if bits >> idx & 1 != 0 {
+                    st.fail_index(idx);
+                }
+            }
+            let full = (1u128 << n) - 1;
+            let (a, b) = (st.on_a(), st.on_b());
+            let legacy_pair = |s: usize, t: usize| {
+                let (sa, sb) = (a >> s & 1 != 0, b >> s & 1 != 0);
+                let (ta, tb) = (a >> t & 1 != 0, b >> t & 1 != 0);
+                (sa && ta) || (sb && tb) || (a & b != 0 && (sa || sb) && (ta || tb))
+            };
+            for s in 0..n {
+                for t in 0..n {
+                    if s != t {
+                        assert_eq!(
+                            pair_connected_state(&st, s, t),
+                            legacy_pair(s, t),
+                            "bits={bits:b} pair=({s},{t})"
+                        );
+                    }
+                }
+            }
+            let legacy_all = (a | b == full) && (a & b != 0 || a == full || b == full);
+            assert_eq!(all_pairs_connected_state(&st), legacy_all, "bits={bits:b}");
+        }
     }
 }

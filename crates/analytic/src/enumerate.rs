@@ -1,7 +1,8 @@
 //! Exhaustive enumeration of failure combinations.
 //!
 //! For small clusters it is feasible to walk **every** `f`-subset of the
-//! `2N + 2` components and evaluate the connectivity predicate directly.
+//! `K·N + K` components (the paper's `2N + 2` at `K = 2`) and evaluate
+//! the connectivity predicate directly.
 //! This is the ground truth the closed form ([`crate::exact`]) and the
 //! Monte-Carlo estimator ([`crate::montecarlo`]) are validated against: the
 //! three implementations share nothing but the component model, so
@@ -192,11 +193,12 @@ pub fn rank_of(n: usize, indices: &[usize]) -> u128 {
 }
 
 /// Delta-update walk over the combinations `[start_rank, start_rank + limit)`
-/// (or to exhaustion when `limit` is `None`), invoking `visit` with the
-/// cluster state and failed-index slice for each. Returns the number of
-/// combinations visited.
+/// (or to exhaustion when `limit` is `None`) of the `planes·n + planes`
+/// component universe, invoking `visit` with the cluster state and
+/// failed-index slice for each. Returns the number of combinations visited.
 fn walk_states(
     n: usize,
+    planes: u8,
     f: usize,
     start_rank: u128,
     limit: Option<u128>,
@@ -206,12 +208,12 @@ fn walk_states(
     if limit == Some(0) {
         return 0;
     }
-    let m = 2 * n + 2;
+    let m = planes as usize * n + planes as usize;
     let mut combos = Combinations::from_rank(m, f, start_rank);
     if combos.done {
         return 0;
     }
-    let mut st = ClusterState::fully_up(n);
+    let mut st = ClusterState::fully_up_k(n, planes);
     for &i in combos.current() {
         st.fail_index(i);
     }
@@ -254,8 +256,16 @@ fn walk_states(
 /// [`crate::orbit::orbit_pair_success`] for the full range.
 #[must_use]
 pub fn enumerate_pair_success(n: usize, f: usize) -> (u128, u128) {
+    enumerate_pair_success_k(n, 2, f)
+}
+
+/// [`enumerate_pair_success`] for a `planes`-plane cluster: counts, over
+/// all `f`-subsets of the `planes·n + planes` components, how many leave
+/// the pair `(0, 1)` connected.
+#[must_use]
+pub fn enumerate_pair_success_k(n: usize, planes: u8, f: usize) -> (u128, u128) {
     let mut success: u128 = 0;
-    let total = walk_states(n, f, 0, None, &mut |st, _| {
+    let total = walk_states(n, planes, f, 0, None, &mut |st, _| {
         if pair_connected_state(st, 0, 1) {
             success += 1;
         }
@@ -274,8 +284,20 @@ pub fn enumerate_pair_success_block(
     start_rank: u128,
     count: u128,
 ) -> (u128, u128) {
+    enumerate_pair_success_block_k(n, 2, f, start_rank, count)
+}
+
+/// [`enumerate_pair_success_block`] for a `planes`-plane cluster.
+#[must_use]
+pub fn enumerate_pair_success_block_k(
+    n: usize,
+    planes: u8,
+    f: usize,
+    start_rank: u128,
+    count: u128,
+) -> (u128, u128) {
     let mut success: u128 = 0;
-    let visited = walk_states(n, f, start_rank, Some(count), &mut |st, _| {
+    let visited = walk_states(n, planes, f, start_rank, Some(count), &mut |st, _| {
         if pair_connected_state(st, 0, 1) {
             success += 1;
         }
@@ -291,8 +313,14 @@ pub fn enumerate_pair_success_block(
 /// block counts ≫ thread count.
 #[must_use]
 pub fn enumerate_pair_success_parallel(n: usize, f: usize) -> (u128, u128) {
+    enumerate_pair_success_parallel_k(n, 2, f)
+}
+
+/// [`enumerate_pair_success_parallel`] for a `planes`-plane cluster.
+#[must_use]
+pub fn enumerate_pair_success_parallel_k(n: usize, planes: u8, f: usize) -> (u128, u128) {
     assert!(n >= 2, "need a pair of nodes");
-    let m = 2 * n + 2;
+    let m = planes as usize * n + planes as usize;
     let total = shared_table()
         .get(m as u64, f as u64)
         .expect("combination count overflows u128");
@@ -308,7 +336,7 @@ pub fn enumerate_pair_success_parallel(n: usize, f: usize) -> (u128, u128) {
         .into_par_iter()
         .map(|b| {
             let start = u128::from(b) * block_len;
-            enumerate_pair_success_block(n, f, start, block_len.min(total - start))
+            enumerate_pair_success_block_k(n, planes, f, start, block_len.min(total - start))
         })
         .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
 }
@@ -317,8 +345,14 @@ pub fn enumerate_pair_success_parallel(n: usize, f: usize) -> (u128, u128) {
 /// `(successes, total)`.
 #[must_use]
 pub fn enumerate_all_pairs_success(n: usize, f: usize) -> (u128, u128) {
+    enumerate_all_pairs_success_k(n, 2, f)
+}
+
+/// [`enumerate_all_pairs_success`] for a `planes`-plane cluster.
+#[must_use]
+pub fn enumerate_all_pairs_success_k(n: usize, planes: u8, f: usize) -> (u128, u128) {
     let mut success: u128 = 0;
-    let total = walk_states(n, f, 0, None, &mut |st, _| {
+    let total = walk_states(n, planes, f, 0, None, &mut |st, _| {
         if all_pairs_connected_state(st) {
             success += 1;
         }
@@ -338,7 +372,7 @@ pub fn exhaustive_p_success(n: usize, f: usize) -> f64 {
 #[must_use]
 pub fn disconnecting_sets(n: usize, f: usize) -> Vec<FailureSet> {
     let mut out = Vec::new();
-    walk_states(n, f, 0, None, &mut |st, indices| {
+    walk_states(n, 2, f, 0, None, &mut |st, indices| {
         if !pair_connected_state(st, 0, 1) {
             out.push(FailureSet::from_indices(indices));
         }
@@ -460,13 +494,79 @@ mod tests {
     }
 
     #[test]
+    fn k_general_walk_matches_legacy_at_two_planes() {
+        for n in 2..=5usize {
+            for f in 0..=5usize {
+                assert_eq!(
+                    enumerate_pair_success_k(n, 2, f),
+                    enumerate_pair_success(n, f),
+                    "pair n={n} f={f}"
+                );
+                assert_eq!(
+                    enumerate_all_pairs_success_k(n, 2, f),
+                    enumerate_all_pairs_success(n, f),
+                    "all-pairs n={n} f={f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extra_planes_never_hurt_survivability() {
+        // With the same number of failures, a deeper redundancy layer can
+        // only raise the success fraction.
+        for n in 2..=4usize {
+            for f in 1..=4usize {
+                let mut prev = 0.0f64;
+                for planes in 2u8..=4 {
+                    let (s, t) = enumerate_pair_success_k(n, planes, f);
+                    let p = s as f64 / t as f64;
+                    assert!(
+                        p >= prev - 1e-12,
+                        "n={n} f={f} K={planes}: {p} < {prev}"
+                    );
+                    prev = p;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_plane_totals_are_binomials() {
+        let (_, total) = enumerate_pair_success_k(4, 3, 2);
+        assert_eq!(total, binom(15, 2).unwrap());
+        let (s, t) = enumerate_pair_success_k(3, 3, 3);
+        // All three backplanes down is a cut; totals still C(12, 3).
+        assert_eq!(t, binom(12, 3).unwrap());
+        assert!(s < t);
+    }
+
+    #[test]
+    fn parallel_k_matches_sequential_k() {
+        for planes in 2u8..=4 {
+            for f in 0..=4usize {
+                assert_eq!(
+                    enumerate_pair_success_parallel_k(4, planes, f),
+                    enumerate_pair_success_k(4, planes, f),
+                    "K={planes} f={f}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn delta_state_matches_rebuild() {
         // The delta-updated state must equal a from-scratch rebuild at
         // every step of the walk.
         let (n, f) = (4usize, 3usize);
-        walk_states(n, f, 0, None, &mut |st, indices| {
+        walk_states(n, 2, f, 0, None, &mut |st, indices| {
             let rebuilt = ClusterState::from_failures(n, &FailureSet::from_indices(indices));
             assert_eq!(*st, rebuilt, "indices={indices:?}");
+        });
+        // Same invariant on a three-plane universe.
+        walk_states(n, 3, f, 0, None, &mut |st, indices| {
+            let rebuilt = ClusterState::from_failures_k(n, 3, &FailureSet::from_indices(indices));
+            assert_eq!(*st, rebuilt, "K=3 indices={indices:?}");
         });
     }
 

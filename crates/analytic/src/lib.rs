@@ -4,9 +4,10 @@
 //! Simulation of a Commercially Deployed Dynamic Routing System Protocol"*
 //! (IPDPS 2000 Workshops):
 //!
-//! * the **component model**: a cluster of `N` nodes, each with one NIC on
-//!   network A and one on network B, plus the two backplanes themselves —
-//!   `2N + 2` components in total ([`components`]),
+//! * the **component model**: a cluster of `N` nodes, each with one NIC
+//!   per network plane, plus the backplanes themselves — the paper's two
+//!   planes give `2N + 2` components, and the model generalizes to
+//!   `K·N + K` for a `K`-plane redundancy layer ([`components`]),
 //! * the **connectivity predicate**: given a set of failed components, can a
 //!   pair of servers still communicate under DRS routing (directly on either
 //!   network, or relayed through a one-hop gateway node)? ([`connectivity`]),
@@ -14,8 +15,9 @@
 //!   `P\[S\](N, f) = F(N, f) / C(2N+2, f)` conditioned on exactly `f` failures
 //!   ([`exact`]),
 //! * an **exhaustive enumerator** over all failure sets, used to validate the
-//!   closed form ([`enumerate`]) — delta-updated, unrankable, and
-//!   rayon-parallel,
+//!   closed form ([`enumerate`]) — delta-updated, unrankable,
+//!   rayon-parallel, and available for any plane count via the `_k`
+//!   variants,
 //! * a **symmetry-reduced orbit counter** that collapses the subset walk to
 //!   polynomially many weighted equivalence classes, extending bit-exact
 //!   ground truth to the full node range ([`orbit`]),
@@ -62,7 +64,7 @@ pub mod thresholds;
 
 pub use allpairs::{expected_disconnected_pairs, p_all_pairs};
 pub use components::{Component, FailureSet};
-pub use connectivity::{all_pairs_connected, pair_connected};
+pub use connectivity::{all_pairs_connected, all_pairs_connected_k, pair_connected, pair_connected_k};
 pub use exact::{disconnect_count, p_success, success_count};
 pub use montecarlo::{MonteCarlo, MonteCarloEstimate};
 pub use orbit::{orbit_p_success, orbit_pair_success};

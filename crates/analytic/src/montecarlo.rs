@@ -1,7 +1,8 @@
 //! The paper's validation simulation: Monte-Carlo estimation of `P\[Success\]`.
 //!
 //! Each iteration draws `f` **distinct** components uniformly at random from
-//! the `2N + 2`, fails them, and tests whether the fixed pair `(0, 1)` can
+//! the `K·N + K` (the paper's `2N + 2`), fails them, and tests whether the
+//! fixed pair `(0, 1)` can
 //! still communicate (by symmetry any pair gives the same distribution).
 //! The estimate is the success fraction. Figure 3 of the paper shows the
 //! mean absolute deviation of this estimator from Equation 1 shrinking as
@@ -61,37 +62,48 @@ impl MonteCarloEstimate {
     }
 }
 
-/// Monte-Carlo estimator of pair survivability for an `(n, f)` scenario.
+/// Monte-Carlo estimator of pair survivability for an `(n, f)` scenario
+/// (optionally with more than the paper's two network planes).
 #[derive(Debug, Clone)]
 pub struct MonteCarlo {
     n: usize,
+    planes: u8,
     f: usize,
     seed: u64,
 }
 
 impl MonteCarlo {
-    /// Creates an estimator for `n` nodes and exactly `f` failed components.
+    /// Creates an estimator for `n` nodes, two network planes, and exactly
+    /// `f` failed components.
     ///
     /// # Panics
     /// Panics if `n < 2`, `n` exceeds the bitset capacity, or `f > 2n + 2`.
     #[must_use]
     pub fn new(n: usize, f: usize, seed: u64) -> Self {
+        MonteCarlo::new_k(n, 2, f, seed)
+    }
+
+    /// Creates an estimator for an `n`-node, `planes`-plane cluster with
+    /// exactly `f` failed components out of `planes·n + planes`.
+    ///
+    /// # Panics
+    /// Panics if `n < 2`, `planes` is out of range, or
+    /// `f > planes·n + planes`.
+    #[must_use]
+    pub fn new_k(n: usize, planes: u8, f: usize, seed: u64) -> Self {
         assert!(n >= 2, "need a pair of nodes");
-        assert!(
-            f <= 2 * n + 2,
-            "cannot fail {f} of {} components",
-            2 * n + 2
-        );
-        // Constructing a state validates the n <= MAX_NODES bound too.
-        let _ = ClusterState::fully_up(n);
-        MonteCarlo { n, f, seed }
+        let m = planes as usize * n + planes as usize;
+        assert!(f <= m, "cannot fail {f} of {m} components");
+        // Constructing a state validates the n/planes bounds too.
+        let _ = ClusterState::fully_up_k(n, planes);
+        MonteCarlo { n, planes, f, seed }
     }
 
     /// Draws one random failure scenario and reports whether the pair
     /// survived it.
     #[must_use]
     pub fn sample_once(&self, rng: &mut SmallRng) -> bool {
-        let st = sample_failure_state(self.n, self.f, rng);
+        let st = sample_failure_state_k(self.n, self.planes, self.f, rng);
         pair_connected_state(&st, 0, 1)
     }
 
@@ -143,9 +155,15 @@ impl MonteCarlo {
 /// costs `O(m log m)` draws), and no allocation is performed.
 #[must_use]
 pub fn sample_failure_state(n: usize, f: usize, rng: &mut SmallRng) -> ClusterState {
-    let m = 2 * n + 2;
+    sample_failure_state_k(n, 2, f, rng)
+}
+
+/// [`sample_failure_state`] for a `planes`-plane cluster.
+#[must_use]
+pub fn sample_failure_state_k(n: usize, planes: u8, f: usize, rng: &mut SmallRng) -> ClusterState {
+    let m = planes as usize * n + planes as usize;
     debug_assert!(f <= m);
-    let mut st = ClusterState::fully_up(n);
+    let mut st = ClusterState::fully_up_k(n, planes);
     let mut drawn = FailureSet::new();
     let mut remaining = f;
     while remaining > 0 {
@@ -163,7 +181,14 @@ pub fn sample_failure_state(n: usize, f: usize, rng: &mut SmallRng) -> ClusterSt
 /// (e.g. injecting the same scenario into the packet-level simulator).
 #[must_use]
 pub fn sample_failure_set(n: usize, f: usize, rng: &mut SmallRng) -> FailureSet {
-    let m = 2 * n + 2;
+    sample_failure_set_k(n, 2, f, rng)
+}
+
+/// [`sample_failure_set`] for a `planes`-plane cluster (indices in the
+/// generalized `planes·n + planes` layout).
+#[must_use]
+pub fn sample_failure_set_k(n: usize, planes: u8, f: usize, rng: &mut SmallRng) -> FailureSet {
+    let m = planes as usize * n + planes as usize;
     assert!(f <= m, "cannot fail {f} of {m} components");
     let mut drawn = FailureSet::new();
     let mut remaining = f;
@@ -276,6 +301,39 @@ mod tests {
         let (lo1, hi1) = all.wilson_interval(1.96);
         assert!(hi1 > 1.0 - 1e-12, "{hi1}");
         assert!(lo1 > 0.9 && lo1 < 1.0);
+    }
+
+    #[test]
+    fn two_plane_constructor_is_the_k_constructor() {
+        // The K-general sampler at planes=2 draws from the same universe in
+        // the same order: estimates are bit-identical, not just close.
+        let legacy = MonteCarlo::new(12, 3, 7).estimate(20_000);
+        let general = MonteCarlo::new_k(12, 2, 3, 7).estimate(20_000);
+        assert_eq!(legacy, general);
+    }
+
+    #[test]
+    fn three_plane_estimate_matches_enumeration() {
+        use crate::enumerate::enumerate_pair_success_k;
+        let (n, planes, f) = (5usize, 3u8, 3usize);
+        let (s, t) = enumerate_pair_success_k(n, planes, f);
+        let exact = s as f64 / t as f64;
+        let est = MonteCarlo::new_k(n, planes, f, 42).estimate(200_000);
+        assert!(
+            (est.p_hat - exact).abs() < 5.0 * est.std_error.max(1e-4),
+            "{} vs {exact}",
+            est.p_hat
+        );
+    }
+
+    #[test]
+    fn k_plane_sample_spans_whole_universe() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (n, planes) = (4usize, 4u8);
+        let m = planes as usize * n + planes as usize;
+        let set = sample_failure_set_k(n, planes, m, &mut rng);
+        assert_eq!(set.len(), m);
+        assert_eq!(set.iter().last(), Some(m - 1));
     }
 
     #[test]

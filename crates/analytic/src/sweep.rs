@@ -18,6 +18,7 @@
 //! benchmark grid ([`SweepConfig::bench_grid`]) uses only the
 //! counting methods, so the artifact is independent of the `rand` version.
 
+use drs_harness::artifact::{finish, json_f64, preamble};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -197,11 +198,12 @@ impl SweepResult {
     /// counts as decimal strings, no dependence on a JSON library.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(128 + self.cells.len() * 128);
-        out.push_str("{\n");
-        out.push_str("  \"schema\": \"drs-bench-survivability/v1\",\n");
-        out.push_str(&format!("  \"seed\": {},\n", self.seed));
-        out.push_str("  \"cells\": [\n");
+        let mut out = preamble(
+            "drs-bench-survivability/v1",
+            self.seed,
+            "cells",
+            128 + self.cells.len() * 128,
+        );
         for (i, c) in self.cells.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"n\": {}, \"f\": {}, \"method\": \"{}\", \"p_success\": {}, \
@@ -216,19 +218,8 @@ impl SweepResult {
                 if i + 1 < self.cells.len() { "," } else { "" },
             ));
         }
-        out.push_str("  ]\n}\n");
+        finish(&mut out);
         out
-    }
-}
-
-fn json_f64(v: f64) -> String {
-    // Rust's shortest-round-trip Display is deterministic and always a
-    // valid JSON number for the finite probabilities emitted here; pin the
-    // integer case to a float literal so consumers parse a uniform type.
-    if v.fract() == 0.0 {
-        format!("{v:.1}")
-    } else {
-        format!("{v}")
     }
 }
 

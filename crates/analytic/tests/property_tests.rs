@@ -11,8 +11,9 @@ use drs_analytic::binom::{binom, binom_f64, ln_binom, shared_table};
 use drs_analytic::components::{Component, FailureSet};
 use drs_analytic::connectivity::{pair_connected_state, ClusterState};
 use drs_analytic::enumerate::{
-    enumerate_pair_success, enumerate_pair_success_block, enumerate_pair_success_parallel, rank_of,
-    unrank,
+    enumerate_all_pairs_success, enumerate_all_pairs_success_k, enumerate_pair_success,
+    enumerate_pair_success_block, enumerate_pair_success_k, enumerate_pair_success_parallel,
+    rank_of, unrank,
 };
 use drs_analytic::exact::{component_count, disconnect_count, p_success, success_count};
 use drs_analytic::montecarlo::{sample_failure_set, MonteCarlo};
@@ -78,15 +79,14 @@ proptest! {
         nic_bits in any::<u64>(),
     ) {
         let mut st = ClusterState::fully_up(n);
-        st.bp_a = bp_a;
-        st.bp_b = bp_b;
-        st.nic_a = (nic_bits & 0xFFFF_FFFF) as u128 & ((1u128 << n) - 1);
-        st.nic_b = (nic_bits >> 32) as u128 & ((1u128 << n) - 1);
+        st.bp = u8::from(bp_a) | u8::from(bp_b) << 1;
+        st.nic[0] = (nic_bits & 0xFFFF_FFFF) as u128 & ((1u128 << n) - 1);
+        st.nic[1] = (nic_bits >> 32) as u128 & ((1u128 << n) - 1);
 
         // Reference: BFS over nodes + hub vertices.
         let reference = |s: usize, t: usize| -> bool {
-            let on_a = |i: usize| bp_a && st.nic_a >> i & 1 == 1;
-            let on_b = |i: usize| bp_b && st.nic_b >> i & 1 == 1;
+            let on_a = |i: usize| bp_a && st.nic[0] >> i & 1 == 1;
+            let on_b = |i: usize| bp_b && st.nic[1] >> i & 1 == 1;
             // vertices: 0..n nodes, n = hubA, n+1 = hubB
             let mut seen = vec![false; n + 2];
             let mut stack = vec![s];
@@ -233,5 +233,34 @@ proptest! {
         prop_assert_eq!(par, seq);
         prop_assert_eq!(orbit, seq);
         prop_assert_eq!(orbit.0, success_count(n, f));
+    }
+
+    /// The K-general engines specialized to two planes reproduce the
+    /// legacy two-network ground truth count-for-count: the symmetry-
+    /// reduced orbit counter (K = 2 closed form), the generalized walk,
+    /// and the all-pairs closed form all agree across the (N, f) grid.
+    #[test]
+    fn k_general_engines_at_two_planes_match_legacy_orbit(n in 2u64..7, f in 0u64..8) {
+        let f = f.min(component_count(n));
+        let general = enumerate_pair_success_k(n as usize, 2, f as usize);
+        let orbit = orbit_pair_success(n, f).expect("no overflow at this size");
+        prop_assert_eq!(general, orbit);
+        let general_all = enumerate_all_pairs_success_k(n as usize, 2, f as usize);
+        let legacy_all = enumerate_all_pairs_success(n as usize, f as usize);
+        prop_assert_eq!(general_all, legacy_all);
+        prop_assert_eq!(general_all.0, all_pairs_success_count(n, f));
+    }
+
+    /// A three-plane cluster with the same failure budget is never less
+    /// survivable than the paper's two-plane cluster, and its Monte-Carlo
+    /// estimator agrees with its exhaustive walk.
+    #[test]
+    fn three_plane_universe_is_consistent(n in 2usize..5, f in 0usize..5, seed in any::<u64>()) {
+        let (s3, t3) = enumerate_pair_success_k(n, 3, f);
+        let (s2, t2) = enumerate_pair_success_k(n, 2, f);
+        let (p3, p2) = (s3 as f64 / t3 as f64, s2 as f64 / t2 as f64);
+        prop_assert!(p3 >= p2 - 1e-12, "K=3 {p3} < K=2 {p2}");
+        let est = MonteCarlo::new_k(n, 3, f, seed).estimate(4_000);
+        prop_assert!((est.p_hat - p3).abs() < 6.0 * est.std_error.max(1e-3));
     }
 }

@@ -116,7 +116,7 @@ impl RipDaemon {
     }
 
     fn advertise(&mut self, ctx: &mut Ctx<'_, RipMsg>) {
-        for net in NetId::ALL {
+        for net in NetId::planes(ctx.planes()) {
             // Split horizon: omit routes learned on this interface.
             let mut entries = vec![(self.id, 0u8)];
             entries.extend(self.table.iter().filter_map(|(&dst, e)| {

@@ -1,0 +1,76 @@
+//! Runs the K-plane survivability sweep and writes the machine-readable
+//! `BENCH_knet_survivability.json` artifact (schema in EXPERIMENTS.md).
+//!
+//! The run is [`drs_bench::knet::bench_artifact`] under the fixed master
+//! seed [`drs_bench::BENCH_SEED`]: for every redundancy degree
+//! `K ∈ {2, 3, 4}` and every `(n, f)` cell, the exact pair-survivability
+//! over the generalized `K·N + K` component universe, cross-checked by
+//! deterministic packet-level trials against a live K-plane DRS cluster.
+//! Before writing, the binary re-runs everything serially and asserts the
+//! parallel and serial artifacts are byte-identical, and asserts that
+//! every simulated trial agreed with the analytic predicate.
+//!
+//! Run: `cargo run --release -p drs-bench --bin knet_sweep [output.json]`
+
+use std::path::Path;
+use std::time::Instant;
+
+use drs_bench::knet::bench_artifact;
+use drs_bench::{fmt_p, row, section, write_artifact, BENCH_SEED, KNET_BENCH_JSON};
+use drs_harness::RunMode;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| KNET_BENCH_JSON.to_string());
+
+    println!("K-plane survivability sweep -> {path}");
+    let started = Instant::now();
+    let artifact = bench_artifact(BENCH_SEED, RunMode::Parallel);
+    let parallel_elapsed = started.elapsed();
+
+    let started = Instant::now();
+    let serial = bench_artifact(BENCH_SEED, RunMode::Serial);
+    let serial_elapsed = started.elapsed();
+
+    section("cells");
+    let widths = [3, 3, 3, 8, 12, 7];
+    row(
+        &["K", "n", "f", "p_exact", "agree", "sim p"]
+            .map(String::from)
+            .to_vec(),
+        &widths,
+    );
+    for c in &artifact.cells {
+        row(
+            &[
+                c.planes.to_string(),
+                c.n.to_string(),
+                c.f.to_string(),
+                fmt_p(c.p_exact),
+                format!("{}/{}", c.agree, c.trials),
+                fmt_p(c.delivered as f64 / c.trials as f64),
+            ],
+            &widths,
+        );
+        assert_eq!(
+            c.agree, c.trials,
+            "cell (K={}, n={}, f={}) has sim/analytic disagreements",
+            c.planes, c.n, c.f
+        );
+    }
+
+    section("determinism");
+    let json = artifact.to_json();
+    assert_eq!(
+        json,
+        serial.to_json(),
+        "parallel and serial artifacts must be byte-identical"
+    );
+    println!("  parallel == serial, byte-for-byte");
+    println!("  parallel {parallel_elapsed:.2?}, serial {serial_elapsed:.2?}");
+
+    write_artifact(Path::new(&path), &json).expect("write knet artifact");
+    println!();
+    println!("wrote {path} (master seed {BENCH_SEED})");
+}

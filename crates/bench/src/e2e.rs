@@ -88,7 +88,7 @@ pub fn run_trial(n: usize, f: usize, seed: u64) -> E2eTrial {
     let mut events = Vec::new();
     let mut plan = FaultPlan::new();
     for idx in failures.iter() {
-        let component = index_to_component(idx, n);
+        let component = index_to_component(idx, n, 2);
         plan = plan.fail_at(fault_at, component);
         events.push(TraceEvent::new(
             fault_at.0,

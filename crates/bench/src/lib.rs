@@ -11,6 +11,7 @@ use drs_analytic::sweep::SweepResult;
 use drs_sim::time::SimDuration;
 
 pub mod e2e;
+pub mod knet;
 pub mod obs_artifact;
 pub mod sim_artifact;
 
@@ -33,6 +34,12 @@ pub const SIM_BENCH_JSON: &str = "BENCH_sim_survivability.json";
 /// percentiles, DRS probe-path histograms, probe-overhead-vs-budget
 /// cells, and event-count breakdowns.
 pub const OBS_BENCH_JSON: &str = "BENCH_observability.json";
+
+/// File name of the machine-readable K-plane sweep artifact tracked in
+/// the repo root (schema documented in EXPERIMENTS.md): the
+/// `(K, n, f)` grid of exact generalized-universe counts cross-checked
+/// against the packet-level K-plane simulator.
+pub const KNET_BENCH_JSON: &str = "BENCH_knet_survivability.json";
 
 /// Writes a sweep artifact (or any text) to `path`.
 ///

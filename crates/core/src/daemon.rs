@@ -4,16 +4,16 @@
 //! communication links, answering requests, and fixing problems as they
 //! occur, for the life of the server cluster"*:
 //!
-//! * **monitoring** — staggered ICMP probes of every `(peer, net)` pair,
-//!   one full sweep per probe interval;
+//! * **monitoring** — staggered ICMP probes of every `(peer, net)` pair
+//!   across all `K` network planes, one full sweep per probe interval;
 //! * **answering requests** — when another daemon broadcasts a
 //!   [`DrsMsg::RouteRequest`], offer to act as gateway if (and only if)
 //!   this host has a live *direct* route to the target (the directness
 //!   requirement keeps relays one hop deep and is the protocol's routing
 //!   loop avoidance, backstopped by the stack's TTL);
 //! * **fixing problems** — when the link under a kernel route fails,
-//!   repair it: first to the peer's NIC on the redundant network, and if
-//!   both direct links are gone, through broadcast gateway discovery.
+//!   repair it: first to the peer's NIC on the next healthy plane, and if
+//!   every direct link is gone, through broadcast gateway discovery.
 //!   When a direct link recovers, revert to it.
 //!
 //! All repair actions are driven by probe state transitions, never by
@@ -94,6 +94,10 @@ pub struct DrsDaemon {
 impl DrsDaemon {
     /// A daemon for host `id` in an `n`-host cluster.
     ///
+    /// The link table is sized for the paper's two planes here and
+    /// re-sized to the scenario's actual redundancy degree in
+    /// [`Protocol::on_start`], where the daemon first sees the spec.
+    ///
     /// # Panics
     /// Panics if the cluster has fewer than two hosts or more than the
     /// 2²⁴ the timer-token encoding supports.
@@ -105,7 +109,7 @@ impl DrsDaemon {
             id,
             n,
             cfg,
-            peers: PeerTable::new(id, n),
+            peers: PeerTable::new(id, n, 2),
             next_seq: 0,
             next_req: 0,
             discovery: HashMap::new(),
@@ -135,17 +139,10 @@ impl DrsDaemon {
     }
 
     /// The direct network this daemon would prefer for `peer` right now,
-    /// given its link beliefs: primary first (if `prefer_primary`), else
-    /// whichever is up.
+    /// given its link beliefs: the lowest-numbered plane whose link is up
+    /// — primary first, then the next healthy plane in order.
     fn best_direct(&self, peer: NodeId) -> Option<NetId> {
-        let a = self.peers.state(peer, NetId::A) == LinkState::Up;
-        let b = self.peers.state(peer, NetId::B) == LinkState::Up;
-        match (a, b) {
-            (true, true) => Some(NetId::A),
-            (true, false) => Some(NetId::A),
-            (false, true) => Some(NetId::B),
-            (false, false) => None,
-        }
+        self.peers.first_up(peer)
     }
 
     fn install(&mut self, ctx: &mut Ctx<'_, DrsMsg>, dst: NodeId, route: Route) {
@@ -267,8 +264,9 @@ impl DrsDaemon {
         self.metrics
             .log(now, DrsEventKind::DiscoveryStarted { target });
         let msg = DrsMsg::RouteRequest { target, req_id };
-        ctx.broadcast_control(NetId::A, msg);
-        ctx.broadcast_control(NetId::B, msg);
+        for net in NetId::planes(self.peers.planes()) {
+            ctx.broadcast_control(net, msg);
+        }
         // Arm the decision/failure-detection window.
         ctx.set_timer(
             self.cfg.offer_window,
@@ -368,13 +366,17 @@ impl Protocol for DrsDaemon {
     type Msg = DrsMsg;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, DrsMsg>) {
+        // First sight of the scenario: size the link table to the
+        // cluster's actual redundancy degree.
+        let planes = ctx.planes();
+        self.peers = PeerTable::new(self.id, self.n, planes);
         // Arm one repeating probe timer per (peer, net) pair, staggered
         // across the first cycle so the shared medium never sees a burst.
-        let pair_count = 2 * (self.n - 1) as u64;
+        let pair_count = u64::from(planes) * (self.n - 1) as u64;
         let peers: Vec<NodeId> = self.peers.peers().collect();
         let mut k = 0u64;
         for peer in peers {
-            for net in NetId::ALL {
+            for net in NetId::planes(planes) {
                 let offset = if self.cfg.stagger {
                     SimDuration(self.cfg.probe_interval.as_nanos() * k / pair_count)
                 } else {
@@ -501,7 +503,7 @@ mod tests {
     fn token_roundtrip() {
         for kind in [KIND_PROBE, KIND_TIMEOUT, KIND_OFFER_WINDOW] {
             for peer in [0u32, 1, 4095, (1 << 24) - 1] {
-                for net in NetId::ALL {
+                for net in [NetId::A, NetId::B, NetId(2), NetId(7)] {
                     for payload in [0u64, 1, 0xFF_FFFF] {
                         let t = token(kind, NodeId(peer), net, payload);
                         assert_eq!(untoken(t), (kind, NodeId(peer), net, payload));
@@ -948,6 +950,65 @@ mod tests {
         // The failed host's own histograms see the probes *it* lost.
         let failed = &w.host(NodeId(1)).obs;
         assert!(failed.failover_detect.count() >= 1);
+    }
+
+    #[test]
+    fn three_plane_cluster_survives_any_single_hub_failure_without_rtos() {
+        // The K-plane generalization's core promise: whichever single
+        // plane's hub dies, DRS converges and post-convergence traffic
+        // between every pair is delivered with zero application-visible
+        // retransmissions.
+        for plane in 0..3u8 {
+            let n = 4;
+            let cfg = fast_cfg();
+            let spec = ClusterSpec::new(n).seed(31 + u64::from(plane)).planes(3);
+            let mut w = World::new(spec, move |id| DrsDaemon::new(id, n, cfg));
+            w.schedule_faults(
+                FaultPlan::new()
+                    .fail_at(SimTime(1_000_000_000), SimComponent::Hub(NetId(plane))),
+            );
+            w.run_for(SimDuration::from_secs(4)); // converge
+            let before = w.app_stats().retransmits;
+            for i in 0..n as u32 {
+                for j in 0..n as u32 {
+                    if i != j {
+                        w.send_app(w.now(), NodeId(i), NodeId(j), 256);
+                    }
+                }
+            }
+            w.run_for(SimDuration::from_secs(5));
+            assert_eq!(
+                w.app_stats().delivered,
+                (n * (n - 1)) as u64,
+                "plane {plane}: all pairs deliver"
+            );
+            assert_eq!(
+                w.app_stats().retransmits,
+                before,
+                "plane {plane}: zero app-visible RTOs"
+            );
+        }
+    }
+
+    #[test]
+    fn failover_cascades_to_the_next_healthy_plane() {
+        // K = 4, hubs 0 and 1 both dead: every route lands on plane 2,
+        // the first healthy plane in order.
+        let n = 3;
+        let cfg = fast_cfg();
+        let spec = ClusterSpec::new(n).seed(55).planes(4);
+        let mut w = World::new(spec, move |id| DrsDaemon::new(id, n, cfg));
+        w.schedule_faults(
+            FaultPlan::new()
+                .fail_at(SimTime(500_000_000), SimComponent::Hub(NetId::A))
+                .fail_at(SimTime(500_000_000), SimComponent::Hub(NetId::B)),
+        );
+        w.run_for(SimDuration::from_secs(5));
+        for i in 0..n as u32 {
+            for (dst, route) in w.host(NodeId(i)).routes.iter() {
+                assert_eq!(route, Route::Direct(NetId(2)), "node {i} -> {dst}");
+            }
+        }
     }
 
     #[test]

@@ -1,16 +1,19 @@
 //! The **Dynamic Routing System (DRS)**: the paper's proactive
-//! fault-tolerant routing protocol for dual-network server clusters.
+//! fault-tolerant routing protocol for redundant-network server clusters
+//! — the paper's two planes, or `K ≥ 2` in general
+//! ([`drs_sim::scenario::ClusterSpec::planes`]).
 //!
 //! Every host runs one [`DrsDaemon`]. The daemon executes the two-phase
 //! run process the paper describes:
 //!
 //! 1. **Monitor** ([`monitor`]): continuously probe every configured peer
-//!    on *both* networks with ICMP echo requests. A link `(peer, net)` is
-//!    declared down after a configurable number of consecutive unanswered
-//!    probes, and declared up again the moment a probe succeeds.
+//!    on *every* network plane with ICMP echo requests. A link
+//!    `(peer, net)` is declared down after a configurable number of
+//!    consecutive unanswered probes, and declared up again the moment a
+//!    probe succeeds.
 //! 2. **Repair** ([`daemon`]): when the link carrying the current route to
-//!    a peer fails, immediately re-route — to the peer's NIC on the
-//!    redundant network if that link is up, and otherwise by broadcasting
+//!    a peer fails, immediately re-route — to the peer's NIC on the next
+//!    healthy plane if one is up, and otherwise by broadcasting
 //!    a route request so that any host with working links to both ends
 //!    can offer itself as a one-hop gateway ([`messages`]).
 //!

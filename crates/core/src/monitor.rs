@@ -1,7 +1,8 @@
 //! Phase 1 of the DRS run process: the per-peer link state table.
 //!
-//! For every monitored peer the daemon tracks two links — one per network
-//! — each either `Up` or `Down`. Probes that time out accumulate
+//! For every monitored peer the daemon tracks one link per network plane
+//! (the paper's two; `K` in general), each either `Up` or `Down`. Probes
+//! that time out accumulate
 //! *consecutive misses*; crossing the configured threshold flips the link
 //! to `Down`. Any answered probe resets the count and flips it back `Up`.
 //! This module is pure state-machine bookkeeping; the daemon drives it
@@ -61,19 +62,31 @@ pub enum Transition {
 pub struct PeerTable {
     owner: NodeId,
     n: usize,
-    links: Vec<[LinkInfo; 2]>,
+    planes: u8,
+    links: Vec<Vec<LinkInfo>>,
 }
 
 impl PeerTable {
     /// A table for daemon `owner` monitoring all other hosts of an
-    /// `n`-host cluster.
+    /// `n`-host, `planes`-plane cluster.
+    ///
+    /// # Panics
+    /// Panics if `planes < 2` — DRS requires a redundant network.
     #[must_use]
-    pub fn new(owner: NodeId, n: usize) -> Self {
+    pub fn new(owner: NodeId, n: usize, planes: u8) -> Self {
+        assert!(planes >= 2, "DRS monitors a redundant cluster (K >= 2)");
         PeerTable {
             owner,
             n,
-            links: vec![[LinkInfo::default(); 2]; n],
+            planes,
+            links: vec![vec![LinkInfo::default(); planes as usize]; n],
         }
+    }
+
+    /// The number of network planes this table monitors.
+    #[must_use]
+    pub fn planes(&self) -> u8 {
+        self.planes
     }
 
     /// The monitored peers, in id order (everyone but the owner).
@@ -109,11 +122,18 @@ impl PeerTable {
         self.link(peer, net).state
     }
 
-    /// Whether both links to `peer` are believed down.
+    /// Whether every plane's link to `peer` is believed down.
     #[must_use]
     pub fn peer_unreachable_direct(&self, peer: NodeId) -> bool {
-        self.state(peer, NetId::A) == LinkState::Down
-            && self.state(peer, NetId::B) == LinkState::Down
+        NetId::planes(self.planes).all(|net| self.state(peer, net) == LinkState::Down)
+    }
+
+    /// The lowest-numbered plane whose link to `peer` is believed up —
+    /// the "next healthy plane" a failover moves to. `None` when the peer
+    /// is directly unreachable on every plane.
+    #[must_use]
+    pub fn first_up(&self, peer: NodeId) -> Option<NetId> {
+        NetId::planes(self.planes).find(|&net| self.state(peer, net) == LinkState::Up)
     }
 
     /// Records that a probe with `seq` was sent on `(peer, net)`.
@@ -166,9 +186,8 @@ impl PeerTable {
     pub fn down_count(&self) -> usize {
         self.peers()
             .map(|p| {
-                NetId::ALL
-                    .iter()
-                    .filter(|&&net| self.state(p, net) == LinkState::Down)
+                NetId::planes(self.planes)
+                    .filter(|&net| self.state(p, net) == LinkState::Down)
                     .count()
             })
             .sum()
@@ -180,7 +199,7 @@ mod tests {
     use super::*;
 
     fn table() -> PeerTable {
-        PeerTable::new(NodeId(0), 4)
+        PeerTable::new(NodeId(0), 4, 2)
     }
 
     #[test]
@@ -196,7 +215,7 @@ mod tests {
 
     #[test]
     fn peers_excludes_owner() {
-        let t = PeerTable::new(NodeId(2), 4);
+        let t = PeerTable::new(NodeId(2), 4, 2);
         let peers: Vec<_> = t.peers().collect();
         assert_eq!(peers, vec![NodeId(0), NodeId(1), NodeId(3)]);
     }
@@ -283,9 +302,32 @@ mod tests {
         t.probe_sent(NodeId(1), NetId::A, 1);
         let _ = t.probe_timed_out(NodeId(1), NetId::A, 1, 1);
         assert!(!t.peer_unreachable_direct(NodeId(1)));
+        assert_eq!(t.first_up(NodeId(1)), Some(NetId::B));
         t.probe_sent(NodeId(1), NetId::B, 2);
         let _ = t.probe_timed_out(NodeId(1), NetId::B, 2, 1);
         assert!(t.peer_unreachable_direct(NodeId(1)));
+        assert_eq!(t.first_up(NodeId(1)), None);
+    }
+
+    #[test]
+    fn three_plane_unreachable_requires_all_planes_down() {
+        let mut t = PeerTable::new(NodeId(0), 3, 3);
+        for (seq, net) in [(1, NetId::A), (2, NetId::B)] {
+            t.probe_sent(NodeId(1), net, seq);
+            let _ = t.probe_timed_out(NodeId(1), net, seq, 1);
+        }
+        assert!(!t.peer_unreachable_direct(NodeId(1)));
+        assert_eq!(t.first_up(NodeId(1)), Some(NetId(2)), "next healthy plane");
+        t.probe_sent(NodeId(1), NetId(2), 3);
+        let _ = t.probe_timed_out(NodeId(1), NetId(2), 3, 1);
+        assert!(t.peer_unreachable_direct(NodeId(1)));
+        assert_eq!(t.down_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "K >= 2")]
+    fn single_plane_table_rejected() {
+        let _ = PeerTable::new(NodeId(0), 4, 1);
     }
 
     #[test]

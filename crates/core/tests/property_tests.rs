@@ -32,7 +32,7 @@ proptest! {
         let spec = ClusterSpec::new(n).seed(seed);
         let mut w = World::new(spec, |id| DrsDaemon::new(id, n, cfg()));
         let mut rng = SmallRng::seed_from_u64(seed);
-        let (plan, _) = FaultPlan::random_simultaneous(SimTime(1_000_000_000), n, f, &mut rng);
+        let (plan, _) = FaultPlan::random_simultaneous(SimTime(1_000_000_000), n, 2, f, &mut rng);
         w.schedule_faults(plan);
         w.run_for(SimDuration::from_secs(4));
         for s in 0..n as u32 {
@@ -81,7 +81,7 @@ proptest! {
         let spec = ClusterSpec::new(n).seed(seed);
         let mut w = World::new(spec, |id| DrsDaemon::new(id, n, cfg()));
         let mut rng = SmallRng::seed_from_u64(seed);
-        let (plan, _) = FaultPlan::random_simultaneous(SimTime(1_000_000_000), n, f, &mut rng);
+        let (plan, _) = FaultPlan::random_simultaneous(SimTime(1_000_000_000), n, 2, f, &mut rng);
         w.schedule_faults(plan);
         w.run_for(SimDuration::from_secs(6));
         for i in 0..n as u32 {
@@ -129,6 +129,7 @@ proptest! {
                 SimDuration::from_secs(2),
                 SimDuration::from_secs(1),
                 n,
+                2,
                 &mut rng,
             );
             w.schedule_faults(plan);

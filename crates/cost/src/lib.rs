@@ -7,11 +7,14 @@
 //! checks likewise increases."*
 //!
 //! [`model`] derives the relationship in closed form: with `N` hosts each
-//! probing `N−1` peers on both networks, one probe sweep puts
+//! probing `N−1` peers on every network plane, one probe sweep puts
 //! `2·N·(N−1)` echo frames (request + reply) of `L` bytes on each shared
 //! segment, so a bandwidth budget `β` of a `B` bit/s network bounds the
 //! sweep period — and therefore the error-resolution time — from below by
-//! `T(N) = 2·N·(N−1)·L·8 / (β·B)`.
+//! `T(N) = 2·N·(N−1)·L·8 / (β·B)`. The per-segment bound is independent
+//! of the redundancy degree `K` (each plane carries only its own probes);
+//! aggregate and per-host probe work scale linearly with `K` via the
+//! model's `total_*`/`host_*` accessors.
 //!
 //! [`mod@figure1`] sweeps that model over the paper's budgets (5 %, 10 %,
 //! 15 %, 25 % of 100 Mb/s) and [`empirical`] *measures* the same

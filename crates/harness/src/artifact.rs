@@ -1,0 +1,30 @@
+//! The shared artifact JSON dialect, re-exported for study crates.
+//!
+//! Every committed `BENCH_*.json` writer — the harness's
+//! [`crate::record::SimArtifact`], `drs_obs`'s `ObsArtifact`,
+//! `drs_analytic::sweep`, and `drs-bench`'s K-plane sweep — opens with
+//! the same preamble (schema tag, master seed, one top-level list),
+//! closes with the same two lines, and formats floats and strings
+//! identically. The single implementation lives in [`drs_obs::jsonfmt`]
+//! (the lowest layer all writers can reach); this module is its harness
+//! face, so crates above the harness need no direct `drs_obs` dependency
+//! to serialize an artifact.
+
+pub use drs_obs::jsonfmt::{finish, json_f64, json_string, preamble};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reexports_are_the_canonical_dialect() {
+        let mut out = preamble("x/v1", 7, "items", 0);
+        finish(&mut out);
+        assert_eq!(
+            out,
+            "{\n  \"schema\": \"x/v1\",\n  \"seed\": 7,\n  \"items\": [\n  ]\n}\n"
+        );
+        assert_eq!(json_f64(1.0), "1.0");
+        assert_eq!(json_string("\""), "\"\\\"\"");
+    }
+}

@@ -10,6 +10,7 @@
 
 use serde::Serialize;
 
+use crate::artifact::{finish, json_f64, json_string, preamble};
 use crate::events::TraceEvent;
 
 /// Schema tag written into every artifact.
@@ -164,11 +165,7 @@ impl SimArtifact {
     /// across runs, thread counts and machines for a fixed artifact.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(4096);
-        out.push_str("{\n");
-        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
-        out.push_str(&format!("  \"seed\": {},\n", self.seed));
-        out.push_str("  \"experiments\": [\n");
+        let mut out = preamble(SCHEMA, self.seed, "experiments", 4096);
         for (i, exp) in self.experiments.iter().enumerate() {
             out.push_str("    {\n");
             out.push_str(&format!("      \"name\": {},\n", json_string(&exp.name)));
@@ -212,7 +209,7 @@ impl SimArtifact {
                 }
             ));
         }
-        out.push_str("  ]\n}\n");
+        finish(&mut out);
         out
     }
 }
@@ -223,39 +220,6 @@ fn json_metric(v: MetricValue) -> String {
         MetricValue::Real(r) => json_f64(r),
         MetricValue::Missing => "null".to_string(),
     }
-}
-
-/// Shortest-round-trip float formatting matching the sweep artifact:
-/// integral values are pinned to one decimal so consumers parse a uniform
-/// type, and non-finite values become `null` (`NaN` is not a JSON token).
-fn json_f64(v: f64) -> String {
-    if !v.is_finite() {
-        "null".to_string()
-    } else if v.fract() == 0.0 {
-        format!("{v:.1}")
-    } else {
-        format!("{v}")
-    }
-}
-
-/// Minimal JSON string escaping for the identifiers and event details the
-/// artifacts carry (quotes, backslashes, and control characters).
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 use serde::Serialize;
 
 use crate::hist::Histogram;
+use crate::jsonfmt::{finish, json_f64, json_string, preamble};
 
 /// Schema tag written into every observability artifact.
 pub const SCHEMA: &str = "drs-bench-observability/v1";
@@ -182,11 +183,7 @@ impl ObsArtifact {
     /// fixed artifact.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(4096);
-        out.push_str("{\n");
-        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
-        out.push_str(&format!("  \"seed\": {},\n", self.seed));
-        out.push_str("  \"sections\": [\n");
+        let mut out = preamble(SCHEMA, self.seed, "sections", 4096);
         for (i, sec) in self.sections.iter().enumerate() {
             out.push_str("    {\n");
             out.push_str(&format!("      \"name\": {},\n", json_string(&sec.name)));
@@ -212,7 +209,7 @@ impl ObsArtifact {
                 if i + 1 < self.sections.len() { "," } else { "" }
             ));
         }
-        out.push_str("  ]\n}\n");
+        finish(&mut out);
         out
     }
 }
@@ -224,37 +221,6 @@ fn json_field(v: &FieldValue) -> String {
         FieldValue::Text(s) => json_string(s),
         FieldValue::Missing => "null".to_string(),
     }
-}
-
-/// Float formatting matching the other committed artifacts: integral
-/// values pinned to one decimal, non-finite values as `null`.
-fn json_f64(v: f64) -> String {
-    if !v.is_finite() {
-        "null".to_string()
-    } else if v.fract() == 0.0 {
-        format!("{v:.1}")
-    } else {
-        format!("{v}")
-    }
-}
-
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]

@@ -21,7 +21,9 @@
 //!   what keeps the committed artifacts byte-stable ([`profile`]).
 //! * [`ObsArtifact`] — the versioned `drs-bench-observability/v1`
 //!   serializer in the same deterministic hand-rolled JSON style as the
-//!   other committed artifacts ([`artifact`]).
+//!   other committed artifacts ([`artifact`]), built on the shared
+//!   artifact JSON dialect ([`jsonfmt`]) every committed `BENCH_*.json`
+//!   writer uses.
 //!
 //! # The clock rule
 //!
@@ -51,6 +53,7 @@
 
 pub mod artifact;
 pub mod hist;
+pub mod jsonfmt;
 pub mod profile;
 pub mod registry;
 pub mod span;

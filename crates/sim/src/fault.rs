@@ -2,9 +2,12 @@
 //!
 //! The survivability model's components map one-to-one onto simulator
 //! state: a **hub** fault takes a whole shared medium down; a **NIC**
-//! fault makes one host deaf and mute on one network. Faults flip state
-//! silently — no protocol is notified, exactly as in reality, where a
-//! failed hub does not announce itself and must be *detected* by probing.
+//! fault makes one host deaf and mute on one network plane. A `K`-plane
+//! cluster of `N` hosts has `K·N + K` failable components (`K` hubs plus
+//! one NIC per host per plane); the paper's `2N + 2` is the `K = 2` case.
+//! Faults flip state silently — no protocol is notified, exactly as in
+//! reality, where a failed hub does not announce itself and must be
+//! *detected* by probing.
 
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -16,10 +19,16 @@ use crate::time::{SimDuration, SimTime};
 /// A failable hardware component of the simulated cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SimComponent {
-    /// The shared hub/backplane of one network.
+    /// The shared hub/backplane of one network plane.
     Hub(NetId),
-    /// One host's NIC on one network.
+    /// One host's NIC on one network plane.
     Nic(NodeId, NetId),
+}
+
+/// Total failable components of an `n`-host, `planes`-plane cluster.
+#[must_use]
+pub fn component_count(n: usize, planes: u8) -> usize {
+    (planes as usize) * n + planes as usize
 }
 
 /// A scheduled state change of one component.
@@ -72,15 +81,16 @@ impl FaultPlan {
     /// survivability simulation) all at instant `at`.
     ///
     /// # Panics
-    /// Panics if `f` exceeds the `2n + 2` available components.
+    /// Panics if `f` exceeds the `planes·n + planes` available components.
     #[must_use]
     pub fn random_simultaneous(
         at: SimTime,
         n: usize,
+        planes: u8,
         f: usize,
         rng: &mut SmallRng,
     ) -> (Self, Vec<SimComponent>) {
-        let m = 2 * n + 2;
+        let m = component_count(n, planes);
         assert!(f <= m, "cannot fail {f} of {m} components");
         let mut picked = vec![false; m];
         let mut components = Vec::with_capacity(f);
@@ -92,7 +102,7 @@ impl FaultPlan {
                 continue;
             }
             picked[idx] = true;
-            let component = index_to_component(idx, n);
+            let component = index_to_component(idx, n, planes);
             components.push(component);
             plan = plan.fail_at(at, component);
             left -= 1;
@@ -109,10 +119,11 @@ impl FaultPlan {
         mtbf: SimDuration,
         mttr: SimDuration,
         n: usize,
+        planes: u8,
         rng: &mut SmallRng,
     ) -> Self {
         assert!(mtbf > SimDuration::ZERO, "mtbf must be positive");
-        let m = 2 * n + 2;
+        let m = component_count(n, planes);
         let mut plan = FaultPlan::new();
         let mut t = SimTime::ZERO;
         loop {
@@ -123,7 +134,7 @@ impl FaultPlan {
             if t - SimTime::ZERO >= horizon {
                 break;
             }
-            let component = index_to_component(rng.gen_range(0..m), n);
+            let component = index_to_component(rng.gen_range(0..m), n, planes);
             plan = plan.fail_at(t, component).repair_at(t + mttr, component);
         }
         plan
@@ -150,41 +161,39 @@ impl FaultPlan {
 }
 
 /// Maps a dense component index (the layout used by `drs-analytic`:
-/// `0`/`1` = hubs, then net-A NICs, then net-B NICs) to a simulator
-/// component.
+/// `0..planes` = hubs in plane order, then plane-0 NICs, plane-1 NICs, …)
+/// to a simulator component.
 ///
 /// # Panics
-/// Panics if `idx ≥ 2n + 2`.
+/// Panics if `idx ≥ planes·n + planes`.
 #[must_use]
-pub fn index_to_component(idx: usize, n: usize) -> SimComponent {
+pub fn index_to_component(idx: usize, n: usize, planes: u8) -> SimComponent {
     assert!(
-        idx < 2 * n + 2,
-        "component index {idx} out of range for n={n}"
+        idx < component_count(n, planes),
+        "component index {idx} out of range for n={n} planes={planes}"
     );
-    match idx {
-        0 => SimComponent::Hub(NetId::A),
-        1 => SimComponent::Hub(NetId::B),
-        _ => {
-            let rel = idx - 2;
-            let (node, net) = if rel < n {
-                (rel, NetId::A)
-            } else {
-                (rel - n, NetId::B)
-            };
-            SimComponent::Nic(NodeId(node as u32), net)
-        }
+    let k = planes as usize;
+    if idx < k {
+        SimComponent::Hub(NetId::from_idx(idx))
+    } else {
+        let rel = idx - k;
+        SimComponent::Nic(NodeId((rel % n) as u32), NetId::from_idx(rel / n))
     }
 }
 
 /// Inverse of [`index_to_component`].
 #[must_use]
-pub fn component_to_index(c: SimComponent, n: usize) -> usize {
+pub fn component_to_index(c: SimComponent, n: usize, planes: u8) -> usize {
+    let k = planes as usize;
     match c {
-        SimComponent::Hub(NetId::A) => 0,
-        SimComponent::Hub(NetId::B) => 1,
+        SimComponent::Hub(net) => {
+            assert!(net.idx() < k, "hub {net} out of range for planes={planes}");
+            net.idx()
+        }
         SimComponent::Nic(node, net) => {
             assert!((node.idx()) < n, "node {node} out of range for n={n}");
-            2 + net.idx() * n + node.idx()
+            assert!(net.idx() < k, "nic {net} out of range for planes={planes}");
+            k + net.idx() * n + node.idx()
         }
     }
 }
@@ -196,31 +205,57 @@ mod tests {
 
     #[test]
     fn index_component_roundtrip() {
-        let n = 6;
-        for idx in 0..2 * n + 2 {
-            assert_eq!(component_to_index(index_to_component(idx, n), n), idx);
+        for planes in [2u8, 3, 4] {
+            let n = 6;
+            for idx in 0..component_count(n, planes) {
+                assert_eq!(
+                    component_to_index(index_to_component(idx, n, planes), n, planes),
+                    idx
+                );
+            }
         }
     }
 
     #[test]
     fn layout_matches_analytic_convention() {
         let n = 5;
-        assert_eq!(index_to_component(0, n), SimComponent::Hub(NetId::A));
-        assert_eq!(index_to_component(1, n), SimComponent::Hub(NetId::B));
+        assert_eq!(index_to_component(0, n, 2), SimComponent::Hub(NetId::A));
+        assert_eq!(index_to_component(1, n, 2), SimComponent::Hub(NetId::B));
         assert_eq!(
-            index_to_component(2, n),
+            index_to_component(2, n, 2),
             SimComponent::Nic(NodeId(0), NetId::A)
         );
         assert_eq!(
-            index_to_component(2 + n, n),
+            index_to_component(2 + n, n, 2),
             SimComponent::Nic(NodeId(0), NetId::B)
         );
     }
 
     #[test]
+    fn three_plane_layout_stacks_hubs_then_planes() {
+        let n = 4;
+        assert_eq!(index_to_component(2, n, 3), SimComponent::Hub(NetId(2)));
+        assert_eq!(
+            index_to_component(3, n, 3),
+            SimComponent::Nic(NodeId(0), NetId::A)
+        );
+        assert_eq!(
+            index_to_component(3 + 2 * n, n, 3),
+            SimComponent::Nic(NodeId(0), NetId(2))
+        );
+        assert_eq!(component_count(n, 3), 3 * n + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_plane_component_rejected() {
+        let _ = component_to_index(SimComponent::Hub(NetId(2)), 4, 2);
+    }
+
+    #[test]
     fn random_simultaneous_draws_distinct() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let (plan, comps) = FaultPlan::random_simultaneous(SimTime(100), 8, 5, &mut rng);
+        let (plan, comps) = FaultPlan::random_simultaneous(SimTime(100), 8, 2, 5, &mut rng);
         assert_eq!(plan.len(), 5);
         assert_eq!(comps.len(), 5);
         let unique: std::collections::HashSet<_> = comps.iter().collect();
@@ -239,6 +274,7 @@ mod tests {
             SimDuration::from_secs(50),
             SimDuration::from_secs(5),
             8,
+            2,
             &mut rng,
         );
         assert!(plan.len() >= 2, "expected some failures");
@@ -262,6 +298,6 @@ mod tests {
     #[should_panic(expected = "cannot fail")]
     fn too_many_simultaneous_failures_panics() {
         let mut rng = SmallRng::seed_from_u64(3);
-        let _ = FaultPlan::random_simultaneous(SimTime::ZERO, 2, 7, &mut rng);
+        let _ = FaultPlan::random_simultaneous(SimTime::ZERO, 2, 2, 7, &mut rng);
     }
 }

@@ -11,8 +11,8 @@ use crate::transport::TransportState;
 pub struct HostState {
     /// This host's identity.
     pub id: NodeId,
-    nic_up: [bool; 2],
-    link_loss: [f64; 2],
+    nic_up: Vec<bool>,
+    link_loss: Vec<f64>,
     /// The kernel route table routing daemons manipulate.
     pub routes: RouteTable,
     /// Outstanding reliable-transport sends.
@@ -25,19 +25,29 @@ pub struct HostState {
 }
 
 impl HostState {
-    /// A healthy host with the deployed default route table (direct routes
-    /// on the primary network).
+    /// A healthy host attached to `planes` network planes, with the
+    /// deployed default route table (direct routes on the primary).
+    ///
+    /// # Panics
+    /// Panics if `planes < 2`.
     #[must_use]
-    pub fn new(id: NodeId, n: usize) -> Self {
+    pub fn new(id: NodeId, n: usize, planes: u8) -> Self {
+        assert!(planes >= 2, "a redundant host needs at least two planes");
         HostState {
             id,
-            nic_up: [true, true],
-            link_loss: [0.0, 0.0],
+            nic_up: vec![true; planes as usize],
+            link_loss: vec![0.0; planes as usize],
             routes: RouteTable::new_default(id, n),
             transport: TransportState::default(),
             counters: HostCounters::default(),
             obs: ProbeObs::default(),
         }
+    }
+
+    /// How many network planes this host is attached to.
+    #[must_use]
+    pub fn planes(&self) -> u8 {
+        self.nic_up.len() as u8
     }
 
     /// Whether this host's NIC on `net` is operational.
@@ -54,7 +64,7 @@ impl HostState {
     /// Whether the host is completely cut off at the NIC level.
     #[must_use]
     pub fn is_isolated(&self) -> bool {
-        !self.nic_up[0] && !self.nic_up[1]
+        self.nic_up.iter().all(|up| !up)
     }
 
     /// Per-frame corruption probability of this host's cabling on `net`
@@ -81,8 +91,9 @@ mod tests {
 
     #[test]
     fn new_host_is_healthy_with_default_routes() {
-        let h = HostState::new(NodeId(2), 4);
+        let h = HostState::new(NodeId(2), 4, 2);
         assert!(h.nic_is_up(NetId::A) && h.nic_is_up(NetId::B));
+        assert_eq!(h.planes(), 2);
         assert!(!h.is_isolated());
         assert_eq!(h.routes.get(NodeId(0)), Some(Route::Direct(NetId::A)));
         assert_eq!(h.routes.get(NodeId(2)), None);
@@ -90,7 +101,7 @@ mod tests {
 
     #[test]
     fn link_loss_defaults_clean_and_is_settable() {
-        let mut h = HostState::new(NodeId(0), 2);
+        let mut h = HostState::new(NodeId(0), 2, 2);
         assert_eq!(h.link_loss(NetId::A), 0.0);
         h.set_link_loss(NetId::B, 0.05);
         assert_eq!(h.link_loss(NetId::B), 0.05);
@@ -100,13 +111,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "loss rate")]
     fn link_loss_validated() {
-        let mut h = HostState::new(NodeId(0), 2);
+        let mut h = HostState::new(NodeId(0), 2, 2);
         h.set_link_loss(NetId::A, 1.0);
     }
 
     #[test]
     fn nic_toggling() {
-        let mut h = HostState::new(NodeId(0), 2);
+        let mut h = HostState::new(NodeId(0), 2, 2);
         h.set_nic(NetId::A, false);
         assert!(!h.nic_is_up(NetId::A));
         assert!(h.nic_is_up(NetId::B));
@@ -115,5 +126,16 @@ mod tests {
         assert!(h.is_isolated());
         h.set_nic(NetId::A, true);
         assert!(!h.is_isolated());
+    }
+
+    #[test]
+    fn three_plane_host_isolated_only_when_all_nics_down() {
+        let mut h = HostState::new(NodeId(0), 2, 3);
+        assert_eq!(h.planes(), 3);
+        h.set_nic(NetId(0), false);
+        h.set_nic(NetId(1), false);
+        assert!(!h.is_isolated(), "plane C still up");
+        h.set_nic(NetId(2), false);
+        assert!(h.is_isolated());
     }
 }

@@ -1,11 +1,15 @@
-//! Deterministic discrete-event simulator of a dual-network server cluster.
+//! Deterministic discrete-event simulator of a redundant-network server
+//! cluster.
 //!
 //! This crate is the substrate the DRS reproduction runs on. It models the
-//! hardware and OS environment the paper's protocol was deployed in:
+//! hardware and OS environment the paper's protocol was deployed in,
+//! generalized from the paper's two networks to `K ≥ 2` planes
+//! ([`scenario::ClusterSpec::planes`]; the default `K = 2` reproduces the
+//! paper exactly):
 //!
-//! * `N` server hosts, each with **two NICs** attached to **two separate
-//!   networks** (shared-medium 100 Mb/s hubs with serialization delay,
-//!   half-duplex contention and propagation delay — [`medium`]),
+//! * `N` server hosts, each with **one NIC per plane** attached to `K`
+//!   **separate networks** (shared-medium 100 Mb/s hubs with serialization
+//!   delay, half-duplex contention and propagation delay — [`medium`]),
 //! * a minimal in-host network stack: L2 frames, kernel-style **ICMP echo**
 //!   auto-reply, a per-host **route table** (direct or via-gateway routes)
 //!   with TTL-guarded forwarding ([`host`], [`routes`]),

@@ -35,7 +35,13 @@ impl Default for TransportConfig {
 pub struct ClusterSpec {
     /// Number of server hosts.
     pub n: usize,
-    /// Data rate of each of the two shared segments, bits per second.
+    /// Redundancy degree `K`: how many independent network planes (shared
+    /// segments) every host is attached to. The paper's cluster is exactly
+    /// 2 — the default — and the committed artifacts all run at 2; larger
+    /// values open the "beyond the paper" K-plane family.
+    #[serde(default = "default_planes")]
+    pub planes: u8,
+    /// Data rate of each shared segment, bits per second.
     pub bandwidth_bps: u64,
     /// One-way propagation delay across a segment.
     pub propagation: SimDuration,
@@ -59,6 +65,10 @@ pub struct ClusterSpec {
     pub seed: u64,
 }
 
+fn default_planes() -> u8 {
+    2
+}
+
 impl ClusterSpec {
     /// A paper-faithful cluster of `n` hosts: two 100 Mb/s segments, 5 µs
     /// propagation, 74-byte probes.
@@ -70,6 +80,7 @@ impl ClusterSpec {
         assert!(n >= 2, "a cluster needs at least two hosts");
         ClusterSpec {
             n,
+            planes: 2,
             bandwidth_bps: 100_000_000,
             propagation: SimDuration::from_micros(5),
             icmp_wire_bytes: 74,
@@ -86,6 +97,18 @@ impl ClusterSpec {
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the redundancy degree `K` (number of network planes).
+    ///
+    /// # Panics
+    /// Panics if `planes < 2` — with one plane there is nothing to fail
+    /// over to, and the paper's model has no meaning.
+    #[must_use]
+    pub fn planes(mut self, planes: u8) -> Self {
+        assert!(planes >= 2, "a redundant cluster needs at least two planes");
+        self.planes = planes;
         self
     }
 
@@ -135,6 +158,7 @@ mod tests {
     #[test]
     fn defaults_match_paper_network() {
         let s = ClusterSpec::new(8);
+        assert_eq!(s.planes, 2, "the paper's cluster is two backplanes");
         assert_eq!(s.bandwidth_bps, 100_000_000);
         assert_eq!(s.icmp_wire_bytes, 74);
         assert_eq!(s.transport.initial_rto, SimDuration::from_secs(1));
@@ -168,5 +192,16 @@ mod tests {
     #[should_panic(expected = "at least two hosts")]
     fn tiny_cluster_rejected() {
         let _ = ClusterSpec::new(1);
+    }
+
+    #[test]
+    fn planes_builder() {
+        assert_eq!(ClusterSpec::new(4).planes(3).planes, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two planes")]
+    fn single_plane_rejected() {
+        let _ = ClusterSpec::new(4).planes(1);
     }
 }

@@ -42,22 +42,23 @@ impl SimDuration {
     /// The zero-length span.
     pub const ZERO: SimDuration = SimDuration(0);
 
-    /// From whole seconds.
+    /// From whole seconds, saturating at the representable maximum so an
+    /// absurd scenario config cannot wrap virtual time in release builds.
     #[must_use]
     pub const fn from_secs(s: u64) -> Self {
-        SimDuration(s * 1_000_000_000)
+        SimDuration(s.saturating_mul(1_000_000_000))
     }
 
-    /// From milliseconds.
+    /// From milliseconds (saturating).
     #[must_use]
     pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000_000)
+        SimDuration(ms.saturating_mul(1_000_000))
     }
 
-    /// From microseconds.
+    /// From microseconds (saturating).
     #[must_use]
     pub const fn from_micros(us: u64) -> Self {
-        SimDuration(us * 1_000)
+        SimDuration(us.saturating_mul(1_000))
     }
 
     /// From nanoseconds.
@@ -216,5 +217,18 @@ mod tests {
     #[should_panic(expected = "invalid duration")]
     fn rejects_negative_float() {
         let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn constructors_saturate_instead_of_wrapping() {
+        assert_eq!(SimDuration::from_secs(u64::MAX), SimDuration(u64::MAX));
+        assert_eq!(SimDuration::from_millis(u64::MAX), SimDuration(u64::MAX));
+        assert_eq!(SimDuration::from_micros(u64::MAX), SimDuration(u64::MAX));
+        // Just under the overflow edge still multiplies exactly.
+        let edge = u64::MAX / 1_000_000_000;
+        assert_eq!(
+            SimDuration::from_secs(edge),
+            SimDuration(edge * 1_000_000_000)
+        );
     }
 }

@@ -1,0 +1,48 @@
+//! Fault application: flipping component liveness when scheduled
+//! [`FaultEvent`]s fire, and the component-status queries experiments use.
+
+use crate::fault::{FaultEvent, FaultPlan, SimComponent};
+
+use super::queue::EventKind;
+use super::{Protocol, World};
+
+impl<P: Protocol> World<P> {
+    /// Whether a hardware component is currently operational.
+    ///
+    /// # Panics
+    /// Panics if the component names a plane the scenario does not have.
+    #[must_use]
+    pub fn component_is_up(&self, c: SimComponent) -> bool {
+        match c {
+            SimComponent::Hub(net) => self.core.media[net.idx()].is_up(),
+            SimComponent::Nic(node, net) => self.core.hosts[node.idx()].nic_is_up(net),
+        }
+    }
+
+    /// Schedules every event of a fault plan.
+    ///
+    /// # Panics
+    /// Panics if an event lies in the past or names a plane outside the
+    /// scenario's `planes`.
+    pub fn schedule_faults(&mut self, plan: FaultPlan) {
+        let planes = self.core.spec.planes as usize;
+        for ev in plan.into_sorted_events() {
+            assert!(ev.at >= self.core.now, "fault scheduled in the past");
+            let net = match ev.component {
+                SimComponent::Hub(net) | SimComponent::Nic(_, net) => net,
+            };
+            assert!(
+                net.idx() < planes,
+                "fault on plane {net} but the cluster has {planes} planes"
+            );
+            self.core.schedule_at(ev.at, EventKind::Fault(ev));
+        }
+    }
+
+    pub(crate) fn apply_fault(&mut self, ev: FaultEvent) {
+        match ev.component {
+            SimComponent::Hub(net) => self.core.media[net.idx()].set_up(ev.up),
+            SimComponent::Nic(node, net) => self.core.hosts[node.idx()].set_nic(net, ev.up),
+        }
+    }
+}

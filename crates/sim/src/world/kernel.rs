@@ -1,0 +1,324 @@
+//! Kernel-side stack behaviours: frame transmission and delivery, ICMP
+//! auto-reply, TTL forwarding, and the reliable transport (RTO timers,
+//! acknowledgements, flow completion).
+
+use crate::frame::{Destination, Frame, FrameKind, Segment, SegmentKind};
+use crate::ids::{FlowId, NodeId};
+use crate::medium::TrafficClass;
+use crate::transport::{rto_for_attempt, OutstandingSend};
+
+use super::queue::{Core, EventKind};
+use super::{Ctx, FlowOutcome, Protocol, TransportEvent, World};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SendStatus {
+    Sent,
+    NoRoute,
+    NicDown,
+}
+
+impl<M: Clone + std::fmt::Debug> Core<M> {
+    /// Puts a frame on its segment. Returns `false` when the frame was
+    /// dropped *locally* because the sender's NIC is down (observable to
+    /// the sender, like a device error from `sendmsg`). A dead hub eats
+    /// the frame silently and still returns `true` — that loss is not
+    /// locally observable.
+    pub(crate) fn transmit(&mut self, frame: Frame<M>) -> bool {
+        if !self.hosts[frame.src.idx()].nic_is_up(frame.net) {
+            self.hosts[frame.src.idx()].counters.tx_nic_down += 1;
+            return false;
+        }
+        let class = if frame.is_probe() {
+            TrafficClass::Probe
+        } else if frame.is_control() {
+            TrafficClass::Control
+        } else {
+            TrafficClass::Data
+        };
+        let now = self.now;
+        if let Some(arrive) = self.media[frame.net.idx()].admit(now, frame.wire_bytes, class) {
+            self.schedule_at(arrive, EventKind::Arrive(frame));
+        }
+        true
+    }
+
+    /// (Re)transmits the payload segment of an outstanding flow. Returns
+    /// `false` when no route to the destination is installed.
+    pub(crate) fn transport_transmit(&mut self, node: NodeId, flow: FlowId) -> bool {
+        let Some(os) = self.hosts[node.idx()].transport.get(flow).copied() else {
+            return false;
+        };
+        let Some(route) = self.hosts[node.idx()].routes.get(os.dst) else {
+            return false;
+        };
+        let (hop, net) = route.next_hop(os.dst);
+        let segment = Segment {
+            src: node,
+            dst: os.dst,
+            flow,
+            seq: 0,
+            kind: SegmentKind::Data,
+            ttl: self.spec.ttl,
+            payload_bytes: os.payload_bytes,
+            attempt: os.attempts,
+        };
+        self.transmit(Frame {
+            src: node,
+            dst: Destination::Node(hop),
+            net,
+            kind: FrameKind::Data(segment),
+            wire_bytes: os.payload_bytes + self.spec.data_header_bytes,
+        });
+        true
+    }
+
+    /// Sends (or forwards) an existing segment along this host's route.
+    pub(crate) fn send_segment(&mut self, from: NodeId, segment: Segment) -> SendStatus {
+        let Some(route) = self.hosts[from.idx()].routes.get(segment.dst) else {
+            return SendStatus::NoRoute;
+        };
+        let (hop, net) = route.next_hop(segment.dst);
+        let wire = match segment.kind {
+            SegmentKind::Data => segment.payload_bytes + self.spec.data_header_bytes,
+            SegmentKind::Ack => self.spec.data_header_bytes,
+        };
+        let sent = self.transmit(Frame {
+            src: from,
+            dst: Destination::Node(hop),
+            net,
+            kind: FrameKind::Data(segment),
+            wire_bytes: wire,
+        });
+        if sent {
+            SendStatus::Sent
+        } else {
+            SendStatus::NicDown
+        }
+    }
+}
+
+impl<P: Protocol> World<P> {
+    pub(crate) fn notify_transport(&mut self, node: NodeId, event: TransportEvent) {
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            node,
+        };
+        self.protocols[node.idx()].on_transport(&mut ctx, event);
+    }
+
+    pub(crate) fn handle_app_send(
+        &mut self,
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: u32,
+    ) {
+        self.core.app_stats.sent += 1;
+        let now = self.core.now;
+        self.core.hosts[src.idx()].transport.begin(
+            flow,
+            OutstandingSend {
+                dst,
+                payload_bytes,
+                first_sent: now,
+                attempts: 1,
+            },
+        );
+        let sent = self.core.transport_transmit(src, flow);
+        if !sent {
+            self.core.app_stats.no_route += 1;
+            self.notify_transport(src, TransportEvent::NoRoute { flow, dst });
+        }
+        // The RTO runs whether or not the first transmission went out: the
+        // transport keeps retrying while routing daemons repair routes.
+        let rto = rto_for_attempt(&self.core.spec.transport, 1);
+        let at = self.core.now + rto;
+        self.core.schedule_at(
+            at,
+            EventKind::Rto {
+                node: src,
+                flow,
+                attempt: 1,
+            },
+        );
+    }
+
+    pub(crate) fn handle_rto(&mut self, node: NodeId, flow: FlowId, attempt: u32) {
+        let Some(os) = self.core.hosts[node.idx()].transport.get(flow).copied() else {
+            return; // already delivered
+        };
+        if os.attempts != attempt {
+            return; // stale timer from a superseded attempt
+        }
+        let dst = os.dst;
+        if attempt > self.core.spec.transport.max_retries {
+            self.core.hosts[node.idx()].transport.complete(flow);
+            self.core.app_stats.gave_up += 1;
+            self.core.flow_outcomes.insert(flow, FlowOutcome::GaveUp);
+            self.notify_transport(node, TransportEvent::GaveUp { flow, dst });
+            return;
+        }
+        self.core.hosts[node.idx()]
+            .transport
+            .get_mut(flow)
+            .expect("checked above")
+            .attempts = attempt + 1;
+        self.core.app_stats.retransmits += 1;
+        self.notify_transport(node, TransportEvent::Rto { flow, dst, attempt });
+        let sent = self.core.transport_transmit(node, flow);
+        if !sent {
+            self.core.app_stats.no_route += 1;
+            self.notify_transport(node, TransportEvent::NoRoute { flow, dst });
+        }
+        let rto = rto_for_attempt(&self.core.spec.transport, attempt + 1);
+        let at = self.core.now + rto;
+        self.core.schedule_at(
+            at,
+            EventKind::Rto {
+                node,
+                flow,
+                attempt: attempt + 1,
+            },
+        );
+    }
+
+    pub(crate) fn handle_arrival(&mut self, frame: Frame<P::Msg>) {
+        // A hub that died while the frame was in flight eats it.
+        if !self.core.media[frame.net.idx()].is_up() {
+            return;
+        }
+        match frame.dst {
+            Destination::Node(dst) => self.deliver_to(dst, &frame),
+            Destination::Broadcast => {
+                for i in 0..self.core.spec.n {
+                    let node = NodeId(i as u32);
+                    if node != frame.src {
+                        self.deliver_to(node, &frame);
+                    }
+                }
+            }
+        }
+    }
+
+    fn deliver_to(&mut self, node: NodeId, frame: &Frame<P::Msg>) {
+        if !self.core.hosts[node.idx()].nic_is_up(frame.net) {
+            return;
+        }
+        // Wire corruption: base loss rate compounded with degraded cabling
+        // on either end. Rolled per receiver (a broadcast can reach some
+        // hosts and miss others, as on a real shared segment).
+        let p_ok = (1.0 - self.core.spec.frame_loss_rate)
+            * (1.0 - self.core.hosts[frame.src.idx()].link_loss(frame.net))
+            * (1.0 - self.core.hosts[node.idx()].link_loss(frame.net));
+        if p_ok < 1.0 {
+            use rand::Rng;
+            if self.core.rng.gen::<f64>() >= p_ok {
+                self.core.hosts[node.idx()].counters.rx_corrupt += 1;
+                return;
+            }
+        }
+        match &frame.kind {
+            FrameKind::EchoRequest { id, seq } => {
+                // Kernel ICMP: answer without daemon involvement.
+                self.core.hosts[node.idx()].counters.echo_answered += 1;
+                let reply = Frame {
+                    src: node,
+                    dst: Destination::Node(frame.src),
+                    net: frame.net,
+                    kind: FrameKind::EchoReply { id: *id, seq: *seq },
+                    wire_bytes: self.core.spec.icmp_wire_bytes,
+                };
+                self.core.transmit(reply);
+            }
+            FrameKind::EchoReply { id, seq } => {
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    node,
+                };
+                self.protocols[node.idx()].on_echo_reply(&mut ctx, frame.src, frame.net, *id, *seq);
+            }
+            FrameKind::Control(msg) => {
+                self.core.hosts[node.idx()].counters.control_received += 1;
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    node,
+                };
+                self.protocols[node.idx()].on_control(&mut ctx, frame.src, frame.net, msg);
+            }
+            FrameKind::Data(segment) => self.handle_data(node, *segment),
+        }
+    }
+
+    fn handle_data(&mut self, node: NodeId, segment: Segment) {
+        if segment.dst == node {
+            match segment.kind {
+                SegmentKind::Data => {
+                    // Deliver to the application and acknowledge.
+                    let ack = Segment {
+                        src: node,
+                        dst: segment.src,
+                        flow: segment.flow,
+                        seq: segment.seq,
+                        kind: SegmentKind::Ack,
+                        ttl: self.core.spec.ttl,
+                        payload_bytes: 0,
+                        attempt: segment.attempt,
+                    };
+                    // A failed ack send is locally observable (missing
+                    // route or a dead local NIC): surface it to the daemon
+                    // so reactive protocols can repair the return path.
+                    // The sender will retransmit either way.
+                    if self.core.send_segment(node, ack) != SendStatus::Sent {
+                        self.notify_transport(
+                            node,
+                            TransportEvent::AckFailed {
+                                flow: segment.flow,
+                                dst: segment.src,
+                            },
+                        );
+                    }
+                    if segment.attempt > 1 {
+                        self.notify_transport(
+                            node,
+                            TransportEvent::DuplicateData {
+                                flow: segment.flow,
+                                dst: segment.src,
+                            },
+                        );
+                    }
+                }
+                SegmentKind::Ack => {
+                    if let Some(os) = self.core.hosts[node.idx()].transport.complete(segment.flow) {
+                        let rtt = self.core.now - os.first_sent;
+                        self.core.app_stats.delivered += 1;
+                        self.core.app_stats.latency.record(rtt);
+                        self.core
+                            .flow_outcomes
+                            .insert(segment.flow, FlowOutcome::Delivered(rtt));
+                        self.notify_transport(
+                            node,
+                            TransportEvent::Delivered {
+                                flow: segment.flow,
+                                dst: os.dst,
+                                rtt,
+                            },
+                        );
+                    }
+                }
+            }
+            return;
+        }
+        // Not ours: forward along our own route (gateway duty).
+        if segment.ttl == 0 {
+            self.core.hosts[node.idx()].counters.dropped_ttl += 1;
+            return;
+        }
+        let mut fwd = segment;
+        fwd.ttl -= 1;
+        match self.core.send_segment(node, fwd) {
+            SendStatus::Sent => self.core.hosts[node.idx()].counters.forwarded += 1,
+            SendStatus::NoRoute => self.core.hosts[node.idx()].counters.dropped_no_route += 1,
+            SendStatus::NicDown => {} // tx_nic_down already counted
+        }
+    }
+}

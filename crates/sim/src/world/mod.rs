@@ -1,25 +1,36 @@
-//! The discrete-event engine: event queue, frame delivery, the kernel-side
-//! stack behaviours (ICMP auto-reply, TTL forwarding, reliable transport),
-//! fault application, and the [`Protocol`] plug-in interface for routing
-//! daemons.
+//! The discrete-event engine: the [`Protocol`] plug-in interface for
+//! routing daemons, the per-host [`Ctx`] window, and the [`World`] driver.
+//!
+//! The engine is split by concern:
+//!
+//! * [`queue`] — the event queue and shared simulator state ([`Core`]):
+//!   clock, pending events, hosts, one [`SharedMedium`] per network plane;
+//! * [`kernel`] — kernel-side stack behaviours: frame transmission and
+//!   delivery, ICMP auto-reply, TTL forwarding, the reliable transport;
+//! * [`faults`] — applying scheduled component failures and repairs.
+//!
+//! The number of planes comes from [`ClusterSpec::planes`]; everything
+//! here is written against that `K`, with the paper's two-backplane
+//! cluster as the `K = 2` default.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+mod faults;
+mod kernel;
+mod queue;
+
+pub use queue::Core;
 
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 use crate::app::Workload;
-use crate::fault::{FaultEvent, FaultPlan, SimComponent};
-use crate::frame::{Destination, Frame, FrameKind, Segment, SegmentKind};
 use crate::host::HostState;
 use crate::ids::{FlowId, NetId, NodeId};
-use crate::medium::{SharedMedium, TrafficClass};
+use crate::medium::SharedMedium;
 use crate::routes::{Route, RouteTable};
 use crate::scenario::ClusterSpec;
 use crate::stats::{AppStats, HostCounters, ProbeObs};
 use crate::time::{SimDuration, SimTime};
-use crate::transport::{rto_for_attempt, OutstandingSend};
+
+use queue::EventKind;
 
 /// A routing daemon running on every host.
 ///
@@ -131,184 +142,11 @@ pub enum FlowOutcome {
     GaveUp,
 }
 
-enum EventKind<M> {
-    Arrive(Frame<M>),
-    ProtoTimer {
-        node: NodeId,
-        token: u64,
-    },
-    Rto {
-        node: NodeId,
-        flow: FlowId,
-        attempt: u32,
-    },
-    Fault(FaultEvent),
-    AppSend {
-        flow: FlowId,
-        src: NodeId,
-        dst: NodeId,
-        payload_bytes: u32,
-    },
-}
-
-struct Entry<M> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Entry<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Entry<M> {}
-impl<M> PartialOrd for Entry<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Entry<M> {
-    // Reversed so the max-heap pops the earliest (time, seq) first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
-    }
-}
-
-/// Shared simulator state (everything except the protocol instances).
-pub struct Core<M> {
-    spec: ClusterSpec,
-    now: SimTime,
-    seq: u64,
-    events: BinaryHeap<Entry<M>>,
-    hosts: Vec<HostState>,
-    media: [SharedMedium; 2],
-    app_stats: AppStats,
-    flow_outcomes: HashMap<FlowId, FlowOutcome>,
-    next_flow: u64,
-    rng: SmallRng,
-}
-
-impl<M: Clone + std::fmt::Debug> Core<M> {
-    fn new(spec: ClusterSpec) -> Self {
-        let hosts = (0..spec.n)
-            .map(|i| HostState::new(NodeId(i as u32), spec.n))
-            .collect();
-        Core {
-            spec,
-            now: SimTime::ZERO,
-            seq: 0,
-            events: BinaryHeap::new(),
-            hosts,
-            media: [
-                SharedMedium::new(NetId::A, spec.bandwidth_bps, spec.propagation),
-                SharedMedium::new(NetId::B, spec.bandwidth_bps, spec.propagation),
-            ],
-            app_stats: AppStats::default(),
-            flow_outcomes: HashMap::new(),
-            next_flow: 0,
-            rng: SmallRng::seed_from_u64(spec.seed),
-        }
-    }
-
-    fn schedule_at(&mut self, at: SimTime, kind: EventKind<M>) {
-        debug_assert!(at >= self.now, "scheduling into the past");
-        let seq = self.seq;
-        self.seq += 1;
-        self.events.push(Entry { at, seq, kind });
-    }
-
-    /// Puts a frame on its segment. Returns `false` when the frame was
-    /// dropped *locally* because the sender's NIC is down (observable to
-    /// the sender, like a device error from `sendmsg`). A dead hub eats
-    /// the frame silently and still returns `true` — that loss is not
-    /// locally observable.
-    fn transmit(&mut self, frame: Frame<M>) -> bool {
-        if !self.hosts[frame.src.idx()].nic_is_up(frame.net) {
-            self.hosts[frame.src.idx()].counters.tx_nic_down += 1;
-            return false;
-        }
-        let class = if frame.is_probe() {
-            TrafficClass::Probe
-        } else if frame.is_control() {
-            TrafficClass::Control
-        } else {
-            TrafficClass::Data
-        };
-        let now = self.now;
-        if let Some(arrive) = self.media[frame.net.idx()].admit(now, frame.wire_bytes, class) {
-            self.schedule_at(arrive, EventKind::Arrive(frame));
-        }
-        true
-    }
-
-    /// (Re)transmits the payload segment of an outstanding flow. Returns
-    /// `false` when no route to the destination is installed.
-    fn transport_transmit(&mut self, node: NodeId, flow: FlowId) -> bool {
-        let Some(os) = self.hosts[node.idx()].transport.get(flow).copied() else {
-            return false;
-        };
-        let Some(route) = self.hosts[node.idx()].routes.get(os.dst) else {
-            return false;
-        };
-        let (hop, net) = route.next_hop(os.dst);
-        let segment = Segment {
-            src: node,
-            dst: os.dst,
-            flow,
-            seq: 0,
-            kind: SegmentKind::Data,
-            ttl: self.spec.ttl,
-            payload_bytes: os.payload_bytes,
-            attempt: os.attempts,
-        };
-        self.transmit(Frame {
-            src: node,
-            dst: Destination::Node(hop),
-            net,
-            kind: FrameKind::Data(segment),
-            wire_bytes: os.payload_bytes + self.spec.data_header_bytes,
-        });
-        true
-    }
-
-    /// Sends (or forwards) an existing segment along this host's route.
-    fn send_segment(&mut self, from: NodeId, segment: Segment) -> SendStatus {
-        let Some(route) = self.hosts[from.idx()].routes.get(segment.dst) else {
-            return SendStatus::NoRoute;
-        };
-        let (hop, net) = route.next_hop(segment.dst);
-        let wire = match segment.kind {
-            SegmentKind::Data => segment.payload_bytes + self.spec.data_header_bytes,
-            SegmentKind::Ack => self.spec.data_header_bytes,
-        };
-        let sent = self.transmit(Frame {
-            src: from,
-            dst: Destination::Node(hop),
-            net,
-            kind: FrameKind::Data(segment),
-            wire_bytes: wire,
-        });
-        if sent {
-            SendStatus::Sent
-        } else {
-            SendStatus::NicDown
-        }
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SendStatus {
-    Sent,
-    NoRoute,
-    NicDown,
-}
-
 /// A daemon's window onto its host: the argument to every [`Protocol`]
 /// callback.
 pub struct Ctx<'a, M> {
-    core: &'a mut Core<M>,
-    node: NodeId,
+    pub(crate) core: &'a mut Core<M>,
+    pub(crate) node: NodeId,
 }
 
 impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
@@ -330,6 +168,12 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
         self.core.spec.n
     }
 
+    /// The cluster's redundancy degree (number of network planes).
+    #[must_use]
+    pub fn planes(&self) -> u8 {
+        self.core.spec.planes
+    }
+
     /// The cluster configuration.
     #[must_use]
     pub fn spec(&self) -> &ClusterSpec {
@@ -347,11 +191,11 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
         self.core.hosts[self.node.idx()].counters.echo_sent += 1;
         let wire = self.core.spec.icmp_wire_bytes;
         self.core.hosts[self.node.idx()].obs.probe_bytes += u64::from(wire);
-        self.core.transmit(Frame {
+        self.core.transmit(crate::frame::Frame {
             src: self.node,
-            dst: Destination::Node(dst),
+            dst: crate::frame::Destination::Node(dst),
             net,
-            kind: FrameKind::EchoRequest { id, seq },
+            kind: crate::frame::FrameKind::EchoRequest { id, seq },
             wire_bytes: wire,
         });
     }
@@ -366,11 +210,11 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
     /// table dump grows with the cluster).
     pub fn send_control_sized(&mut self, net: NetId, dst: NodeId, msg: M, wire_bytes: u32) {
         self.core.hosts[self.node.idx()].counters.control_sent += 1;
-        self.core.transmit(Frame {
+        self.core.transmit(crate::frame::Frame {
             src: self.node,
-            dst: Destination::Node(dst),
+            dst: crate::frame::Destination::Node(dst),
             net,
-            kind: FrameKind::Control(msg),
+            kind: crate::frame::FrameKind::Control(msg),
             wire_bytes,
         });
     }
@@ -384,11 +228,11 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
     /// Broadcast with an explicit wire size.
     pub fn broadcast_control_sized(&mut self, net: NetId, msg: M, wire_bytes: u32) {
         self.core.hosts[self.node.idx()].counters.control_sent += 1;
-        self.core.transmit(Frame {
+        self.core.transmit(crate::frame::Frame {
             src: self.node,
-            dst: Destination::Broadcast,
+            dst: crate::frame::Destination::Broadcast,
             net,
-            kind: FrameKind::Control(msg),
+            kind: crate::frame::FrameKind::Control(msg),
             wire_bytes,
         });
     }
@@ -461,8 +305,8 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
 /// The simulated cluster: the event engine plus one protocol instance per
 /// host.
 pub struct World<P: Protocol> {
-    core: Core<P::Msg>,
-    protocols: Vec<P>,
+    pub(crate) core: Core<P::Msg>,
+    pub(crate) protocols: Vec<P>,
 }
 
 impl<P: Protocol> World<P> {
@@ -559,23 +403,6 @@ impl<P: Protocol> World<P> {
         self.core.hosts[node.idx()].set_link_loss(net, p);
     }
 
-    /// Whether a hardware component is currently operational.
-    #[must_use]
-    pub fn component_is_up(&self, c: SimComponent) -> bool {
-        match c {
-            SimComponent::Hub(net) => self.core.media[net.idx()].is_up(),
-            SimComponent::Nic(node, net) => self.core.hosts[node.idx()].nic_is_up(net),
-        }
-    }
-
-    /// Schedules every event of a fault plan.
-    pub fn schedule_faults(&mut self, plan: FaultPlan) {
-        for ev in plan.into_sorted_events() {
-            assert!(ev.at >= self.core.now, "fault scheduled in the past");
-            self.core.schedule_at(ev.at, EventKind::Fault(ev));
-        }
-    }
-
     /// Schedules one application message; returns its flow id.
     pub fn send_app(
         &mut self,
@@ -661,237 +488,14 @@ impl<P: Protocol> World<P> {
         }
         true
     }
-
-    fn notify_transport(&mut self, node: NodeId, event: TransportEvent) {
-        let mut ctx = Ctx {
-            core: &mut self.core,
-            node,
-        };
-        self.protocols[node.idx()].on_transport(&mut ctx, event);
-    }
-
-    fn apply_fault(&mut self, ev: FaultEvent) {
-        match ev.component {
-            SimComponent::Hub(net) => self.core.media[net.idx()].set_up(ev.up),
-            SimComponent::Nic(node, net) => self.core.hosts[node.idx()].set_nic(net, ev.up),
-        }
-    }
-
-    fn handle_app_send(&mut self, flow: FlowId, src: NodeId, dst: NodeId, payload_bytes: u32) {
-        self.core.app_stats.sent += 1;
-        let now = self.core.now;
-        self.core.hosts[src.idx()].transport.begin(
-            flow,
-            OutstandingSend {
-                dst,
-                payload_bytes,
-                first_sent: now,
-                attempts: 1,
-            },
-        );
-        let sent = self.core.transport_transmit(src, flow);
-        if !sent {
-            self.core.app_stats.no_route += 1;
-            self.notify_transport(src, TransportEvent::NoRoute { flow, dst });
-        }
-        // The RTO runs whether or not the first transmission went out: the
-        // transport keeps retrying while routing daemons repair routes.
-        let rto = rto_for_attempt(&self.core.spec.transport, 1);
-        let at = self.core.now + rto;
-        self.core.schedule_at(
-            at,
-            EventKind::Rto {
-                node: src,
-                flow,
-                attempt: 1,
-            },
-        );
-    }
-
-    fn handle_rto(&mut self, node: NodeId, flow: FlowId, attempt: u32) {
-        let Some(os) = self.core.hosts[node.idx()].transport.get(flow).copied() else {
-            return; // already delivered
-        };
-        if os.attempts != attempt {
-            return; // stale timer from a superseded attempt
-        }
-        let dst = os.dst;
-        if attempt > self.core.spec.transport.max_retries {
-            self.core.hosts[node.idx()].transport.complete(flow);
-            self.core.app_stats.gave_up += 1;
-            self.core.flow_outcomes.insert(flow, FlowOutcome::GaveUp);
-            self.notify_transport(node, TransportEvent::GaveUp { flow, dst });
-            return;
-        }
-        self.core.hosts[node.idx()]
-            .transport
-            .get_mut(flow)
-            .expect("checked above")
-            .attempts = attempt + 1;
-        self.core.app_stats.retransmits += 1;
-        self.notify_transport(node, TransportEvent::Rto { flow, dst, attempt });
-        let sent = self.core.transport_transmit(node, flow);
-        if !sent {
-            self.core.app_stats.no_route += 1;
-            self.notify_transport(node, TransportEvent::NoRoute { flow, dst });
-        }
-        let rto = rto_for_attempt(&self.core.spec.transport, attempt + 1);
-        let at = self.core.now + rto;
-        self.core.schedule_at(
-            at,
-            EventKind::Rto {
-                node,
-                flow,
-                attempt: attempt + 1,
-            },
-        );
-    }
-
-    fn handle_arrival(&mut self, frame: Frame<P::Msg>) {
-        // A hub that died while the frame was in flight eats it.
-        if !self.core.media[frame.net.idx()].is_up() {
-            return;
-        }
-        match frame.dst {
-            Destination::Node(dst) => self.deliver_to(dst, &frame),
-            Destination::Broadcast => {
-                for i in 0..self.core.spec.n {
-                    let node = NodeId(i as u32);
-                    if node != frame.src {
-                        self.deliver_to(node, &frame);
-                    }
-                }
-            }
-        }
-    }
-
-    fn deliver_to(&mut self, node: NodeId, frame: &Frame<P::Msg>) {
-        if !self.core.hosts[node.idx()].nic_is_up(frame.net) {
-            return;
-        }
-        // Wire corruption: base loss rate compounded with degraded cabling
-        // on either end. Rolled per receiver (a broadcast can reach some
-        // hosts and miss others, as on a real shared segment).
-        let p_ok = (1.0 - self.core.spec.frame_loss_rate)
-            * (1.0 - self.core.hosts[frame.src.idx()].link_loss(frame.net))
-            * (1.0 - self.core.hosts[node.idx()].link_loss(frame.net));
-        if p_ok < 1.0 {
-            use rand::Rng;
-            if self.core.rng.gen::<f64>() >= p_ok {
-                self.core.hosts[node.idx()].counters.rx_corrupt += 1;
-                return;
-            }
-        }
-        match &frame.kind {
-            FrameKind::EchoRequest { id, seq } => {
-                // Kernel ICMP: answer without daemon involvement.
-                self.core.hosts[node.idx()].counters.echo_answered += 1;
-                let reply = Frame {
-                    src: node,
-                    dst: Destination::Node(frame.src),
-                    net: frame.net,
-                    kind: FrameKind::EchoReply { id: *id, seq: *seq },
-                    wire_bytes: self.core.spec.icmp_wire_bytes,
-                };
-                self.core.transmit(reply);
-            }
-            FrameKind::EchoReply { id, seq } => {
-                let mut ctx = Ctx {
-                    core: &mut self.core,
-                    node,
-                };
-                self.protocols[node.idx()].on_echo_reply(&mut ctx, frame.src, frame.net, *id, *seq);
-            }
-            FrameKind::Control(msg) => {
-                self.core.hosts[node.idx()].counters.control_received += 1;
-                let mut ctx = Ctx {
-                    core: &mut self.core,
-                    node,
-                };
-                self.protocols[node.idx()].on_control(&mut ctx, frame.src, frame.net, msg);
-            }
-            FrameKind::Data(segment) => self.handle_data(node, *segment),
-        }
-    }
-
-    fn handle_data(&mut self, node: NodeId, segment: Segment) {
-        if segment.dst == node {
-            match segment.kind {
-                SegmentKind::Data => {
-                    // Deliver to the application and acknowledge.
-                    let ack = Segment {
-                        src: node,
-                        dst: segment.src,
-                        flow: segment.flow,
-                        seq: segment.seq,
-                        kind: SegmentKind::Ack,
-                        ttl: self.core.spec.ttl,
-                        payload_bytes: 0,
-                        attempt: segment.attempt,
-                    };
-                    // A failed ack send is locally observable (missing
-                    // route or a dead local NIC): surface it to the daemon
-                    // so reactive protocols can repair the return path.
-                    // The sender will retransmit either way.
-                    if self.core.send_segment(node, ack) != SendStatus::Sent {
-                        self.notify_transport(
-                            node,
-                            TransportEvent::AckFailed {
-                                flow: segment.flow,
-                                dst: segment.src,
-                            },
-                        );
-                    }
-                    if segment.attempt > 1 {
-                        self.notify_transport(
-                            node,
-                            TransportEvent::DuplicateData {
-                                flow: segment.flow,
-                                dst: segment.src,
-                            },
-                        );
-                    }
-                }
-                SegmentKind::Ack => {
-                    if let Some(os) = self.core.hosts[node.idx()].transport.complete(segment.flow) {
-                        let rtt = self.core.now - os.first_sent;
-                        self.core.app_stats.delivered += 1;
-                        self.core.app_stats.latency.record(rtt);
-                        self.core
-                            .flow_outcomes
-                            .insert(segment.flow, FlowOutcome::Delivered(rtt));
-                        self.notify_transport(
-                            node,
-                            TransportEvent::Delivered {
-                                flow: segment.flow,
-                                dst: os.dst,
-                                rtt,
-                            },
-                        );
-                    }
-                }
-            }
-            return;
-        }
-        // Not ours: forward along our own route (gateway duty).
-        if segment.ttl == 0 {
-            self.core.hosts[node.idx()].counters.dropped_ttl += 1;
-            return;
-        }
-        let mut fwd = segment;
-        fwd.ttl -= 1;
-        match self.core.send_segment(node, fwd) {
-            SendStatus::Sent => self.core.hosts[node.idx()].counters.forwarded += 1,
-            SendStatus::NoRoute => self.core.hosts[node.idx()].counters.dropped_no_route += 1,
-            SendStatus::NicDown => {} // tx_nic_down already counted
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, SimComponent};
     use crate::scenario::TransportConfig;
+    use rand::SeedableRng;
 
     /// A protocol that does nothing: the kernel behaviours alone.
     struct Idle;
@@ -1277,5 +881,46 @@ mod tests {
         w.run_for(SimDuration::from_secs(1));
         assert!(w.protocol(NodeId(0)).noroute >= 1);
         assert_eq!(w.app_stats().delivered, 0);
+    }
+
+    #[test]
+    fn three_plane_world_builds_media_per_plane() {
+        let mut w = World::new(ClusterSpec::new(3).seed(2).planes(3), |_| Idle);
+        for net in NetId::planes(3) {
+            assert!(w.medium(net).is_up());
+            assert!(w.component_is_up(SimComponent::Hub(net)));
+        }
+        // Traffic still defaults to the primary plane.
+        w.send_app(SimTime(0), NodeId(0), NodeId(1), 100);
+        w.run_for(SimDuration::from_secs(1));
+        assert!(w.medium(NetId::A).stats.data_bytes > 0);
+        assert_eq!(w.medium(NetId(2)).stats.data_bytes, 0);
+    }
+
+    #[test]
+    fn third_plane_carries_traffic_when_routed() {
+        let mut w = World::new(ClusterSpec::new(2).seed(2).planes(3), |_| Idle);
+        // Kill planes A and B; route the pair over plane C by hand.
+        w.schedule_faults(
+            FaultPlan::new()
+                .fail_at(SimTime(0), SimComponent::Hub(NetId::A))
+                .fail_at(SimTime(0), SimComponent::Hub(NetId::B)),
+        );
+        w.core.hosts[0].routes.set(NodeId(1), Route::Direct(NetId(2)));
+        w.core.hosts[1].routes.set(NodeId(0), Route::Direct(NetId(2)));
+        let flow = w.send_app(SimTime(1000), NodeId(0), NodeId(1), 64);
+        w.run_for(SimDuration::from_secs(5));
+        assert!(matches!(
+            w.flow_outcome(flow),
+            Some(FlowOutcome::Delivered(_))
+        ));
+        assert!(w.medium(NetId(2)).stats.data_bytes > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "planes")]
+    fn fault_on_missing_plane_rejected() {
+        let mut w = idle_world(2);
+        w.schedule_faults(FaultPlan::new().fail_at(SimTime(0), SimComponent::Hub(NetId(2))));
     }
 }

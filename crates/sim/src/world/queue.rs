@@ -1,0 +1,110 @@
+//! The event queue and shared simulator core: virtual clock, pending
+//! events, host and medium state. Everything that is *state* lives here;
+//! the kernel-side behaviours that act on it live in
+//! [`super::kernel`] and [`super::faults`].
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::fault::FaultEvent;
+use crate::frame::Frame;
+use crate::host::HostState;
+use crate::ids::{FlowId, NetId, NodeId};
+use crate::medium::SharedMedium;
+use crate::scenario::ClusterSpec;
+use crate::stats::AppStats;
+use crate::time::SimTime;
+
+use super::FlowOutcome;
+
+pub(crate) enum EventKind<M> {
+    Arrive(Frame<M>),
+    ProtoTimer {
+        node: NodeId,
+        token: u64,
+    },
+    Rto {
+        node: NodeId,
+        flow: FlowId,
+        attempt: u32,
+    },
+    Fault(FaultEvent),
+    AppSend {
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: u32,
+    },
+}
+
+pub(crate) struct Entry<M> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Entry<M> {}
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Entry<M> {
+    // Reversed so the max-heap pops the earliest (time, seq) first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Shared simulator state (everything except the protocol instances).
+pub struct Core<M> {
+    pub(crate) spec: ClusterSpec,
+    pub(crate) now: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) events: BinaryHeap<Entry<M>>,
+    pub(crate) hosts: Vec<HostState>,
+    /// One shared segment per network plane, indexed by [`NetId::idx`].
+    pub(crate) media: Vec<SharedMedium>,
+    pub(crate) app_stats: AppStats,
+    pub(crate) flow_outcomes: HashMap<FlowId, FlowOutcome>,
+    pub(crate) next_flow: u64,
+    pub(crate) rng: SmallRng,
+}
+
+impl<M: Clone + std::fmt::Debug> Core<M> {
+    pub(crate) fn new(spec: ClusterSpec) -> Self {
+        let hosts = (0..spec.n)
+            .map(|i| HostState::new(NodeId(i as u32), spec.n, spec.planes))
+            .collect();
+        let media = NetId::planes(spec.planes)
+            .map(|net| SharedMedium::new(net, spec.bandwidth_bps, spec.propagation))
+            .collect();
+        Core {
+            spec,
+            now: SimTime::ZERO,
+            seq: 0,
+            events: BinaryHeap::new(),
+            hosts,
+            media,
+            app_stats: AppStats::default(),
+            flow_outcomes: HashMap::new(),
+            next_flow: 0,
+            rng: SmallRng::seed_from_u64(spec.seed),
+        }
+    }
+
+    pub(crate) fn schedule_at(&mut self, at: SimTime, kind: EventKind<M>) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Entry { at, seq, kind });
+    }
+}

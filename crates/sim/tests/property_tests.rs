@@ -7,7 +7,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use drs_sim::app::Workload;
-use drs_sim::fault::{component_to_index, index_to_component, FaultPlan};
+use drs_sim::fault::{component_count, component_to_index, index_to_component, FaultPlan};
 use drs_sim::ids::{NetId, NodeId};
 use drs_sim::medium::{SharedMedium, TrafficClass};
 use drs_sim::scenario::{ClusterSpec, TransportConfig};
@@ -110,11 +110,15 @@ proptest! {
         prop_assert!(w.messages().windows(2).all(|p| p[0].at <= p[1].at));
     }
 
-    /// Fault component indexing is bijective for every cluster size.
+    /// Fault component indexing is bijective for every cluster size and
+    /// redundancy degree.
     #[test]
-    fn fault_index_bijection(n in 1usize..200) {
-        for idx in 0..2 * n + 2 {
-            prop_assert_eq!(component_to_index(index_to_component(idx, n), n), idx);
+    fn fault_index_bijection(n in 1usize..200, planes in 2u8..6) {
+        for idx in 0..component_count(n, planes) {
+            prop_assert_eq!(
+                component_to_index(index_to_component(idx, n, planes), n, planes),
+                idx
+            );
         }
     }
 
@@ -150,7 +154,7 @@ proptest! {
         let spec = ClusterSpec::new(n).seed(seed).transport(transport);
         let mut w = World::new(spec, |_| Idle);
         let mut rng = SmallRng::seed_from_u64(seed);
-        let (plan, _) = FaultPlan::random_simultaneous(SimTime(1000), n, f, &mut rng);
+        let (plan, _) = FaultPlan::random_simultaneous(SimTime(1000), n, 2, f, &mut rng);
         w.schedule_faults(plan);
         for i in 0..n as u32 {
             let dst = NodeId((i + 1) % n as u32);

@@ -38,6 +38,7 @@ fn main() {
         SimDuration::from_secs(40),
         SimDuration::from_secs(15),
         n,
+        2,
         &mut rng,
     );
     let injected = plan.len() / 2; // fail+repair pairs

@@ -26,6 +26,7 @@ fn churn_run(n: usize, seed: u64, minutes: u64) -> (f64, u64, u64) {
         SimDuration::from_secs(10),
         SimDuration::from_secs(5),
         n,
+        2,
         &mut rng,
     );
     w.schedule_faults(plan);

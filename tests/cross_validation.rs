@@ -75,7 +75,7 @@ fn packet_simulation_agrees_with_predicate_per_trial() {
             let mut world = World::new(spec, |id| DrsDaemon::new(id, n, cfg));
             let mut plan = FaultPlan::new();
             for idx in failures.iter() {
-                plan = plan.fail_at(SimTime(1_000_000_000), index_to_component(idx, n));
+                plan = plan.fail_at(SimTime(1_000_000_000), index_to_component(idx, n, 2));
             }
             world.schedule_faults(plan);
             world.run_for(SimDuration::from_secs(6));
@@ -102,7 +102,7 @@ fn component_index_conventions_agree() {
     let n = 9;
     for idx in 0..2 * n + 2 {
         let a = Component::from_index(idx, n);
-        let s = index_to_component(idx, n);
+        let s = index_to_component(idx, n, 2);
         match (a, s) {
             (Component::Backplane(an), SimComponent::Hub(sn)) => {
                 assert_eq!(an as usize, sn.idx(), "idx {idx}");

@@ -112,7 +112,7 @@ proptest! {
     #[test]
     fn component_indexing_roundtrips(n in 2usize..100, idx_raw in 0usize..202) {
         let idx = idx_raw % (2 * n + 2);
-        prop_assert_eq!(component_to_index(index_to_component(idx, n), n), idx);
+        prop_assert_eq!(component_to_index(index_to_component(idx, n, 2), n, 2), idx);
     }
 
     /// The full simulator (DRS included) is deterministic: identical
@@ -127,7 +127,7 @@ proptest! {
             let spec = ClusterSpec::new(n).seed(seed);
             let mut w = World::new(spec, |id| DrsDaemon::new(id, n, cfg));
             let mut rng = SmallRng::seed_from_u64(seed);
-            let (plan, _) = FaultPlan::random_simultaneous(SimTime(500_000_000), n, 3, &mut rng);
+            let (plan, _) = FaultPlan::random_simultaneous(SimTime(500_000_000), n, 2, 3, &mut rng);
             w.schedule_faults(plan);
             w.send_app(SimTime(1_000_000_000), NodeId(0), NodeId(1), 128);
             w.run_for(SimDuration::from_secs(8));
@@ -225,7 +225,7 @@ proptest! {
         let mut w = World::new(spec, |id| DrsDaemon::new(id, n, cfg));
         let mut plan = FaultPlan::new();
         for idx in failures.iter() {
-            plan = plan.fail_at(SimTime(1_000_000_000), index_to_component(idx, n));
+            plan = plan.fail_at(SimTime(1_000_000_000), index_to_component(idx, n, 2));
         }
         w.schedule_faults(plan);
         w.run_for(SimDuration::from_secs(5));
