@@ -1,0 +1,127 @@
+//! Wall-clock benchmarks for the event kernel: the hierarchical timer
+//! wheel against the reference binary heap (`naive_heap`), replaying the
+//! deterministic per-pair probe-monitor schedule at several cluster
+//! sizes. The headline cell is the paper's 90-node, 2-plane deployment.
+//!
+//! Both structures replay the identical push/pop op sequence, so the
+//! comparison isolates queue cost from workload generation. Numbers here
+//! are machine-local and never committed — the committed artifact
+//! (`BENCH_kernel.json`) carries only deterministic operation counts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use drs_sim::naive_heap::NaiveHeap;
+use drs_sim::time::SimTime;
+use drs_sim::wheel::TimerWheel;
+
+enum Op {
+    Push(u64),
+    Pop,
+}
+
+/// The per-pair monitor's op sequence, cluster-wide: each cycle, every
+/// `(daemon, peer, plane)` pair arms a timeout (+50 ms) and a re-arm
+/// (+200 ms), and each probe's request and reply arrive as frame events
+/// microseconds out, staggered by the shared medium's serialization.
+/// After the fan-out the cycle's due events drain.
+fn probe_ops(n: u64, k: u64, cycles: u64) -> Vec<Op> {
+    let interval = 200_000_000u64;
+    let timeout = 50_000_000u64;
+    let pairs = n * (n - 1) * k;
+    let mut ops = Vec::with_capacity((cycles * pairs * 8) as usize);
+    for c in 0..cycles {
+        let t = c * interval;
+        for p in 0..pairs {
+            ops.push(Op::Push(t + timeout));
+            ops.push(Op::Push(t + interval));
+            ops.push(Op::Push(t + 11_000 + p * 640));
+            ops.push(Op::Push(t + 22_000 + p * 640));
+        }
+        for _ in 0..pairs * 4 {
+            ops.push(Op::Pop);
+        }
+    }
+    ops
+}
+
+fn replay_wheel(ops: &[Op]) -> u64 {
+    let mut q: TimerWheel<u64> = TimerWheel::new();
+    let mut seq = 0u64;
+    let mut acc = 0u64;
+    for op in ops {
+        match op {
+            Op::Push(at) => {
+                q.push(SimTime(*at), seq, seq);
+                seq += 1;
+            }
+            Op::Pop => {
+                if let Some((at, s, _)) = q.pop() {
+                    acc ^= at.0.wrapping_add(s);
+                }
+            }
+        }
+    }
+    acc
+}
+
+fn replay_heap(ops: &[Op]) -> u64 {
+    let mut q: NaiveHeap<u64> = NaiveHeap::new();
+    let mut seq = 0u64;
+    let mut acc = 0u64;
+    for op in ops {
+        match op {
+            Op::Push(at) => {
+                q.push(SimTime(*at), seq, seq);
+                seq += 1;
+            }
+            Op::Pop => {
+                if let Some((at, s, _)) = q.pop() {
+                    acc ^= at.0.wrapping_add(s);
+                }
+            }
+        }
+    }
+    acc
+}
+
+fn bench_probe_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("probe_replay");
+    g.sample_size(10);
+    for &(n, k) in &[(16u64, 2u64), (64, 2), (90, 2), (90, 4)] {
+        let ops = probe_ops(n, k, 4);
+        let label = format!("n{n}_k{k}");
+        g.throughput(Throughput::Elements(ops.len() as u64));
+        g.bench_with_input(BenchmarkId::new("wheel", &label), &ops, |b, ops| {
+            b.iter(|| black_box(replay_wheel(ops)));
+        });
+        g.bench_with_input(BenchmarkId::new("naive_heap", &label), &ops, |b, ops| {
+            b.iter(|| black_box(replay_heap(ops)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_burst_drain(c: &mut Criterion) {
+    // Pure drain: the whole steady-state queue pushed, then popped dry —
+    // the pattern a timeout sweep or shutdown flush exercises.
+    let mut g = c.benchmark_group("burst_drain");
+    g.sample_size(10);
+    let n = 90u64;
+    let pairs = n * (n - 1) * 2;
+    let mut ops: Vec<Op> = Vec::new();
+    for p in 0..pairs * 4 {
+        ops.push(Op::Push((p % 997) * 131_072 + p));
+    }
+    for _ in 0..pairs * 4 {
+        ops.push(Op::Pop);
+    }
+    g.throughput(Throughput::Elements(ops.len() as u64));
+    g.bench_function("wheel_n90_k2", |b| b.iter(|| black_box(replay_wheel(&ops))));
+    g.bench_function("naive_heap_n90_k2", |b| {
+        b.iter(|| black_box(replay_heap(&ops)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_probe_replay, bench_burst_drain);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Runs the event-kernel benchmark grid and writes the machine-readable
+//! `BENCH_kernel.json` artifact (schema `drs-bench-kernel/v1`, documented
+//! in EXPERIMENTS.md): exact queue-traffic and timer-wheel operation
+//! counts for the probe-heavy monitor workload over `(N, K)`, per-pair
+//! timers against the batched monitor cycle.
+//!
+//! Everything written to the file is a deterministic operation count
+//! from a seeded run — byte-identical across machines. Wall-clock
+//! timing of the wheel itself lives in the criterion bench
+//! (`cargo bench -p drs-bench --bench kernel_benches`) and is never
+//! committed.
+//!
+//! Run: `cargo run --release -p drs-bench --bin kernel_report [output.json]`
+
+use std::path::Path;
+
+use drs_bench::kernel::{kernel_artifact, run_grid, KERNEL_SCHEMA};
+use drs_bench::{section, write_artifact, BENCH_SEED, KERNEL_BENCH_JSON};
+use drs_obs::{FieldValue, Row};
+
+fn count_field(row: &Row, name: &str) -> Option<u64> {
+    row.fields
+        .iter()
+        .find(|f| f.name == name)
+        .and_then(|f| match f.value {
+            FieldValue::Count(c) => Some(c),
+            _ => None,
+        })
+}
+
+fn real_field(row: &Row, name: &str) -> Option<f64> {
+    row.fields
+        .iter()
+        .find(|f| f.name == name)
+        .and_then(|f| match f.value {
+            FieldValue::Real(r) => Some(r),
+            _ => None,
+        })
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| KERNEL_BENCH_JSON.to_string());
+
+    println!("event-kernel benchmark -> {path}");
+    let cells = run_grid();
+    let artifact = kernel_artifact(&cells);
+
+    section("monitor queue traffic (timer events per cycle)");
+    if let Some(sec) = artifact.get("monitor_queue_traffic") {
+        println!(
+            "  {:<16} {:>3} {:>2} {:>7} {:>12} {:>11} {:>12}",
+            "cell", "n", "k", "cycles", "scheduled", "depth_max", "timer/cycle"
+        );
+        for row in &sec.rows {
+            println!(
+                "  {:<16} {:>3} {:>2} {:>7} {:>12} {:>11} {:>12.1}",
+                row.id,
+                count_field(row, "n").unwrap_or(0),
+                count_field(row, "planes").unwrap_or(0),
+                count_field(row, "cycles").unwrap_or(0),
+                count_field(row, "events_scheduled").unwrap_or(0),
+                count_field(row, "queue_depth_max").unwrap_or(0),
+                real_field(row, "timer_events_per_cycle").unwrap_or(f64::NAN),
+            );
+        }
+    }
+
+    section("queue-traffic reduction (per-pair / batched)");
+    if let Some(sec) = artifact.get("queue_traffic_reduction") {
+        println!(
+            "  {:<8} {:>12} {:>12} {:>10}",
+            "cell", "per_pair", "batched", "factor"
+        );
+        for row in &sec.rows {
+            println!(
+                "  {:<8} {:>12.1} {:>12.1} {:>9.1}x",
+                row.id,
+                real_field(row, "timer_per_cycle_per_pair").unwrap_or(f64::NAN),
+                real_field(row, "timer_per_cycle_batched").unwrap_or(f64::NAN),
+                real_field(row, "reduction_factor").unwrap_or(f64::NAN),
+            );
+        }
+        // The tentpole claim: batched queue traffic is O(N) per cycle —
+        // the per-pair/batched factor must grow with K·(N−1).
+        assert!(
+            sec.rows
+                .iter()
+                .all(|r| real_field(r, "reduction_factor").unwrap_or(0.0) > 1.0),
+            "batched monitor did not reduce queue traffic"
+        );
+    }
+
+    section("wheel ops (cascades / drains / pool)");
+    if let Some(sec) = artifact.get("wheel_ops") {
+        for row in &sec.rows {
+            println!(
+                "  {:<16} cascades {:>7}  drains {:>8}  pool {:>8}/{:<3}  hit {:>6.4}",
+                row.id,
+                count_field(row, "cascades").unwrap_or(0),
+                count_field(row, "slot_drains").unwrap_or(0),
+                count_field(row, "pool_hits").unwrap_or(0),
+                count_field(row, "pool_misses").unwrap_or(0),
+                real_field(row, "pool_hit_rate").unwrap_or(f64::NAN),
+            );
+        }
+        assert!(
+            sec.rows
+                .iter()
+                .all(|r| count_field(r, "clamped_past") == Some(0)),
+            "a healthy run clamped a past-time schedule"
+        );
+    }
+
+    let json = artifact.to_json_with_schema(KERNEL_SCHEMA);
+    write_artifact(Path::new(&path), &json).expect("write kernel artifact");
+    println!();
+    println!("wrote {path} (master seed {BENCH_SEED})");
+}

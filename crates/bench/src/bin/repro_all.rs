@@ -11,7 +11,7 @@ use drs_analytic::thresholds::first_n_exceeding;
 use drs_baselines::compare::{run_protocol, ProtocolConfigs, ProtocolLabel, ScenarioSpec};
 use drs_baselines::ospf::OspfConfig;
 use drs_baselines::rip::RipConfig;
-use drs_bench::{e2e, BENCH_SEED};
+use drs_bench::{e2e, kernel, BENCH_SEED};
 use drs_core::DrsConfig;
 use drs_cost::model::ProbeCostModel;
 use drs_harness::coord_seed;
@@ -189,6 +189,24 @@ fn main() {
         "DRS delivers everything through the failure",
         drs.delivered == drs.sent && drs.gave_up == 0,
         format!("{}/{}", drs.delivered, drs.sent),
+    );
+
+    // Event-kernel claim: the batched monitor cycle sends the identical
+    // probe sequence while scheduling O(N) timer events per cycle,
+    // against the per-pair driver's O(K·N²).
+    let per_pair = kernel::run_cell(16, 2, false);
+    let batched = kernel::run_cell(16, 2, true);
+    r.check(
+        "batched monitor: O(K*N^2) -> O(N) timer traffic per cycle",
+        per_pair.probes_sent == batched.probes_sent
+            && batched.timer_events_per_cycle() <= 4.0 * 16.0
+            && per_pair.timer_events_per_cycle() >= 2.0 * 2.0 * 16.0 * 15.0 * 0.5,
+        format!(
+            "{:.1} vs {:.1} timer events/cycle, same {} probes",
+            per_pair.timer_events_per_cycle(),
+            batched.timer_events_per_cycle(),
+            batched.probes_sent
+        ),
     );
 
     // End-to-end DES <-> Equation 1 agreement (one configuration),

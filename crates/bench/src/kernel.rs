@@ -1,0 +1,315 @@
+//! Deterministic event-kernel benchmark: queue-traffic and timer-wheel
+//! operation counts for the probe-heavy monitor workload, per-pair
+//! timers vs the batched monitor cycle, over the `(N, K)` grid.
+//!
+//! Everything here is an exact operation count from a seeded
+//! packet-level run — no wall-clock timing, no sampling — so the
+//! artifact (`drs-bench-kernel/v1`, committed as `BENCH_kernel.json`)
+//! regenerates byte-for-byte on any machine. Wall-clock throughput of
+//! the wheel against the reference heap lives in the criterion bench
+//! (`benches/kernel_benches.rs`) and is never committed.
+//!
+//! The headline claim the artifact pins down: with per-pair timers the
+//! monitor schedules `2·K·N·(N−1)` timer events per cycle cluster-wide
+//! (a re-arm and a timeout per `(daemon, peer, plane)`), while the
+//! batched monitor schedules `2·N` (one fan-out and one timeout sweep
+//! per daemon) — O(K·N²) → O(N) queue traffic per monitor cycle.
+
+use drs_core::{DrsConfig, DrsDaemon};
+use drs_harness::coord_seed;
+use drs_obs::{ObsArtifact, Row, Section};
+use drs_sim::ids::{NetId, NodeId};
+use drs_sim::scenario::ClusterSpec;
+use drs_sim::time::SimDuration;
+use drs_sim::world::{KernelStats, World};
+
+use crate::BENCH_SEED;
+
+/// Schema tag written into the kernel artifact.
+pub const KERNEL_SCHEMA: &str = "drs-bench-kernel/v1";
+
+/// Cluster sizes measured — up to the paper's 90-node deployment.
+pub const KERNEL_GRID_N: [usize; 3] = [16, 64, 90];
+
+/// Redundancy plane counts measured.
+pub const KERNEL_GRID_K: [u8; 2] = [2, 4];
+
+/// Virtual run length per cell: ten monitor cycles of steady state.
+pub const KERNEL_RUN: SimDuration = SimDuration::from_secs(2);
+
+/// One measured cell of the kernel grid.
+#[derive(Debug, Clone)]
+pub struct KernelCell {
+    /// Cluster size.
+    pub n: usize,
+    /// Plane count.
+    pub planes: u8,
+    /// `true` for the batched monitor-cycle driver.
+    pub batched: bool,
+    /// Completed monitor cycles, derived from the probe count.
+    pub cycles: u64,
+    /// Cluster-wide probes sent over the run.
+    pub probes_sent: u64,
+    /// Frames admitted onto the media over the run, summed across
+    /// planes — each admitted frame is exactly one arrival event in the
+    /// queue, so this is the exact frame-event count (2 per answered
+    /// probe, minus whatever is still on the wire at the end).
+    pub frames: u64,
+    /// Kernel counters at the end of the run.
+    pub stats: KernelStats,
+}
+
+impl KernelCell {
+    /// Row id shared by both sections, e.g. `n90_k2_batched`.
+    #[must_use]
+    pub fn id(&self) -> String {
+        format!("n{}_k{}_{}", self.n, self.planes, mode_name(self.batched))
+    }
+
+    /// Timer events scheduled over the run: everything pushed into the
+    /// queue that is not a frame arrival. This is the quantity the
+    /// batched monitor collapses from O(K·N²) to O(N) per cycle.
+    #[must_use]
+    pub fn timer_events(&self) -> u64 {
+        self.stats.wheel.pushes - self.frames
+    }
+
+    /// Timer events per completed monitor cycle.
+    #[must_use]
+    pub fn timer_events_per_cycle(&self) -> f64 {
+        self.timer_events() as f64 / self.cycles as f64
+    }
+}
+
+fn mode_name(batched: bool) -> &'static str {
+    if batched {
+        "batched"
+    } else {
+        "per_pair"
+    }
+}
+
+/// The monitor configuration every cell runs: 200 ms cycle, 50 ms
+/// timeout, no stagger — the probe-heavy steady state with both drivers
+/// provably emitting the identical probe sequence.
+#[must_use]
+pub fn kernel_cfg(batched: bool) -> DrsConfig {
+    DrsConfig::default()
+        .probe_timeout(SimDuration::from_millis(50))
+        .probe_interval(SimDuration::from_millis(200))
+        .stagger(false)
+        .batched_monitor(batched)
+}
+
+/// Runs one `(n, planes, driver)` cell: a healthy cluster for
+/// [`KERNEL_RUN`] of virtual time, returning the exact operation counts.
+///
+/// # Panics
+/// Panics if the run's probe count is not a whole number of monitor
+/// cycles — on a healthy, unstaggered cluster every cycle sends exactly
+/// `K·N·(N−1)` probes, so a remainder means the drivers diverged.
+#[must_use]
+pub fn run_cell(n: usize, planes: u8, batched: bool) -> KernelCell {
+    let cfg = kernel_cfg(batched);
+    let spec = ClusterSpec::new(n)
+        .seed(coord_seed(BENCH_SEED, n as u64, u64::from(planes)))
+        .planes(planes);
+    let mut w = World::new(spec, |id| DrsDaemon::new(id, n, cfg));
+    w.run_for(KERNEL_RUN);
+    let probes_sent: u64 = (0..n)
+        .map(|i| w.protocol(NodeId(i as u32)).metrics.probes_sent)
+        .sum();
+    let frames: u64 = NetId::planes(planes)
+        .map(|net| w.medium(net).stats.frames)
+        .sum();
+    let per_cycle = (planes as u64) * (n as u64) * (n as u64 - 1);
+    assert_eq!(
+        probes_sent % per_cycle,
+        0,
+        "n={n} k={planes} {}: {probes_sent} probes is not a whole number \
+         of {per_cycle}-probe cycles",
+        mode_name(batched)
+    );
+    KernelCell {
+        n,
+        planes,
+        batched,
+        cycles: probes_sent / per_cycle,
+        probes_sent,
+        frames,
+        stats: w.kernel_stats(),
+    }
+}
+
+/// Runs the full grid: every `(n, planes)` cell under both drivers,
+/// per-pair first, in grid order.
+#[must_use]
+pub fn run_grid() -> Vec<KernelCell> {
+    let mut cells = Vec::new();
+    for &n in &KERNEL_GRID_N {
+        for &planes in &KERNEL_GRID_K {
+            for batched in [false, true] {
+                cells.push(run_cell(n, planes, batched));
+            }
+        }
+    }
+    cells
+}
+
+/// Builds the `drs-bench-kernel/v1` artifact from measured cells.
+#[must_use]
+pub fn kernel_artifact(cells: &[KernelCell]) -> ObsArtifact {
+    let mut artifact = ObsArtifact::new(BENCH_SEED);
+
+    let mut traffic = Section::new("monitor_queue_traffic");
+    for c in cells {
+        traffic.push(
+            Row::new(c.id())
+                .count("n", c.n as u64)
+                .count("planes", u64::from(c.planes))
+                .text("driver", mode_name(c.batched))
+                .count("cycles", c.cycles)
+                .count("probes_sent", c.probes_sent)
+                .count("events_scheduled", c.stats.wheel.pushes)
+                .count("events_popped", c.stats.wheel.pops)
+                .count("queue_depth_max", c.stats.wheel.max_depth)
+                .count("frame_events", c.frames)
+                .count("timer_events", c.timer_events())
+                .real("timer_events_per_cycle", c.timer_events_per_cycle())
+                .real(
+                    "events_per_virtual_sec",
+                    drs_core::kernel_obs::events_per_virtual_sec(&c.stats),
+                ),
+        );
+    }
+    artifact.push(traffic);
+
+    let mut wheel = Section::new("wheel_ops");
+    for c in cells {
+        let w = &c.stats.wheel;
+        wheel.push(
+            Row::new(c.id())
+                .count("cascades", w.cascades)
+                .count("slot_drains", w.slot_drains)
+                .count("ready_inserts", w.ready_inserts)
+                .count("overflow_pushes", w.overflow_pushes)
+                .count("overflow_migrations", w.overflow_migrations)
+                .count("pool_hits", w.pool_hits)
+                .count("pool_misses", w.pool_misses)
+                .real(
+                    "pool_hit_rate",
+                    drs_core::kernel_obs::pool_hit_rate(&c.stats),
+                )
+                .count("clamped_past", c.stats.clamped_past),
+        );
+    }
+    artifact.push(wheel);
+
+    let mut reduction = Section::new("queue_traffic_reduction");
+    for &n in &KERNEL_GRID_N {
+        for &planes in &KERNEL_GRID_K {
+            let find = |batched: bool| {
+                cells
+                    .iter()
+                    .find(|c| c.n == n && c.planes == planes && c.batched == batched)
+                    .expect("grid cell missing")
+            };
+            let per_pair = find(false);
+            let batched = find(true);
+            assert_eq!(
+                per_pair.probes_sent, batched.probes_sent,
+                "n={n} k={planes}: drivers sent different probe totals"
+            );
+            reduction.push(
+                Row::new(format!("n{n}_k{planes}"))
+                    .count("n", n as u64)
+                    .count("planes", u64::from(planes))
+                    .real(
+                        "timer_per_cycle_per_pair",
+                        per_pair.timer_events_per_cycle(),
+                    )
+                    .real("timer_per_cycle_batched", batched.timer_events_per_cycle())
+                    .real(
+                        "reduction_factor",
+                        per_pair.timer_events_per_cycle() / batched.timer_events_per_cycle(),
+                    ),
+            );
+        }
+    }
+    artifact.push(reduction);
+
+    artifact
+}
+
+/// Runs the grid and serializes the committed artifact text.
+#[must_use]
+pub fn kernel_artifact_json() -> String {
+    kernel_artifact(&run_grid()).to_json_with_schema(KERNEL_SCHEMA)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batched_queue_traffic_is_linear_in_n() {
+        // Steady state: 2 timer events per daemon per cycle (fan-out +
+        // timeout sweep), against 2·K·(N−1) per daemon for per-pair.
+        let n = 16;
+        let per_pair = run_cell(n, 2, false);
+        let batched = run_cell(n, 2, true);
+        assert_eq!(per_pair.probes_sent, batched.probes_sent);
+        assert_eq!(per_pair.cycles, batched.cycles);
+        let linear_bound = 4.0 * n as f64; // 2·N steady state, 2× slack
+        assert!(
+            batched.timer_events_per_cycle() <= linear_bound,
+            "batched driver scheduled {} timer events/cycle at n={n}",
+            batched.timer_events_per_cycle()
+        );
+        let quadratic_floor = (2 * 2 * n * (n - 1)) as f64 * 0.5;
+        assert!(
+            per_pair.timer_events_per_cycle() >= quadratic_floor,
+            "per-pair driver scheduled only {} timer events/cycle at n={n}",
+            per_pair.timer_events_per_cycle()
+        );
+    }
+
+    #[test]
+    fn healthy_cells_balance_and_stay_clamp_free() {
+        for batched in [false, true] {
+            let c = run_cell(8, 2, batched);
+            assert_eq!(c.stats.clamped_past, 0);
+            assert!(c.stats.wheel.pops <= c.stats.wheel.pushes);
+            assert!(c.cycles >= 9, "only {} cycles in 2 s", c.cycles);
+            assert_eq!(c.probes_sent, c.cycles * 2 * 8 * 7);
+        }
+    }
+
+    #[test]
+    fn artifact_shape_is_stable() {
+        let cells = vec![run_cell(4, 2, false), run_cell(4, 2, true)];
+        let artifact = kernel_artifact_small(&cells);
+        let json = artifact.to_json_with_schema(KERNEL_SCHEMA);
+        assert!(json.contains(&format!("\"schema\": \"{KERNEL_SCHEMA}\"")));
+        assert!(json.contains("\"name\": \"monitor_queue_traffic\""));
+        assert!(json.contains("\"name\": \"wheel_ops\""));
+        assert!(json.contains("\"id\": \"n4_k2_per_pair\""));
+        assert!(json.contains("\"id\": \"n4_k2_batched\""));
+        assert_eq!(json, artifact.to_json_with_schema(KERNEL_SCHEMA));
+    }
+
+    // The reduction section of `kernel_artifact` iterates the full grid;
+    // tests use this trimmed builder so they stay off the 90-node cells.
+    fn kernel_artifact_small(cells: &[KernelCell]) -> ObsArtifact {
+        let mut artifact = ObsArtifact::new(BENCH_SEED);
+        let mut traffic = Section::new("monitor_queue_traffic");
+        let mut wheel = Section::new("wheel_ops");
+        for c in cells {
+            traffic.push(Row::new(c.id()).count("timer_events", c.timer_events()));
+            wheel.push(Row::new(c.id()).count("cascades", c.stats.wheel.cascades));
+        }
+        artifact.push(traffic);
+        artifact.push(wheel);
+        artifact
+    }
+}

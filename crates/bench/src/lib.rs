@@ -11,6 +11,7 @@ use drs_analytic::sweep::SweepResult;
 use drs_sim::time::SimDuration;
 
 pub mod e2e;
+pub mod kernel;
 pub mod knet;
 pub mod obs_artifact;
 pub mod sim_artifact;
@@ -40,6 +41,12 @@ pub const OBS_BENCH_JSON: &str = "BENCH_observability.json";
 /// `(K, n, f)` grid of exact generalized-universe counts cross-checked
 /// against the packet-level K-plane simulator.
 pub const KNET_BENCH_JSON: &str = "BENCH_knet_survivability.json";
+
+/// File name of the machine-readable event-kernel artifact tracked in
+/// the repo root (schema documented in EXPERIMENTS.md): deterministic
+/// queue-traffic and timer-wheel operation counts over the `(N, K)`
+/// probe-workload grid, per-pair vs batched monitor drivers.
+pub const KERNEL_BENCH_JSON: &str = "BENCH_kernel.json";
 
 /// Writes a sweep artifact (or any text) to `path`.
 ///

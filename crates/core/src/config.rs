@@ -53,6 +53,21 @@ pub struct DrsConfig {
     /// slower *recovery* detection. Failure detection is unaffected (it
     /// happens while the link is still Up).
     pub down_probe_backoff: u64,
+    /// Drive the whole monitor sweep from **one** per-daemon cycle timer
+    /// that fans out every `(peer, net)` probe inline, instead of one
+    /// repeating timer per pair. Cuts event-queue traffic per cycle from
+    /// `O(K·N)` per daemon (`O(K·N²)` cluster-wide) to `O(1)` per daemon
+    /// while sending the byte-identical probe sequence — provided
+    /// `stagger` is off and `down_probe_backoff` is 1 (with backoff > 1
+    /// the down-link re-probe times quantize to cycle boundaries, and
+    /// batching ignores `stagger` entirely). Defaults to the legacy
+    /// per-pair timers so existing artifacts stay byte-reproducible.
+    pub batched_monitor: bool,
+    /// Record every probe send into [`crate::metrics::DrsMetrics`]'s
+    /// `probe_log` (time, peer, net, seq). Off by default — the log grows
+    /// with the run — and exists so equivalence tests can compare the
+    /// exact probe sequence of the batched and per-pair monitors.
+    pub record_probe_log: bool,
 }
 
 impl Default for DrsConfig {
@@ -67,6 +82,8 @@ impl Default for DrsConfig {
             offer_window: SimDuration::from_millis(10),
             discovery_backoff: SimDuration::from_secs(1),
             down_probe_backoff: 1,
+            batched_monitor: false,
+            record_probe_log: false,
         }
     }
 }
@@ -128,6 +145,20 @@ impl DrsConfig {
     pub fn down_probe_backoff(mut self, k: u64) -> Self {
         assert!(k >= 1, "backoff multiplier must be at least 1");
         self.down_probe_backoff = k;
+        self
+    }
+
+    /// Enables or disables the batched monitor cycle.
+    #[must_use]
+    pub fn batched_monitor(mut self, on: bool) -> Self {
+        self.batched_monitor = on;
+        self
+    }
+
+    /// Enables or disables the probe-send log.
+    #[must_use]
+    pub fn record_probe_log(mut self, on: bool) -> Self {
+        self.record_probe_log = on;
         self
     }
 

@@ -20,19 +20,17 @@
 //! application traffic — that is what makes DRS *proactive*: by the time
 //! an application sends, the route table has already been fixed.
 
-use std::collections::HashMap;
-
 use rand::Rng;
 
 use drs_obs::Span;
 use drs_sim::ids::{NetId, NodeId};
 use drs_sim::routes::Route;
-use drs_sim::time::SimDuration;
+use drs_sim::time::{SimDuration, SimTime};
 use drs_sim::world::{Ctx, Protocol};
 
 use crate::config::{DrsConfig, GatewayPolicy};
 use crate::messages::DrsMsg;
-use crate::metrics::{DrsEventKind, DrsMetrics};
+use crate::metrics::{DrsEventKind, DrsMetrics, ProbeRecord};
 use crate::monitor::{LinkState, PeerTable, Transition};
 
 /// ICMP identifier used by all DRS probes.
@@ -42,6 +40,8 @@ const ECHO_ID: u32 = 0x0D25;
 const KIND_PROBE: u64 = 1;
 const KIND_TIMEOUT: u64 = 2;
 const KIND_OFFER_WINDOW: u64 = 3;
+const KIND_CYCLE: u64 = 4;
+const KIND_CYCLE_TIMEOUT: u64 = 5;
 
 fn token(kind: u64, peer: NodeId, net: NetId, payload: u64) -> u64 {
     debug_assert!(payload < (1 << 24));
@@ -65,6 +65,12 @@ struct DiscoveryRound {
 }
 
 /// One host's DRS routing demon.
+///
+/// All per-peer and per-`(peer, net)` state lives in dense vectors
+/// indexed by node id (and plane) — ids are small and sequential, so
+/// dense indexing is both the fastest lookup and, unlike the former
+/// `std::collections::HashMap`s, free of any SipHash seeding that could
+/// leak into iteration order.
 #[derive(Debug, Clone)]
 pub struct DrsDaemon {
     id: NodeId,
@@ -73,22 +79,30 @@ pub struct DrsDaemon {
     peers: PeerTable,
     next_seq: u32,
     next_req: u64,
-    discovery: HashMap<NodeId, DiscoveryRound>,
-    last_discovery: HashMap<NodeId, drs_sim::time::SimTime>,
+    /// Active discovery round per target, indexed by [`NodeId::idx`].
+    discovery: Vec<Option<DiscoveryRound>>,
+    /// Last discovery start per target, indexed by [`NodeId::idx`].
+    last_discovery: Vec<Option<SimTime>>,
     /// Counters and the timestamped event log.
     pub metrics: DrsMetrics,
     // Observability spans, all clocked on simulation time. Recording
     // into them never schedules events or draws randomness, so the
     // instrumented daemon is event-for-event identical to PR-2's.
-    /// Open span per monitored `(peer, net)`: the in-flight monitor
-    /// cycle. Closed into `probe_gap`/`probe_rtt` histograms.
-    probe_spans: HashMap<(NodeId, NetId), Span>,
-    /// Last time each `(peer, net)` answered a probe — the baseline for
-    /// failure-detection latency.
-    last_ok: HashMap<(NodeId, NetId), drs_sim::time::SimTime>,
-    /// Open repair span per destination: failure observed → new route
-    /// installed. Closed into the `reroute_complete` histogram.
-    pending_reroute: HashMap<NodeId, Span>,
+    /// Open span per monitored `(peer, net)` pair ([`Self::pair_idx`]):
+    /// the in-flight monitor cycle. Closed into `probe_gap`/`probe_rtt`.
+    probe_spans: Vec<Option<Span>>,
+    /// Last time each `(peer, net)` pair answered a probe — the baseline
+    /// for failure-detection latency.
+    last_ok: Vec<Option<SimTime>>,
+    /// Open repair span per destination ([`NodeId::idx`]): failure
+    /// observed → new route installed. Closed into `reroute_complete`.
+    pending_reroute: Vec<Option<Span>>,
+    /// Probes sent by the current batched monitor cycle, awaiting the
+    /// cycle's single timeout sweep. Recycled between cycles: the batched
+    /// probe path performs no steady-state heap allocation.
+    cycle_probes: Vec<(NodeId, NetId, u32)>,
+    /// Batched-mode down-link backoff: cycles left to skip per pair.
+    probe_skip: Vec<u64>,
 }
 
 impl DrsDaemon {
@@ -112,13 +126,20 @@ impl DrsDaemon {
             peers: PeerTable::new(id, n, 2),
             next_seq: 0,
             next_req: 0,
-            discovery: HashMap::new(),
-            last_discovery: HashMap::new(),
+            discovery: vec![None; n],
+            last_discovery: vec![None; n],
             metrics: DrsMetrics::default(),
-            probe_spans: HashMap::new(),
-            last_ok: HashMap::new(),
-            pending_reroute: HashMap::new(),
+            probe_spans: vec![None; n * 2],
+            last_ok: vec![None; n * 2],
+            pending_reroute: vec![None; n],
+            cycle_probes: Vec::new(),
+            probe_skip: vec![0; n * 2],
         }
+    }
+
+    /// Dense index of a `(peer, net)` pair into the per-pair vectors.
+    fn pair_idx(&self, peer: NodeId, net: NetId) -> usize {
+        peer.idx() * self.peers.planes() as usize + net.idx()
     }
 
     /// The daemon's view of its links.
@@ -136,6 +157,96 @@ impl DrsDaemon {
     fn alloc_seq(&mut self) -> u32 {
         self.next_seq = (self.next_seq + 1) & 0xFF_FFFF;
         self.next_seq
+    }
+
+    /// Transmits one monitor probe to `(peer, net)`: sequence allocation,
+    /// pending-probe bookkeeping, probe-gap span rotation and the echo
+    /// itself — everything except timeout arming, which differs between
+    /// the per-pair and batched monitor drivers. Returns the ICMP seq.
+    fn send_probe(&mut self, ctx: &mut Ctx<'_, DrsMsg>, peer: NodeId, net: NetId) -> u32 {
+        let seq = self.alloc_seq();
+        self.peers.probe_sent(peer, net, seq);
+        self.metrics.probes_sent += 1;
+        // One monitor-cycle span per (peer, net): opening the new one
+        // closes the old one into the probe-gap histogram — the realized
+        // sweep period, stagger and backoff included.
+        let span = Span::begin(ctx.now().0);
+        let idx = self.pair_idx(peer, net);
+        if let Some(prev) = self.probe_spans[idx].replace(span) {
+            let gap = SimDuration(prev.elapsed_ns(span.start_ns()));
+            ctx.probe_obs_mut().probe_gap.record(gap);
+        }
+        if self.cfg.record_probe_log {
+            self.metrics.probe_log.push(ProbeRecord {
+                at: ctx.now(),
+                peer,
+                net,
+                seq,
+            });
+        }
+        ctx.send_echo(net, peer, ECHO_ID, seq);
+        seq
+    }
+
+    /// One batched monitor cycle: fan out every due `(peer, net)` probe
+    /// inline — peers in id order, planes in order within each peer,
+    /// exactly the per-pair timers' firing order — then arm a single
+    /// timeout sweep and the next cycle. Two queue entries per cycle per
+    /// daemon, against `2·K·(N-1)` for the per-pair driver.
+    fn run_monitor_cycle(&mut self, ctx: &mut Ctx<'_, DrsMsg>) {
+        self.cycle_probes.clear();
+        let planes = self.peers.planes();
+        for p in 0..self.n as u32 {
+            let peer = NodeId(p);
+            if peer == self.id {
+                continue;
+            }
+            for net in NetId::planes(planes) {
+                let idx = self.pair_idx(peer, net);
+                if self.probe_skip[idx] > 0 {
+                    // Down-link backoff: the per-pair driver stretches the
+                    // re-arm delay; the batched driver skips whole cycles.
+                    self.probe_skip[idx] -= 1;
+                    continue;
+                }
+                let seq = self.send_probe(ctx, peer, net);
+                self.cycle_probes.push((peer, net, seq));
+                if self.peers.state(peer, net) == LinkState::Down {
+                    self.probe_skip[idx] = self.cfg.down_probe_backoff - 1;
+                }
+                // Same retry hook as the per-pair driver: once per cycle
+                // per peer, keyed to an actually-sent plane-A probe.
+                if net == NetId::A && self.peers.peer_unreachable_direct(peer) {
+                    self.start_discovery(ctx, peer);
+                }
+            }
+        }
+        ctx.set_timer(
+            self.cfg.probe_timeout,
+            token(KIND_CYCLE_TIMEOUT, NodeId(0), NetId::A, 0),
+        );
+        ctx.set_timer(
+            self.cfg.probe_interval,
+            token(KIND_CYCLE, NodeId(0), NetId::A, 0),
+        );
+    }
+
+    /// The batched cycle's single timeout sweep, covering every probe the
+    /// cycle sent in the same pair order. Sound because the config
+    /// guarantees `probe_timeout < probe_interval`: the sweep always
+    /// fires before the next fan-out reuses the buffer.
+    fn sweep_cycle_timeouts(&mut self, ctx: &mut Ctx<'_, DrsMsg>) {
+        let probes = std::mem::take(&mut self.cycle_probes);
+        for &(peer, net, seq) in &probes {
+            self.metrics.timeouts += 1;
+            let transition = self
+                .peers
+                .probe_timed_out(peer, net, seq, self.cfg.miss_threshold);
+            if transition == Transition::WentDown {
+                self.handle_link_down(ctx, peer, net);
+            }
+        }
+        self.cycle_probes = probes;
     }
 
     /// The direct network this daemon would prefer for `peer` right now,
@@ -157,7 +268,7 @@ impl DrsDaemon {
         // route change after the failure — if discovery had to wait for
         // the peer to recover, the recorded latency honestly covers the
         // whole outage.
-        if let Some(span) = self.pending_reroute.remove(&dst) {
+        if let Some(span) = self.pending_reroute[dst.idx()].take() {
             let elapsed = SimDuration(span.elapsed_ns(ctx.now().0));
             ctx.probe_obs_mut().reroute_complete.record(elapsed);
         }
@@ -167,9 +278,7 @@ impl DrsDaemon {
     /// direct link first, gateway discovery second.
     fn repair_route(&mut self, ctx: &mut Ctx<'_, DrsMsg>, dst: NodeId) {
         let now = ctx.now();
-        self.pending_reroute
-            .entry(dst)
-            .or_insert_with(|| Span::begin(now.0));
+        self.pending_reroute[dst.idx()].get_or_insert_with(|| Span::begin(now.0));
         if let Some(net) = self.best_direct(dst) {
             let new = Route::Direct(net);
             if ctx.route(dst) != Some(new) {
@@ -188,7 +297,7 @@ impl DrsDaemon {
         // Failure-detection latency: last healthy reply → this event. A
         // link that never answered has no baseline and records nothing
         // (no samples, not a fake zero).
-        if let Some(&ok) = self.last_ok.get(&(peer, net)) {
+        if let Some(ok) = self.last_ok[self.pair_idx(peer, net)] {
             let detect = ctx.now().since(ok);
             ctx.probe_obs_mut().failover_detect.record(detect);
         }
@@ -217,7 +326,7 @@ impl DrsDaemon {
             .log(ctx.now(), DrsEventKind::LinkUp { peer, net });
 
         // Any running discovery for this peer is obsolete.
-        if let Some(round) = self.discovery.get_mut(&peer) {
+        if let Some(round) = self.discovery[peer.idx()].as_mut() {
             round.decided = true;
         }
 
@@ -243,23 +352,22 @@ impl DrsDaemon {
 
     fn start_discovery(&mut self, ctx: &mut Ctx<'_, DrsMsg>, target: NodeId) {
         let now = ctx.now();
-        if let Some(&last) = self.last_discovery.get(&target) {
-            let round_active = self.discovery.get(&target).is_some_and(|r| !r.decided);
+        if let Some(last) = self.last_discovery[target.idx()] {
+            let round_active = self.discovery[target.idx()]
+                .as_ref()
+                .is_some_and(|r| !r.decided);
             if round_active || now.since(last) < self.cfg.discovery_backoff {
                 return;
             }
         }
-        self.last_discovery.insert(target, now);
+        self.last_discovery[target.idx()] = Some(now);
         self.next_req += 1;
         let req_id = self.next_req;
-        self.discovery.insert(
-            target,
-            DiscoveryRound {
-                req_id,
-                offers: Vec::new(),
-                decided: false,
-            },
-        );
+        self.discovery[target.idx()] = Some(DiscoveryRound {
+            req_id,
+            offers: Vec::new(),
+            decided: false,
+        });
         self.metrics.discoveries += 1;
         self.metrics
             .log(now, DrsEventKind::DiscoveryStarted { target });
@@ -275,14 +383,14 @@ impl DrsDaemon {
     }
 
     fn handle_offer_window(&mut self, ctx: &mut Ctx<'_, DrsMsg>, target: NodeId, req_low: u64) {
-        let Some(round) = self.discovery.get(&target) else {
+        let Some(round) = self.discovery[target.idx()].as_ref() else {
             return;
         };
         if round.decided || round.req_id & 0xFF_FFFF != req_low {
             return;
         }
         if round.offers.is_empty() {
-            self.discovery.get_mut(&target).expect("present").decided = true;
+            self.discovery[target.idx()].as_mut().expect("present").decided = true;
             self.metrics
                 .log(ctx.now(), DrsEventKind::DiscoveryFailed { target });
             return;
@@ -299,7 +407,7 @@ impl DrsDaemon {
                 round.offers[i]
             }
         };
-        self.discovery.get_mut(&target).expect("present").decided = true;
+        self.discovery[target.idx()].as_mut().expect("present").decided = true;
         self.metrics.gateway_failovers += 1;
         self.install(
             ctx,
@@ -343,7 +451,7 @@ impl DrsDaemon {
         target: NodeId,
         req_id: u64,
     ) {
-        let Some(round) = self.discovery.get_mut(&target) else {
+        let Some(round) = self.discovery[target.idx()].as_mut() else {
             return;
         };
         if round.decided || round.req_id != req_id {
@@ -366,10 +474,20 @@ impl Protocol for DrsDaemon {
     type Msg = DrsMsg;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, DrsMsg>) {
-        // First sight of the scenario: size the link table to the
-        // cluster's actual redundancy degree.
+        // First sight of the scenario: size the link table (and the dense
+        // per-pair state) to the cluster's actual redundancy degree.
         let planes = ctx.planes();
         self.peers = PeerTable::new(self.id, self.n, planes);
+        let pairs = self.n * planes as usize;
+        self.probe_spans = vec![None; pairs];
+        self.last_ok = vec![None; pairs];
+        self.probe_skip = vec![0; pairs];
+        if self.cfg.batched_monitor {
+            // One cycle event drives the whole sweep (stagger does not
+            // apply: the point of batching is the single timer).
+            ctx.set_timer(SimDuration::ZERO, token(KIND_CYCLE, NodeId(0), NetId::A, 0));
+            return;
+        }
         // Arm one repeating probe timer per (peer, net) pair, staggered
         // across the first cycle so the shared medium never sees a burst.
         let pair_count = u64::from(planes) * (self.n - 1) as u64;
@@ -392,18 +510,7 @@ impl Protocol for DrsDaemon {
         let (kind, peer, net, payload) = untoken(t);
         match kind {
             KIND_PROBE => {
-                let seq = self.alloc_seq();
-                self.peers.probe_sent(peer, net, seq);
-                self.metrics.probes_sent += 1;
-                // One monitor-cycle span per (peer, net): opening the new
-                // one closes the old one into the probe-gap histogram —
-                // the realized sweep period, stagger and backoff included.
-                let span = Span::begin(ctx.now().0);
-                if let Some(prev) = self.probe_spans.insert((peer, net), span) {
-                    let gap = SimDuration(prev.elapsed_ns(span.start_ns()));
-                    ctx.probe_obs_mut().probe_gap.record(gap);
-                }
-                ctx.send_echo(net, peer, ECHO_ID, seq);
+                let seq = self.send_probe(ctx, peer, net);
                 ctx.set_timer(
                     self.cfg.probe_timeout,
                     token(KIND_TIMEOUT, peer, net, seq as u64),
@@ -438,6 +545,8 @@ impl Protocol for DrsDaemon {
                 }
             }
             KIND_OFFER_WINDOW => self.handle_offer_window(ctx, peer, payload),
+            KIND_CYCLE => self.run_monitor_cycle(ctx),
+            KIND_CYCLE_TIMEOUT => self.sweep_cycle_timeouts(ctx),
             _ => unreachable!("unknown timer kind {kind}"),
         }
     }
@@ -458,11 +567,12 @@ impl Protocol for DrsDaemon {
         // Round-trip of the monitor cycle's probe, measured against the
         // most recent request on this (peer, net) — probes never overlap
         // on a link because the timeout is armed under the interval.
-        if let Some(span) = self.probe_spans.get(&(from, net)) {
+        let idx = self.pair_idx(from, net);
+        if let Some(span) = self.probe_spans[idx].as_ref() {
             let rtt = SimDuration(span.elapsed_ns(now.0));
             ctx.probe_obs_mut().probe_rtt.record(rtt);
         }
-        self.last_ok.insert((from, net), now);
+        self.last_ok[idx] = Some(now);
         if self.peers.reply_received(from, net, now) == Transition::WentUp {
             self.handle_link_up(ctx, from, net);
         }

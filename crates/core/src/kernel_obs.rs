@@ -1,0 +1,109 @@
+//! Bridges the simulator's event-kernel counters into the unified
+//! observability layer.
+//!
+//! The timer-wheel kernel ([`drs_sim::wheel`]) counts its own operations
+//! deterministically — pushes, pops, cascades, pool hits, past-time
+//! clamps ([`KernelStats`]). This module folds one finished world's
+//! snapshot into a [`MetricsRegistry`] under stable `kernel.*` names, so
+//! kernel health (queue depth, events per virtual second, pool hit rate)
+//! travels through the same reporting pipeline as every protocol metric
+//! and lands in the committed kernel benchmark artifact.
+
+use drs_obs::MetricsRegistry;
+use drs_sim::world::KernelStats;
+
+/// Records a kernel-stats snapshot into `reg` under `kernel.*` names.
+///
+/// Counters: `kernel.events_scheduled`, `kernel.events_popped`,
+/// `kernel.overflow_pushes`, `kernel.overflow_migrations`,
+/// `kernel.cascades`, `kernel.slot_drains`, `kernel.ready_inserts`,
+/// `kernel.pool_hits`, `kernel.pool_misses`, `kernel.clamped_past`.
+/// Gauges (high-water / rate): `kernel.queue_depth_max`,
+/// `kernel.events_per_virtual_sec`, `kernel.pool_hit_rate`.
+///
+/// Everything recorded is a pure function of the snapshot — no wall
+/// clock — so registries built from the same run merge and serialize
+/// byte-identically on any machine.
+pub fn record_kernel_stats(reg: &mut MetricsRegistry, ks: &KernelStats) {
+    let w = &ks.wheel;
+    reg.inc("kernel.events_scheduled", w.pushes);
+    reg.inc("kernel.events_popped", w.pops);
+    reg.inc("kernel.overflow_pushes", w.overflow_pushes);
+    reg.inc("kernel.overflow_migrations", w.overflow_migrations);
+    reg.inc("kernel.cascades", w.cascades);
+    reg.inc("kernel.slot_drains", w.slot_drains);
+    reg.inc("kernel.ready_inserts", w.ready_inserts);
+    reg.inc("kernel.pool_hits", w.pool_hits);
+    reg.inc("kernel.pool_misses", w.pool_misses);
+    reg.inc("kernel.clamped_past", ks.clamped_past);
+    reg.gauge_max("kernel.queue_depth_max", w.max_depth as f64);
+    reg.gauge_max("kernel.events_per_virtual_sec", events_per_virtual_sec(ks));
+    reg.gauge_max("kernel.pool_hit_rate", pool_hit_rate(ks));
+}
+
+/// Events popped per second of *virtual* time — the kernel's workload
+/// density, independent of host speed. Zero before any time has passed.
+#[must_use]
+pub fn events_per_virtual_sec(ks: &KernelStats) -> f64 {
+    if ks.now_ns == 0 {
+        return 0.0;
+    }
+    ks.wheel.pops as f64 * 1e9 / ks.now_ns as f64
+}
+
+/// Fraction of slot-buffer acquisitions served by the recycling pool.
+/// 1.0 means the steady-state probe path allocated nothing.
+#[must_use]
+pub fn pool_hit_rate(ks: &KernelStats) -> f64 {
+    let total = ks.wheel.pool_hits + ks.wheel.pool_misses;
+    if total == 0 {
+        return 0.0;
+    }
+    ks.wheel.pool_hits as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DrsConfig;
+    use crate::daemon::DrsDaemon;
+    use drs_sim::ids::NodeId;
+    use drs_sim::scenario::ClusterSpec;
+    use drs_sim::time::SimDuration;
+    use drs_sim::world::World;
+
+    #[test]
+    fn drs_run_produces_live_kernel_metrics() {
+        let n = 4;
+        let cfg = DrsConfig::default();
+        let mut w = World::new(ClusterSpec::new(n).seed(9), move |id| {
+            DrsDaemon::new(id, n, cfg)
+        });
+        w.run_for(SimDuration::from_secs(5));
+        let ks = w.kernel_stats();
+        let mut reg = MetricsRegistry::new();
+        record_kernel_stats(&mut reg, &ks);
+        assert!(reg.counter("kernel.events_scheduled") > 0);
+        assert_eq!(
+            reg.counter("kernel.events_popped") + ks.queue_depth,
+            reg.counter("kernel.events_scheduled"),
+            "every scheduled event is popped or still queued"
+        );
+        assert_eq!(reg.counter("kernel.clamped_past"), 0);
+        let rate = reg.gauge("kernel.events_per_virtual_sec").unwrap();
+        assert!(rate > 0.0, "5 virtual seconds of probing: {rate}");
+        let hit = reg.gauge("kernel.pool_hit_rate").unwrap();
+        assert!(
+            hit > 0.9,
+            "steady-state probing must recycle buffers: {hit}"
+        );
+        let _ = w.protocol(NodeId(0));
+    }
+
+    #[test]
+    fn rates_are_pure_functions_of_the_snapshot() {
+        let ks = KernelStats::default();
+        assert_eq!(events_per_virtual_sec(&ks), 0.0);
+        assert_eq!(pool_hit_rate(&ks), 0.0);
+    }
+}

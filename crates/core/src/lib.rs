@@ -53,6 +53,7 @@
 
 pub mod config;
 pub mod daemon;
+pub mod kernel_obs;
 pub mod messages;
 pub mod metrics;
 pub mod monitor;
@@ -60,5 +61,5 @@ pub mod monitor;
 pub use config::{DrsConfig, GatewayPolicy};
 pub use daemon::DrsDaemon;
 pub use messages::DrsMsg;
-pub use metrics::{DrsEvent, DrsEventKind, DrsMetrics};
+pub use metrics::{DrsEvent, DrsEventKind, DrsMetrics, ProbeRecord};
 pub use monitor::{LinkState, PeerTable};

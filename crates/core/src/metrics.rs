@@ -58,6 +58,19 @@ pub struct DrsEvent {
     pub kind: DrsEventKind,
 }
 
+/// One probe transmission, as recorded by the optional probe log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeRecord {
+    /// When the probe was sent.
+    pub at: SimTime,
+    /// The probed peer.
+    pub peer: NodeId,
+    /// The probed network plane.
+    pub net: NetId,
+    /// The ICMP sequence number used.
+    pub seq: u32,
+}
+
 /// Aggregate counters plus the event log of one daemon.
 #[derive(Debug, Clone, Default)]
 pub struct DrsMetrics {
@@ -85,6 +98,10 @@ pub struct DrsMetrics {
     pub offers_sent: u64,
     /// Timestamped transition log, kept sorted by timestamp ([`DrsMetrics::log`]).
     pub events: Vec<DrsEvent>,
+    /// Every probe send, in transmission order. Empty unless
+    /// [`crate::config::DrsConfig::record_probe_log`] is on — it exists
+    /// for the monitor-equivalence tests, not for production runs.
+    pub probe_log: Vec<ProbeRecord>,
 }
 
 impl DrsMetrics {

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use drs_core::{DrsConfig, DrsDaemon, DrsEventKind, LinkState};
+use drs_core::{DrsConfig, DrsDaemon, DrsEventKind, LinkState, ProbeRecord};
 use drs_sim::fault::{FaultPlan, SimComponent};
 use drs_sim::ids::{NetId, NodeId};
 use drs_sim::routes::Route;
@@ -142,5 +142,142 @@ proptest! {
                 .collect::<Vec<_>>()
         };
         prop_assert_eq!(run(), run());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched monitor cycle ≡ per-pair timers: with staggering off and no
+// down-link backoff, one fanned-out cycle event must send the exact same
+// probe sequence — per plane, per peer, same times, same ICMP seqs — as
+// the legacy one-timer-per-pair monitor it replaces, and the cluster must
+// converge to identical state.
+// ---------------------------------------------------------------------------
+
+/// The observable monitor state of one daemon at the end of a run.
+type MonitorSnapshot = (
+    Vec<ProbeRecord>,
+    (u64, u64, u64, u64, u64, u64),
+    Vec<(NodeId, Route)>,
+);
+
+fn snapshot(w: &World<DrsDaemon>, n: usize) -> Vec<MonitorSnapshot> {
+    (0..n as u32)
+        .map(|i| {
+            let node = NodeId(i);
+            let m = &w.protocol(node).metrics;
+            (
+                m.probe_log.clone(),
+                (
+                    m.probes_sent,
+                    m.replies_received,
+                    m.timeouts,
+                    m.link_down_events,
+                    m.link_up_events,
+                    m.route_changes,
+                ),
+                w.host(node).routes.iter().collect(),
+            )
+        })
+        .collect()
+}
+
+/// Runs the same scenario twice — legacy per-pair timers vs the batched
+/// cycle — and returns both end-state snapshots plus per-plane frame
+/// counts (identical frame admission order ⇒ identical medium totals).
+fn run_both_monitors(
+    n: usize,
+    planes: u8,
+    plan: &FaultPlan,
+    secs: u64,
+) -> (
+    Vec<MonitorSnapshot>,
+    Vec<MonitorSnapshot>,
+    Vec<u64>,
+    Vec<u64>,
+) {
+    let run = |batched: bool| {
+        let c = cfg()
+            .stagger(false)
+            .record_probe_log(true)
+            .batched_monitor(batched);
+        let spec = ClusterSpec::new(n).seed(11).planes(planes);
+        let mut w = World::new(spec, |id| DrsDaemon::new(id, n, c));
+        w.schedule_faults(plan.clone());
+        w.run_for(SimDuration::from_secs(secs));
+        let frames: Vec<u64> = (0..planes)
+            .map(|p| w.medium(NetId(p)).stats.frames)
+            .collect();
+        (snapshot(&w, n), frames)
+    };
+    let (legacy, legacy_frames) = run(false);
+    let (batched, batched_frames) = run(true);
+    (legacy, batched, legacy_frames, batched_frames)
+}
+
+#[test]
+fn batched_monitor_equivalent_on_healthy_three_plane_cluster() {
+    let (legacy, batched, lf, bf) = run_both_monitors(6, 3, &FaultPlan::new(), 4);
+    assert_eq!(legacy, batched);
+    assert_eq!(lf, bf);
+    // Sanity: the log really recorded a full-rate probe stream in
+    // (peer-ascending, plane-inner) fan-out order.
+    let log = &legacy[0].0;
+    assert!(log.len() >= 5 * 3 * 4, "n-1 peers × K planes × ≥4 cycles");
+    for cycle in log.chunks(5 * 3) {
+        let order: Vec<(u32, usize)> = cycle.iter().map(|p| (p.peer.0, p.net.idx())).collect();
+        let mut expect = order.clone();
+        expect.sort_unstable();
+        assert_eq!(order, expect, "fan-out order is peer-major, plane-minor");
+        assert!(
+            cycle.iter().all(|p| p.at == cycle[0].at),
+            "burst at cycle start"
+        );
+    }
+}
+
+#[test]
+fn batched_monitor_equivalent_through_hub_failure_and_repair() {
+    let plan = FaultPlan::new()
+        .fail_at(SimTime(1_000_000_000), SimComponent::Hub(NetId::A))
+        .repair_at(SimTime(3_000_000_000), SimComponent::Hub(NetId::A));
+    let (legacy, batched, lf, bf) = run_both_monitors(5, 2, &plan, 6);
+    assert_eq!(legacy, batched);
+    assert_eq!(lf, bf);
+    // The scenario actually exercised the down/up paths.
+    assert!(
+        legacy.iter().all(|s| s.1 .3 > 0),
+        "every daemon saw link-down"
+    );
+    assert!(
+        legacy.iter().all(|s| s.1 .4 > 0),
+        "every daemon saw link-up"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Equivalence holds under arbitrary simultaneous component faults,
+    /// for any cluster size and redundancy degree the spec supports.
+    #[test]
+    fn batched_monitor_equivalent_under_random_faults(
+        seed in any::<u64>(),
+        n in 3usize..7,
+        planes in 2u8..4,
+        f in 0usize..5,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (plan, _) = FaultPlan::random_simultaneous(
+            SimTime(1_000_000_000),
+            n,
+            planes,
+            f,
+            &mut rng,
+        );
+        let (legacy, batched, lf, bf) = run_both_monitors(n, planes, &plan, 5);
+        prop_assert_eq!(&legacy, &batched);
+        prop_assert_eq!(lf, bf);
+        // The probe sequence is never empty: monitoring starts at t=0.
+        prop_assert!(legacy.iter().all(|s| !s.0.is_empty()));
     }
 }

@@ -183,7 +183,15 @@ impl ObsArtifact {
     /// fixed artifact.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = preamble(SCHEMA, self.seed, "sections", 4096);
+        self.to_json_with_schema(SCHEMA)
+    }
+
+    /// Serializes the same section/row/field shape under a different
+    /// schema tag — for sibling artifacts (e.g. the kernel benchmark's
+    /// `drs-bench-kernel/v1`) that reuse this container format.
+    #[must_use]
+    pub fn to_json_with_schema(&self, schema: &str) -> String {
+        let mut out = preamble(schema, self.seed, "sections", 4096);
         for (i, sec) in self.sections.iter().enumerate() {
             out.push_str("    {\n");
             out.push_str(&format!("      \"name\": {},\n", json_string(&sec.name)));

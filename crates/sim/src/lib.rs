@@ -65,11 +65,13 @@ pub mod frame;
 pub mod host;
 pub mod ids;
 pub mod medium;
+pub mod naive_heap;
 pub mod routes;
 pub mod scenario;
 pub mod stats;
 pub mod time;
 pub mod transport;
+pub mod wheel;
 pub mod world;
 
 pub use fault::{FaultEvent, FaultPlan, SimComponent};

@@ -1,0 +1,552 @@
+//! The event kernel's priority queue: a hierarchical timer wheel.
+//!
+//! The simulator's workload is overwhelmingly *periodic short-horizon
+//! timers* — `O(K·N²)` probe timers, timeouts and frame arrivals per
+//! monitor cycle — exactly the regime where Varghese & Lauck's bucketed
+//! timing wheels beat an `O(log n)` binary heap. This wheel replaces the
+//! former global `BinaryHeap` while keeping pop order **bit-identical**:
+//! entries pop in strictly ascending `(at, seq)` order, the same total
+//! order the heap used (see `naive_heap` for the retained reference
+//! implementation and the property tests that prove the equivalence on
+//! randomized schedules).
+//!
+//! # Structure
+//!
+//! Six levels of 64 slots each. A level-0 slot covers one *grain* of
+//! 2¹² ns (4.096 µs); each level up widens slots by 64×, so the wheel
+//! spans `64⁶` grains ≈ 78 h of virtual time. Entries further out than
+//! that live in an **overflow** binary heap (far-future faults, absurd
+//! RTO tails) and migrate into the wheel as the clock approaches them.
+//!
+//! * **push** is O(1): find the level from the delta's bit length, index
+//!   the slot, append.
+//! * **pop** drains the earliest occupied level-0 slot into a small
+//!   `ready` buffer (sorted once per slot — slots are a few µs wide, so
+//!   bursts are tiny), then serves from it. Occupancy bitmaps (one
+//!   `u64` per level) make "find the next non-empty slot" a couple of
+//!   bit operations, so idle stretches are skipped without scanning.
+//! * **cascade** redistributes a higher-level slot into the levels below
+//!   when the clock enters its window, exactly like a hardware timer
+//!   wheel.
+//!
+//! # Allocation discipline
+//!
+//! Slot buffers are recycled through an internal spare-buffer pool: when
+//! a drained buffer empties it returns to the pool, and the next slot
+//! that needs storage reuses it instead of allocating. In steady state
+//! the probe path therefore schedules and delivers frames with **zero
+//! heap allocation**; [`WheelStats`] tracks the pool hit rate alongside
+//! push/pop/cascade counts so regressions show up in the committed
+//! kernel benchmark artifact.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// log₂ of the level-0 grain in nanoseconds (4.096 µs).
+const GRAIN_BITS: u32 = 12;
+/// log₂ of the slots per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of wheel levels; beyond `64^LEVELS` grains lies the overflow.
+const LEVELS: usize = 6;
+
+/// Grains the wheel proper can represent ahead of the cursor.
+const HORIZON_GRAINS: u64 = 1 << (SLOT_BITS * LEVELS as u32);
+
+/// One queued event: its due time, the global tie-break sequence number,
+/// and the payload.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at: u64,
+    seq: u64,
+    val: T,
+}
+
+/// Overflow-heap wrapper ordering entries as a min-heap on `(at, seq)`.
+#[derive(Debug)]
+struct OverflowEntry<T>(Entry<T>);
+
+impl<T> PartialEq for OverflowEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.at == other.0.at && self.0.seq == other.0.seq
+    }
+}
+impl<T> Eq for OverflowEntry<T> {}
+impl<T> PartialOrd for OverflowEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for OverflowEntry<T> {
+    // Reversed so the max-heap pops the earliest (at, seq) first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.0.at, other.0.seq).cmp(&(self.0.at, self.0.seq))
+    }
+}
+
+/// Deterministic operation counts of one wheel's lifetime.
+///
+/// Pure event-count bookkeeping — no wall clock — so the committed
+/// `BENCH_kernel.json` artifact can track the kernel's workload shape
+/// byte-reproducibly across machines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WheelStats {
+    /// Entries pushed (wheel levels and overflow combined).
+    pub pushes: u64,
+    /// Entries popped.
+    pub pops: u64,
+    /// Pushes that landed in the far-future overflow heap.
+    pub overflow_pushes: u64,
+    /// Entries migrated from the overflow heap into the wheel.
+    pub overflow_migrations: u64,
+    /// Higher-level slots redistributed into lower levels.
+    pub cascades: u64,
+    /// Level-0 slots drained (each drain sorts one small buffer).
+    pub slot_drains: u64,
+    /// Pushes that went straight into the sorted ready buffer (due
+    /// within the current grain).
+    pub ready_inserts: u64,
+    /// Slot buffers reused from the spare pool.
+    pub pool_hits: u64,
+    /// Slot buffers freshly allocated because the pool was empty.
+    pub pool_misses: u64,
+    /// High-water mark of queued entries.
+    pub max_depth: u64,
+}
+
+/// A hierarchical timer wheel over `(SimTime, seq)`-keyed events.
+///
+/// Pop order is exactly ascending `(at, seq)` — bit-identical to a
+/// `BinaryHeap` min-queue over the same keys. Callers must never push an
+/// entry earlier than the last popped `at` (the simulator core clamps
+/// past-time schedules to `now` before they reach the wheel).
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    /// `levels[l][s]`: events due in slot `s` of level `l`.
+    levels: Vec<Vec<Vec<Entry<T>>>>,
+    /// One occupancy bit per slot, per level.
+    occupancy: [u64; LEVELS],
+    /// Cursor: the grain of the most recently popped entry.
+    cur: u64,
+    /// Entries of the current grain, sorted descending so `pop` is a
+    /// cheap truncation from the back.
+    ready: Vec<Entry<T>>,
+    /// Far-future entries (≥ `HORIZON_GRAINS` ahead of the cursor).
+    overflow: BinaryHeap<OverflowEntry<T>>,
+    /// Recycled slot buffers.
+    spare: Vec<Vec<Entry<T>>>,
+    /// Queued entries (wheel + ready + overflow).
+    len: usize,
+    /// Deterministic operation counters.
+    stats: WheelStats,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// An empty wheel with its cursor at the simulation epoch.
+    #[must_use]
+    pub fn new() -> Self {
+        TimerWheel {
+            levels: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            occupancy: [0; LEVELS],
+            cur: 0,
+            ready: Vec::new(),
+            overflow: BinaryHeap::new(),
+            spare: Vec::new(),
+            len: 0,
+            stats: WheelStats::default(),
+        }
+    }
+
+    /// Number of queued events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The deterministic operation counters.
+    #[must_use]
+    pub fn stats(&self) -> &WheelStats {
+        &self.stats
+    }
+
+    /// Pushes an event due at `at` with tie-break `seq`.
+    ///
+    /// `at` must be no earlier than the last popped entry's time; the
+    /// simulator core guarantees this by clamping. `seq` must be unique
+    /// and increasing across pushes (the core's global counter).
+    pub fn push(&mut self, at: SimTime, seq: u64, val: T) {
+        let at = at.0;
+        debug_assert!(
+            at >> GRAIN_BITS >= self.cur,
+            "pushed before the wheel cursor"
+        );
+        self.len += 1;
+        self.stats.pushes += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.len as u64);
+        let entry = Entry { at, seq, val };
+        self.place(entry);
+    }
+
+    /// Routes an entry to the ready buffer, a wheel slot, or overflow.
+    fn place(&mut self, entry: Entry<T>) {
+        let grain = entry.at >> GRAIN_BITS;
+        let delta = grain - self.cur.min(grain);
+        if delta == 0 {
+            // Due within the grain currently being drained: merge into
+            // the sorted ready buffer so `(at, seq)` order holds even
+            // against entries already staged there.
+            self.stats.ready_inserts += 1;
+            let key = (entry.at, entry.seq);
+            let idx = self.ready.partition_point(|e| (e.at, e.seq) > key);
+            self.ready.insert(idx, entry);
+            return;
+        }
+        if delta >= HORIZON_GRAINS {
+            self.stats.overflow_pushes += 1;
+            self.overflow.push(OverflowEntry(entry));
+            return;
+        }
+        // floor(log64(delta)) — delta >= 1 here.
+        let level = ((63 - delta.leading_zeros()) / SLOT_BITS) as usize;
+        let slot = ((grain >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        let bucket = &mut self.levels[level][slot];
+        if bucket.capacity() == 0 {
+            // First entry in a cold slot: adopt a recycled buffer.
+            if let Some(spare) = self.spare.pop() {
+                self.stats.pool_hits += 1;
+                *bucket = spare;
+            } else {
+                self.stats.pool_misses += 1;
+            }
+        }
+        bucket.push(entry);
+        self.occupancy[level] |= 1 << slot;
+    }
+
+    /// The `(at, seq)` key of the next event, without popping it.
+    pub fn peek(&mut self) -> Option<(SimTime, u64)> {
+        if self.ready.is_empty() {
+            self.fill_ready();
+        }
+        self.ready.last().map(|e| (SimTime(e.at), e.seq))
+    }
+
+    /// Pops the earliest event as `(at, seq, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        if self.ready.is_empty() {
+            self.fill_ready();
+        }
+        let entry = self.ready.pop()?;
+        self.len -= 1;
+        self.stats.pops += 1;
+        if self.ready.is_empty() {
+            self.recycle_ready_buffer();
+        }
+        Some((SimTime(entry.at), entry.seq, entry.val))
+    }
+
+    /// Returns the drained ready buffer's storage to the spare pool.
+    fn recycle_ready_buffer(&mut self) {
+        const SPARE_CAP: usize = 64;
+        if self.ready.capacity() > 0 && self.spare.len() < SPARE_CAP {
+            self.spare.push(std::mem::take(&mut self.ready));
+        }
+    }
+
+    /// Advances the cursor to the next occupied grain and stages that
+    /// grain's entries, sorted, into the ready buffer.
+    ///
+    /// One grain's entries can be spread across several structures at
+    /// once (a level-0 slot, one bucket per higher level, and the ready
+    /// buffer itself — each populated at a different push epoch), so the
+    /// loop keeps draining and cascading until every source whose window
+    /// starts at the cursor grain has been merged into `ready`.
+    fn fill_ready(&mut self) {
+        loop {
+            // Migrate overflow entries that now fit the wheel horizon, so
+            // the wheel scan below always sees the true minimum.
+            while let Some(head) = self.overflow.peek() {
+                let grain = head.0.at >> GRAIN_BITS;
+                if grain - self.cur < HORIZON_GRAINS {
+                    let entry = self.overflow.pop().expect("peeked").0;
+                    self.stats.overflow_migrations += 1;
+                    self.place(entry);
+                } else {
+                    break;
+                }
+            }
+            // Earliest candidate window per level, as (start_grain, level, slot).
+            // On equal window starts the higher level wins: its entries
+            // must cascade down before the shared grain can be served in
+            // order.
+            let mut best: Option<(u64, usize, usize)> = None;
+            for level in 0..LEVELS {
+                if let Some((start, slot)) = self.earliest_window(level) {
+                    let better = match best {
+                        None => true,
+                        Some((bs, _, _)) => start <= bs,
+                    };
+                    if better {
+                        best = Some((start, level, slot));
+                    }
+                }
+            }
+            let Some((start, level, slot)) = best else {
+                if self.ready.is_empty() {
+                    // Wheel empty; far-future overflow only. Jump the
+                    // cursor so the migration loop can admit the head.
+                    if let Some(head) = self.overflow.peek() {
+                        self.cur = head.0.at >> GRAIN_BITS;
+                        continue;
+                    }
+                }
+                return;
+            };
+            if !self.ready.is_empty() && start > self.cur {
+                // The staged grain is complete; later windows wait.
+                return;
+            }
+            self.cur = start;
+            // `take` leaves the slot cold (zero capacity); the next push
+            // that lands there adopts a spare buffer from the pool.
+            let mut bucket = std::mem::take(&mut self.levels[level][slot]);
+            self.occupancy[level] &= !(1 << slot);
+            if level == 0 {
+                // One grain's worth of entries: keep `ready` sorted
+                // descending so pops truncate from the back in ascending
+                // (at, seq) order.
+                self.stats.slot_drains += 1;
+                if self.ready.is_empty() {
+                    let spare = std::mem::replace(&mut self.ready, bucket);
+                    self.return_buffer(spare);
+                } else {
+                    self.ready.append(&mut bucket);
+                    self.return_buffer(bucket);
+                }
+                self.ready
+                    .sort_unstable_by(|a, b| (b.at, b.seq).cmp(&(a.at, a.seq)));
+                continue;
+            }
+            // Higher-level slot: redistribute into the levels below (and
+            // into `ready` for entries due in the cursor grain itself).
+            self.stats.cascades += 1;
+            for entry in bucket.drain(..) {
+                self.place(entry);
+            }
+            self.return_buffer(bucket);
+        }
+    }
+
+    /// Returns a drained buffer to the spare pool (bounded).
+    fn return_buffer(&mut self, buf: Vec<Entry<T>>) {
+        const SPARE_CAP: usize = 64;
+        if buf.capacity() > 0 && self.spare.len() < SPARE_CAP {
+            self.spare.push(buf);
+        }
+    }
+
+    /// The earliest occupied window of `level`, as its absolute start
+    /// grain and slot index, honouring rotation wrap-around.
+    fn earliest_window(&self, level: usize) -> Option<(u64, usize)> {
+        let occ = self.occupancy[level];
+        if occ == 0 {
+            return None;
+        }
+        let shift = SLOT_BITS * level as u32;
+        let pos = ((self.cur >> shift) & (SLOTS as u64 - 1)) as u32;
+        let span = 1u64 << shift; // grains per slot at this level
+        let rotation = 1u64 << (shift + SLOT_BITS); // grains per full turn
+        let base = self.cur & !(rotation - 1);
+        // Slots strictly after the cursor's position belong to this
+        // rotation; slots strictly before it hold next-rotation entries.
+        // The cursor's own slot is ambiguous and the cursor's alignment
+        // disambiguates it. Aligned (cursor exactly at the window start,
+        // reached by draining a same-start higher-level window): the slot
+        // is this rotation, still waiting to drain — a wrapped entry
+        // there would need a delta of at least a full rotation, which
+        // places at a higher level. Unaligned: a this-rotation entry here
+        // would have a sub-span delta and live at a *lower* level, so
+        // the slot can only hold entries that wrapped past the rotation
+        // boundary at placement time (e.g. an overflow migration almost
+        // a full rotation ahead); reading those as this-rotation would
+        // compute a window start before the cursor and drag it backwards
+        // — a livelock.
+        let ahead = if self.cur & (span - 1) == 0 {
+            occ >> pos
+        } else {
+            (occ >> pos) & !1
+        };
+        if ahead != 0 {
+            let slot = pos + ahead.trailing_zeros();
+            Some((base + u64::from(slot) * span, slot as usize))
+        } else {
+            let slot = occ.trailing_zeros();
+            Some((base + rotation + u64::from(slot) * span, slot as usize))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut TimerWheel<u32>) -> Vec<(u64, u64, u32)> {
+        let mut out = Vec::new();
+        while let Some((at, seq, v)) = w.pop() {
+            out.push((at.0, seq, v));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut w = TimerWheel::new();
+        w.push(SimTime(500), 2, 20);
+        w.push(SimTime(100), 1, 10);
+        w.push(SimTime(100), 0, 0);
+        w.push(SimTime(7_000_000_000), 3, 30); // far slot
+        assert_eq!(w.len(), 4);
+        assert_eq!(
+            drain(&mut w),
+            vec![
+                (100, 0, 0),
+                (100, 1, 10),
+                (500, 2, 20),
+                (7_000_000_000, 3, 30)
+            ]
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_grain_burst_sorts_by_seq() {
+        let mut w = TimerWheel::new();
+        // All within one 4.096 µs grain, pushed out of order.
+        for (seq, at) in [(0u64, 4000u64), (1, 1000), (2, 4000), (3, 2)] {
+            w.push(SimTime(at), seq, seq as u32);
+        }
+        assert_eq!(
+            drain(&mut w),
+            vec![(2, 3, 3), (1000, 1, 1), (4000, 0, 0), (4000, 2, 2)]
+        );
+    }
+
+    #[test]
+    fn push_at_popped_instant_lands_behind_equal_times() {
+        let mut w = TimerWheel::new();
+        w.push(SimTime(1000), 0, 0);
+        w.push(SimTime(1000), 1, 1);
+        let first = w.pop().unwrap();
+        assert_eq!((first.0 .0, first.1), (1000, 0));
+        // Schedule at the instant just popped: must come after seq 1.
+        w.push(SimTime(1000), 2, 2);
+        assert_eq!(drain(&mut w), vec![(1000, 1, 1), (1000, 2, 2)]);
+    }
+
+    #[test]
+    fn far_future_goes_through_overflow_and_returns() {
+        let mut w = TimerWheel::new();
+        let far = (HORIZON_GRAINS + 5) << GRAIN_BITS;
+        w.push(SimTime(far), 0, 7);
+        assert_eq!(w.stats().overflow_pushes, 1);
+        w.push(SimTime(50), 1, 1);
+        assert_eq!(drain(&mut w), vec![(50, 1, 1), (far, 0, 7)]);
+        assert_eq!(w.stats().overflow_migrations, 1);
+    }
+
+    #[test]
+    fn cascades_preserve_order_across_level_boundaries() {
+        let mut w = TimerWheel::new();
+        // Straddle a level-1 window: grains 63 and 64 are adjacent but
+        // live in different level-1 slots (and 64 wraps level 0).
+        let g = |grain: u64, off: u64| SimTime((grain << GRAIN_BITS) + off);
+        w.push(g(64, 10), 0, 0);
+        w.push(g(63, 99), 1, 1);
+        w.push(g(64, 5), 2, 2);
+        w.push(g(4097, 0), 3, 3); // level-2 territory
+        let order: Vec<u64> = drain(&mut w).iter().map(|e| e.1).collect();
+        assert_eq!(order, vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn wrapped_slot_at_cursor_position_is_next_rotation() {
+        let g = |grain: u64| SimTime(grain << GRAIN_BITS);
+        let mut w = TimerWheel::new();
+        w.push(g(4106), 0, 0);
+        assert_eq!(w.pop().unwrap().1, 0);
+        // Cursor sits at grain 4106 — level-1 slot position 0. An entry
+        // almost a full level-1 rotation (4096 grains) ahead wraps past
+        // the rotation boundary into that same slot position; it must be
+        // read as next-rotation, not as a window starting before the
+        // cursor (which livelocked the fill loop).
+        w.push(g(2 * 4096 + 5), 1, 1);
+        w.push(g(4200), 2, 2);
+        assert_eq!(
+            drain(&mut w),
+            vec![(4200 << GRAIN_BITS, 2, 2), (8197 << GRAIN_BITS, 1, 1)]
+        );
+    }
+
+    #[test]
+    fn pool_recycles_slot_buffers() {
+        let mut w = TimerWheel::new();
+        for round in 0..10u64 {
+            let base = round * 1_000_000; // fresh grain each round
+            for i in 0..8u64 {
+                w.push(SimTime(base + i), round * 8 + i, 0);
+            }
+            while w.pop().is_some() {}
+        }
+        let s = w.stats();
+        assert!(s.pool_hits > 0, "later rounds must reuse buffers: {s:?}");
+        assert!(
+            s.pool_misses <= 2,
+            "steady state should not allocate: {s:?}"
+        );
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_global_order() {
+        // Mimics the simulator: every pop schedules a few near-future
+        // events; order must stay ascending throughout.
+        let mut w = TimerWheel::new();
+        let mut seq = 0u64;
+        let mut push = |w: &mut TimerWheel<u32>, at: u64| {
+            w.push(SimTime(at), seq, 0);
+            seq += 1;
+        };
+        push(&mut w, 0);
+        let mut last = (0u64, 0u64);
+        let mut popped = 0;
+        while let Some((at, s, _)) = w.pop() {
+            assert!((at.0, s) >= last, "order violated at {at:?}/{s}");
+            last = (at.0, s);
+            popped += 1;
+            if popped < 500 {
+                push(&mut w, at.0 + 11_000); // ~arrival delay
+                push(&mut w, at.0 + 200_000_000); // ~probe re-arm
+                if popped % 7 == 0 {
+                    push(&mut w, at.0); // same-instant event
+                }
+            }
+        }
+        assert!(w.is_empty());
+    }
+}

@@ -154,7 +154,7 @@ impl<P: Protocol> World<P> {
         if attempt > self.core.spec.transport.max_retries {
             self.core.hosts[node.idx()].transport.complete(flow);
             self.core.app_stats.gave_up += 1;
-            self.core.flow_outcomes.insert(flow, FlowOutcome::GaveUp);
+            self.core.record_outcome(flow, FlowOutcome::GaveUp);
             self.notify_transport(node, TransportEvent::GaveUp { flow, dst });
             return;
         }
@@ -293,8 +293,7 @@ impl<P: Protocol> World<P> {
                         self.core.app_stats.delivered += 1;
                         self.core.app_stats.latency.record(rtt);
                         self.core
-                            .flow_outcomes
-                            .insert(segment.flow, FlowOutcome::Delivered(rtt));
+                            .record_outcome(segment.flow, FlowOutcome::Delivered(rtt));
                         self.notify_transport(
                             node,
                             TransportEvent::Delivered {

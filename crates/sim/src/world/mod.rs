@@ -17,7 +17,7 @@ mod faults;
 mod kernel;
 mod queue;
 
-pub use queue::Core;
+pub use queue::{Core, KernelStats};
 
 use rand::rngs::SmallRng;
 
@@ -384,7 +384,28 @@ impl<P: Protocol> World<P> {
     /// Outcome of a completed flow, if it has completed.
     #[must_use]
     pub fn flow_outcome(&self, flow: FlowId) -> Option<FlowOutcome> {
-        self.core.flow_outcomes.get(&flow).copied()
+        self.core
+            .flow_outcomes
+            .get(flow.0 as usize)
+            .copied()
+            .flatten()
+    }
+
+    /// All completed flow outcomes in ascending [`FlowId`] order — the
+    /// iteration order is structural (dense index), never hash-seeded.
+    pub fn flow_outcomes(&self) -> impl Iterator<Item = (FlowId, FlowOutcome)> + '_ {
+        self.core
+            .flow_outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.map(|o| (FlowId(i as u64), o)))
+    }
+
+    /// Deterministic operation counters of the event kernel (timer-wheel
+    /// push/pop/cascade/pool counts, past-time clamps, queue depth).
+    #[must_use]
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.core.kernel_stats()
     }
 
     /// Number of flows still outstanding across the cluster.
@@ -440,8 +461,8 @@ impl<P: Protocol> World<P> {
     /// a later `now`... it cannot — time only advances by events, so `now`
     /// is clamped up to `until` on return).
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(head) = self.core.events.peek() {
-            if head.at > until {
+        while let Some((at, _)) = self.core.events.peek() {
+            if at > until {
                 break;
             }
             self.step();
@@ -459,12 +480,12 @@ impl<P: Protocol> World<P> {
 
     /// Processes one event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(entry) = self.core.events.pop() else {
+        let Some((at, _seq, kind)) = self.core.events.pop() else {
             return false;
         };
-        debug_assert!(entry.at >= self.core.now);
-        self.core.now = entry.at;
-        match entry.kind {
+        debug_assert!(at >= self.core.now);
+        self.core.now = at;
+        match kind {
             EventKind::Fault(ev) => self.apply_fault(ev),
             EventKind::ProtoTimer { node, token } => {
                 let mut ctx = Ctx {

@@ -2,9 +2,11 @@
 //! events, host and medium state. Everything that is *state* lives here;
 //! the kernel-side behaviours that act on it live in
 //! [`super::kernel`] and [`super::faults`].
-
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+//!
+//! The queue itself is a hierarchical timer wheel ([`crate::wheel`]) —
+//! O(1) push against the former `BinaryHeap`'s O(log n) — with pop order
+//! bit-identical to the heap's ascending `(at, seq)`. The heap survives
+//! as [`crate::naive_heap`] for benches and equivalence tests.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -17,6 +19,7 @@ use crate::medium::SharedMedium;
 use crate::scenario::ClusterSpec;
 use crate::stats::AppStats;
 use crate::time::SimTime;
+use crate::wheel::{TimerWheel, WheelStats};
 
 use super::FlowOutcome;
 
@@ -40,28 +43,21 @@ pub(crate) enum EventKind<M> {
     },
 }
 
-pub(crate) struct Entry<M> {
-    pub(crate) at: SimTime,
-    pub(crate) seq: u64,
-    pub(crate) kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Entry<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Entry<M> {}
-impl<M> PartialOrd for Entry<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Entry<M> {
-    // Reversed so the max-heap pops the earliest (time, seq) first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
-    }
+/// Deterministic operation counters of the event kernel: the timer
+/// wheel's push/pop/cascade/pool bookkeeping plus the core's own
+/// guard-rail counters. Snapshot via [`super::World::kernel_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// The timer wheel's operation counts.
+    pub wheel: WheelStats,
+    /// Past-time schedules clamped up to `now` (release-build guard; a
+    /// debug build asserts instead). Nonzero means a daemon or kernel
+    /// path computed a due time earlier than the current instant.
+    pub clamped_past: u64,
+    /// Current queue depth.
+    pub queue_depth: u64,
+    /// Current virtual time, nanoseconds.
+    pub now_ns: u64,
 }
 
 /// Shared simulator state (everything except the protocol instances).
@@ -69,13 +65,18 @@ pub struct Core<M> {
     pub(crate) spec: ClusterSpec,
     pub(crate) now: SimTime,
     pub(crate) seq: u64,
-    pub(crate) events: BinaryHeap<Entry<M>>,
+    pub(crate) events: TimerWheel<EventKind<M>>,
     pub(crate) hosts: Vec<HostState>,
     /// One shared segment per network plane, indexed by [`NetId::idx`].
     pub(crate) media: Vec<SharedMedium>,
     pub(crate) app_stats: AppStats,
-    pub(crate) flow_outcomes: HashMap<FlowId, FlowOutcome>,
+    /// Outcome per flow, indexed by [`FlowId`] — flow ids are handed out
+    /// sequentially by [`super::World::send_app`], so a dense vector is
+    /// both the fastest and the only iteration-order-deterministic
+    /// choice (no SipHash seeding anywhere near the summary path).
+    pub(crate) flow_outcomes: Vec<Option<FlowOutcome>>,
     pub(crate) next_flow: u64,
+    pub(crate) clamped_past: u64,
     pub(crate) rng: SmallRng,
 }
 
@@ -91,20 +92,50 @@ impl<M: Clone + std::fmt::Debug> Core<M> {
             spec,
             now: SimTime::ZERO,
             seq: 0,
-            events: BinaryHeap::new(),
+            events: TimerWheel::new(),
             hosts,
             media,
             app_stats: AppStats::default(),
-            flow_outcomes: HashMap::new(),
+            flow_outcomes: Vec::new(),
             next_flow: 0,
+            clamped_past: 0,
             rng: SmallRng::seed_from_u64(spec.seed),
         }
     }
 
     pub(crate) fn schedule_at(&mut self, at: SimTime, kind: EventKind<M>) {
         debug_assert!(at >= self.now, "scheduling into the past");
+        let at = if at < self.now {
+            // Release-build guard: a past due time would corrupt the
+            // queue's ordering invariant. Clamp to `now` (the event fires
+            // immediately, in seq order) and count it so the anomaly is
+            // visible in kernel stats instead of silently ignored.
+            self.clamped_past += 1;
+            self.now
+        } else {
+            at
+        };
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Entry { at, seq, kind });
+        self.events.push(at, seq, kind);
+    }
+
+    /// Records the final outcome of `flow` (dense, grow-on-demand).
+    pub(crate) fn record_outcome(&mut self, flow: FlowId, outcome: FlowOutcome) {
+        let idx = flow.0 as usize;
+        if idx >= self.flow_outcomes.len() {
+            self.flow_outcomes.resize(idx + 1, None);
+        }
+        self.flow_outcomes[idx] = Some(outcome);
+    }
+
+    /// A deterministic snapshot of the kernel's operation counters.
+    pub(crate) fn kernel_stats(&self) -> KernelStats {
+        KernelStats {
+            wheel: *self.events.stats(),
+            clamped_past: self.clamped_past,
+            queue_depth: self.events.len() as u64,
+            now_ns: self.now.0,
+        }
     }
 }

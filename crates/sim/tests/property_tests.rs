@@ -10,10 +10,12 @@ use drs_sim::app::Workload;
 use drs_sim::fault::{component_count, component_to_index, index_to_component, FaultPlan};
 use drs_sim::ids::{NetId, NodeId};
 use drs_sim::medium::{SharedMedium, TrafficClass};
+use drs_sim::naive_heap::NaiveHeap;
 use drs_sim::scenario::{ClusterSpec, TransportConfig};
 use drs_sim::stats::LatencyHistogram;
 use drs_sim::time::{SimDuration, SimTime};
 use drs_sim::transport::{max_flow_lifetime, rto_for_attempt};
+use drs_sim::wheel::TimerWheel;
 use drs_sim::world::{Protocol, World};
 
 struct Idle;
@@ -164,5 +166,144 @@ proptest! {
         let s = w.app_stats();
         prop_assert_eq!(s.delivered + s.gave_up, s.sent);
         prop_assert_eq!(w.flows_in_flight(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timer-wheel kernel: pop order must be indistinguishable from the
+// reference binary heap ordered on `(at, seq)`.
+// ---------------------------------------------------------------------------
+
+/// One random schedule mixing every regime the wheel handles differently:
+/// exact same-tick bursts, same-grain neighbours, low-level slots,
+/// cross-level deltas, and past-horizon timestamps that land in overflow.
+fn random_schedule(seed: u64, len: usize) -> Vec<SimTime> {
+    use rand::Rng;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out: Vec<SimTime> = Vec::with_capacity(len);
+    for _ in 0..len {
+        let at = match rng.gen_range(0u32..10) {
+            // Same-tick burst: duplicate an earlier timestamp exactly, so
+            // ordering must fall back to the sequence number.
+            0..=2 if !out.is_empty() => out[rng.gen_range(0usize..out.len())],
+            // Inside the first grain (4.096 us).
+            3 => SimTime(rng.gen_range(0u64..4_096)),
+            // Low wheel levels.
+            4..=6 => SimTime(rng.gen_range(0u64..100_000_000)),
+            // High wheel levels (hours of virtual time).
+            7..=8 => SimTime(rng.gen_range(0u64..10_000_000_000_000)),
+            // Beyond the wheel horizon: exercises the overflow heap.
+            _ => SimTime(rng.gen_range(0u64..(1u64 << 52))),
+        };
+        out.push(at);
+    }
+    out
+}
+
+/// Pushes the schedule into both structures and checks the full drain
+/// agrees triple-for-triple.
+fn assert_wheel_matches_heap(schedule: &[SimTime]) {
+    let mut wheel: TimerWheel<u64> = TimerWheel::new();
+    let mut heap: NaiveHeap<u64> = NaiveHeap::new();
+    for (seq, &at) in schedule.iter().enumerate() {
+        wheel.push(at, seq as u64, seq as u64);
+        heap.push(at, seq as u64, seq as u64);
+    }
+    assert_eq!(wheel.len(), heap.len());
+    loop {
+        let expect = heap.pop();
+        let got = wheel.pop();
+        assert_eq!(got, expect, "wheel diverged from the reference heap");
+        if expect.is_none() {
+            break;
+        }
+    }
+    assert!(wheel.is_empty());
+}
+
+/// ISSUE acceptance: 1000+ seeded random schedules, including same-tick
+/// bursts, drain in exactly the reference `(at, seq)` order.
+#[test]
+fn wheel_matches_heap_on_1000_seeded_schedules() {
+    use rand::Rng;
+    for seed in 0..1000u64 {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+        let len = rng.gen_range(1usize..64);
+        assert_wheel_matches_heap(&random_schedule(seed, len));
+    }
+}
+
+/// Degenerate burst: many entries on the exact same tick pop in pure
+/// sequence order.
+#[test]
+fn wheel_same_tick_burst_pops_in_seq_order() {
+    let at = SimTime(123_456_789);
+    let mut wheel: TimerWheel<u64> = TimerWheel::new();
+    for seq in 0..500u64 {
+        wheel.push(at, seq, seq);
+    }
+    for seq in 0..500u64 {
+        assert_eq!(wheel.pop(), Some((at, seq, seq)));
+    }
+    assert!(wheel.is_empty());
+}
+
+proptest! {
+    /// Larger randomized schedules than the seeded sweep, full drain.
+    #[test]
+    fn wheel_pop_order_matches_heap(seed in any::<u64>(), len in 1usize..400) {
+        assert_wheel_matches_heap(&random_schedule(seed, len));
+    }
+
+    /// Interleaved push/pop: pops advance the wheel cursor between
+    /// pushes, exercising cascades and the ready-buffer merge paths that
+    /// a push-all-then-drain test never reaches.
+    #[test]
+    fn wheel_matches_heap_under_interleaved_ops(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(0u32..4, 1..300),
+    ) {
+        use rand::Rng;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut wheel: TimerWheel<u64> = TimerWheel::new();
+        let mut heap: NaiveHeap<u64> = NaiveHeap::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for op in ops {
+            if op == 0 && !heap.is_empty() {
+                let expect = heap.pop();
+                let got = wheel.pop();
+                prop_assert_eq!(got, expect);
+                now = expect.unwrap().0 .0;
+            } else {
+                // Schedules never go backwards past the last pop — the
+                // same contract `Core::schedule_at` enforces by clamping.
+                let at = SimTime(now + rng.gen_range(0u64..10_000_000_000));
+                wheel.push(at, seq, seq);
+                heap.push(at, seq, seq);
+                seq += 1;
+            }
+        }
+        while let Some(expect) = heap.pop() {
+            prop_assert_eq!(wheel.pop(), Some(expect));
+        }
+        prop_assert!(wheel.is_empty());
+        prop_assert_eq!(wheel.peek(), None);
+    }
+
+    /// The wheel's own accounting: pushes = pops after a full drain, and
+    /// the high-water depth equals the schedule length for push-all-first.
+    #[test]
+    fn wheel_stats_balance(seed in any::<u64>(), len in 1usize..200) {
+        let schedule = random_schedule(seed, len);
+        let mut wheel: TimerWheel<u64> = TimerWheel::new();
+        for (seq, &at) in schedule.iter().enumerate() {
+            wheel.push(at, seq as u64, seq as u64);
+        }
+        while wheel.pop().is_some() {}
+        let s = wheel.stats();
+        prop_assert_eq!(s.pushes, len as u64);
+        prop_assert_eq!(s.pops, len as u64);
+        prop_assert_eq!(s.max_depth, len as u64);
     }
 }

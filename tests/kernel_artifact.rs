@@ -1,0 +1,100 @@
+//! Integration: the committed `BENCH_kernel.json` artifact is exactly
+//! what the event-kernel benchmark grid regenerates — same bytes — and
+//! its queue-traffic section carries the tentpole claim: the batched
+//! monitor's timer traffic per cycle is O(N), against the per-pair
+//! driver's O(K·N²).
+//!
+//! If an intentional change shifts the counts, regenerate the artifact
+//! (`cargo run --release -p drs-bench --bin kernel_report`) and commit
+//! it alongside the change; CI runs the same regenerate-and-diff check.
+
+use drs::obs::{FieldValue, Row};
+use drs_bench::kernel::{kernel_artifact, kernel_artifact_json, run_grid};
+use drs_bench::{BENCH_SEED, KERNEL_BENCH_JSON};
+
+fn committed() -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(KERNEL_BENCH_JSON);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read committed artifact {}: {e}", path.display()))
+}
+
+fn count_field(row: &Row, name: &str) -> Option<u64> {
+    row.fields
+        .iter()
+        .find(|f| f.name == name)
+        .and_then(|f| match f.value {
+            FieldValue::Count(c) => Some(c),
+            _ => None,
+        })
+}
+
+fn real_field(row: &Row, name: &str) -> Option<f64> {
+    row.fields
+        .iter()
+        .find(|f| f.name == name)
+        .and_then(|f| match f.value {
+            FieldValue::Real(r) => Some(r),
+            _ => None,
+        })
+}
+
+#[test]
+fn committed_artifact_regenerates_byte_for_byte() {
+    assert_eq!(
+        kernel_artifact_json(),
+        committed(),
+        "BENCH_kernel.json drifted from what the kernel grid produces \
+         under master seed {BENCH_SEED}; regenerate it with \
+         `cargo run --release -p drs-bench --bin kernel_report` if the \
+         change is intentional"
+    );
+}
+
+#[test]
+fn batched_queue_traffic_is_linear_in_n_across_the_grid() {
+    let artifact = kernel_artifact(&run_grid());
+    let reduction = artifact
+        .get("queue_traffic_reduction")
+        .expect("reduction section");
+    assert!(!reduction.rows.is_empty());
+    for row in &reduction.rows {
+        let n = count_field(row, "n").expect("n") as f64;
+        let k = count_field(row, "planes").expect("planes") as f64;
+        let batched = real_field(row, "timer_per_cycle_batched").expect("batched");
+        let per_pair = real_field(row, "timer_per_cycle_per_pair").expect("per_pair");
+        // Steady state is 2 timer events per daemon per cycle for the
+        // batched driver (fan-out + timeout sweep) — independent of K —
+        // and 2 per (peer, plane) pair per daemon for the per-pair one.
+        assert!(
+            batched <= 4.0 * n,
+            "{}: batched driver scheduled {batched} timer events/cycle",
+            row.id
+        );
+        assert!(
+            per_pair >= k * n * (n - 1.0),
+            "{}: per-pair driver scheduled only {per_pair} timer events/cycle",
+            row.id
+        );
+        let factor = real_field(row, "reduction_factor").expect("factor");
+        assert!(
+            factor >= 0.25 * k * (n - 1.0),
+            "{}: reduction factor {factor} is not O(K·N)",
+            row.id
+        );
+    }
+}
+
+#[test]
+fn committed_artifact_reports_clean_healthy_runs() {
+    let json = committed();
+    assert!(json.contains("\"schema\": \"drs-bench-kernel/v1\""));
+    // Healthy clusters must never clamp a past-time schedule: all twelve
+    // wheel_ops rows carry an exact zero.
+    assert_eq!(json.matches("\"clamped_past\": 0").count(), 12);
+    for row_id in ["n90_k2_per_pair", "n90_k2_batched"] {
+        assert!(
+            json.contains(&format!("\"id\": \"{row_id}\"")),
+            "headline 90-node cell {row_id} missing from the artifact"
+        );
+    }
+}
