@@ -101,6 +101,26 @@ fn bench_probe_replay(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_thread_scaling(c: &mut Criterion) {
+    // End-to-end sharded runs: the same probe-burst schedule executed at
+    // 1/2/4/8 worker threads. Criterion times the wall clock; the
+    // deterministic operation counts for these cells live in the
+    // committed artifact's `thread_scaling` section.
+    let mut g = c.benchmark_group("thread_scaling");
+    g.sample_size(10);
+    let (n, k) = (256usize, 2u8);
+    for &threads in &drs_bench::kernel::SCALING_THREADS {
+        g.bench_with_input(
+            BenchmarkId::new("sharded_n256_k2", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| black_box(drs_bench::kernel::run_scaling_cell(n, k, t)));
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_burst_drain(c: &mut Criterion) {
     // Pure drain: the whole steady-state queue pushed, then popped dry —
     // the pattern a timeout sweep or shutdown flush exercises.
@@ -123,5 +143,10 @@ fn bench_burst_drain(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_probe_replay, bench_burst_drain);
+criterion_group!(
+    benches,
+    bench_probe_replay,
+    bench_thread_scaling,
+    bench_burst_drain
+);
 criterion_main!(benches);

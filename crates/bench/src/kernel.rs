@@ -22,11 +22,13 @@ use drs_sim::ids::{NetId, NodeId};
 use drs_sim::scenario::ClusterSpec;
 use drs_sim::time::SimDuration;
 use drs_sim::world::{KernelStats, World};
+use drs_sim::ShardedWorld;
 
 use crate::BENCH_SEED;
 
-/// Schema tag written into the kernel artifact.
-pub const KERNEL_SCHEMA: &str = "drs-bench-kernel/v1";
+/// Schema tag written into the kernel artifact. `v2` added the
+/// `thread_scaling` section (sharded kernel, N up to 1024).
+pub const KERNEL_SCHEMA: &str = "drs-bench-kernel/v2";
 
 /// Cluster sizes measured — up to the paper's 90-node deployment.
 pub const KERNEL_GRID_N: [usize; 3] = [16, 64, 90];
@@ -36,6 +38,22 @@ pub const KERNEL_GRID_K: [u8; 2] = [2, 4];
 
 /// Virtual run length per cell: ten monitor cycles of steady state.
 pub const KERNEL_RUN: SimDuration = SimDuration::from_secs(2);
+
+/// Cluster sizes for the sharded thread-scaling grid — the sizes the
+/// single-threaded grid cannot reach in reasonable artifact-regen time.
+pub const SCALING_GRID_N: [usize; 2] = [256, 1024];
+
+/// Plane counts for the thread-scaling grid.
+pub const SCALING_GRID_K: [u8; 2] = [2, 4];
+
+/// Worker-thread counts measured per `(N, K)` scaling cell.
+pub const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Virtual run length per scaling cell: one unstaggered monitor burst
+/// (`K·N·(N−1)` probes at t=0) plus its replies and timeout sweeps —
+/// all inside 100 ms even at N=1024 — stopping short of the 1 s re-arm
+/// so the window holds no idle tail.
+pub const SCALING_RUN: SimDuration = SimDuration::from_millis(100);
 
 /// One measured cell of the kernel grid.
 #[derive(Debug, Clone)]
@@ -141,6 +159,193 @@ pub fn run_cell(n: usize, planes: u8, batched: bool) -> KernelCell {
     }
 }
 
+/// One measured cell of the sharded thread-scaling grid.
+#[derive(Debug, Clone)]
+pub struct ScalingCell {
+    /// Cluster size.
+    pub n: usize,
+    /// Plane count.
+    pub planes: u8,
+    /// Worker threads the epochs ran on.
+    pub threads: usize,
+    /// Shard count (fixed per `(n, planes)`, independent of threads).
+    pub shards: usize,
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Events dispatched, summed across shards.
+    pub events: u64,
+    /// Empty shard-epochs (a shard woken with nothing in its window).
+    pub stalls: u64,
+    /// Cross-shard barrier merges performed.
+    pub merges: u64,
+    /// Cluster-wide probes sent.
+    pub probes_sent: u64,
+    /// Frames admitted across all planes.
+    pub frames: u64,
+    /// Past-time schedule clamps (zero on a healthy run).
+    pub clamped_past: u64,
+    /// Events per virtual second — the density the sharded kernel
+    /// sustains at this scale.
+    pub events_per_virtual_sec: f64,
+    /// FNV-1a digest of the merged end state (per-node DRS metrics +
+    /// per-plane medium counters + kernel push/pop totals). Must be
+    /// identical at every thread count of the same `(n, planes)`.
+    pub digest: u64,
+}
+
+impl ScalingCell {
+    /// Row id, e.g. `n1024_k4_t8`.
+    #[must_use]
+    pub fn id(&self) -> String {
+        format!("n{}_k{}_t{}", self.n, self.planes, self.threads)
+    }
+}
+
+/// The monitor configuration the scaling cells run: batched driver, one
+/// cycle per virtual second, no stagger — a single synchronized
+/// `K·N·(N−1)`-probe burst that every shard participates in.
+#[must_use]
+pub fn scaling_cfg() -> DrsConfig {
+    DrsConfig::default()
+        .probe_timeout(SimDuration::from_millis(50))
+        .probe_interval(SimDuration::from_secs(1))
+        .stagger(false)
+        .batched_monitor(true)
+}
+
+/// The cluster the scaling cells simulate: 25 Gb/s planes with 5 µs
+/// propagation, so the conservative lookahead window fits thousands of
+/// one-byte serializations and epochs stay coarse.
+#[must_use]
+pub fn scaling_spec(n: usize, planes: u8) -> ClusterSpec {
+    ClusterSpec::new(n)
+        .seed(coord_seed(BENCH_SEED, n as u64, u64::from(planes)))
+        .planes(planes)
+        .bandwidth_bps(25_000_000_000)
+        .propagation(SimDuration::from_micros(5))
+}
+
+fn fnv1a(h: &mut u64, word: u64) {
+    for b in word.to_le_bytes() {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Runs one `(n, planes, threads)` scaling cell on the sharded kernel
+/// and digests its merged end state.
+#[must_use]
+pub fn run_scaling_cell(n: usize, planes: u8, threads: usize) -> ScalingCell {
+    let cfg = scaling_cfg();
+    let shards = (n / 16).clamp(1, 64);
+    let mut w = ShardedWorld::with_topology(scaling_spec(n, planes), shards, threads, |id| {
+        DrsDaemon::new(id, n, cfg)
+    });
+    w.run_for(SCALING_RUN);
+
+    let mut digest = 0xCBF2_9CE4_8422_2325u64;
+    let mut probes_sent = 0u64;
+    for i in 0..n {
+        let m = &w.protocol(NodeId(i as u32)).metrics;
+        probes_sent += m.probes_sent;
+        for word in [
+            m.probes_sent,
+            m.replies_received,
+            m.timeouts,
+            m.link_down_events,
+            m.link_up_events,
+            m.route_changes,
+        ] {
+            fnv1a(&mut digest, word);
+        }
+    }
+    let mut frames = 0u64;
+    for net in NetId::planes(planes) {
+        let s = &w.medium(net).stats;
+        frames += s.frames;
+        for word in [s.frames, s.bytes, s.probe_bytes, s.dropped_hub_down] {
+            fnv1a(&mut digest, word);
+        }
+    }
+    let ks = w.kernel_stats();
+    fnv1a(&mut digest, ks.wheel.pushes);
+    fnv1a(&mut digest, ks.wheel.pops);
+
+    let ss = w.shard_stats();
+    ScalingCell {
+        n,
+        planes,
+        threads,
+        shards: ss.shards,
+        epochs: ss.epochs,
+        events: ss.events_per_shard.iter().sum(),
+        stalls: ss.stalls_per_shard.iter().sum(),
+        merges: ss.merges,
+        probes_sent,
+        frames,
+        clamped_past: ks.clamped_past,
+        events_per_virtual_sec: drs_core::kernel_obs::events_per_virtual_sec(&ks),
+        digest,
+    }
+}
+
+/// Runs the sharded scaling grid: every `(n, planes)` under every
+/// thread count, in grid order.
+#[must_use]
+pub fn run_scaling_grid() -> Vec<ScalingCell> {
+    let mut cells = Vec::new();
+    for &n in &SCALING_GRID_N {
+        for &planes in &SCALING_GRID_K {
+            for &threads in &SCALING_THREADS {
+                cells.push(run_scaling_cell(n, planes, threads));
+            }
+        }
+    }
+    cells
+}
+
+/// Builds the `thread_scaling` section from measured scaling cells.
+///
+/// # Panics
+/// Panics if two thread counts of the same `(n, planes)` cell disagree
+/// on the end-state digest — the determinism guarantee the sharded
+/// kernel exists to keep.
+#[must_use]
+pub fn scaling_section(cells: &[ScalingCell]) -> Section {
+    for c in cells {
+        let reference = cells
+            .iter()
+            .find(|r| r.n == c.n && r.planes == c.planes)
+            .expect("cells is non-empty here");
+        assert_eq!(
+            c.digest, reference.digest,
+            "n={} k={}: threads={} diverged from threads={} — the \
+             sharded schedule is not deterministic",
+            c.n, c.planes, c.threads, reference.threads,
+        );
+    }
+    let mut scaling = Section::new("thread_scaling");
+    for c in cells {
+        scaling.push(
+            Row::new(c.id())
+                .count("n", c.n as u64)
+                .count("planes", u64::from(c.planes))
+                .count("threads", c.threads as u64)
+                .count("shards", c.shards as u64)
+                .count("epochs", c.epochs)
+                .count("events", c.events)
+                .count("stalls", c.stalls)
+                .count("merges", c.merges)
+                .count("probes_sent", c.probes_sent)
+                .count("frames", c.frames)
+                .count("clamped_past", c.clamped_past)
+                .real("events_per_virtual_sec", c.events_per_virtual_sec)
+                .count("state_digest", c.digest),
+        );
+    }
+    scaling
+}
+
 /// Runs the full grid: every `(n, planes)` cell under both drivers,
 /// per-pair first, in grid order.
 #[must_use]
@@ -156,9 +361,10 @@ pub fn run_grid() -> Vec<KernelCell> {
     cells
 }
 
-/// Builds the `drs-bench-kernel/v1` artifact from measured cells.
+/// Builds the `drs-bench-kernel/v2` artifact from measured monitor and
+/// thread-scaling cells.
 #[must_use]
-pub fn kernel_artifact(cells: &[KernelCell]) -> ObsArtifact {
+pub fn kernel_artifact(cells: &[KernelCell], scaling: &[ScalingCell]) -> ObsArtifact {
     let mut artifact = ObsArtifact::new(BENCH_SEED);
 
     let mut traffic = Section::new("monitor_queue_traffic");
@@ -238,13 +444,15 @@ pub fn kernel_artifact(cells: &[KernelCell]) -> ObsArtifact {
     }
     artifact.push(reduction);
 
+    artifact.push(scaling_section(scaling));
+
     artifact
 }
 
-/// Runs the grid and serializes the committed artifact text.
+/// Runs both grids and serializes the committed artifact text.
 #[must_use]
 pub fn kernel_artifact_json() -> String {
-    kernel_artifact(&run_grid()).to_json_with_schema(KERNEL_SCHEMA)
+    kernel_artifact(&run_grid(), &run_scaling_grid()).to_json_with_schema(KERNEL_SCHEMA)
 }
 
 #[cfg(test)]
@@ -296,6 +504,32 @@ mod tests {
         assert!(json.contains("\"id\": \"n4_k2_per_pair\""));
         assert!(json.contains("\"id\": \"n4_k2_batched\""));
         assert_eq!(json, artifact.to_json_with_schema(KERNEL_SCHEMA));
+    }
+
+    #[test]
+    fn scaling_cells_are_thread_invariant() {
+        let t1 = run_scaling_cell(24, 2, 1);
+        let t4 = run_scaling_cell(24, 2, 4);
+        assert_eq!(t1.digest, t4.digest, "end state diverged across threads");
+        assert_eq!(t1.events, t4.events);
+        assert_eq!(t1.epochs, t4.epochs);
+        assert_eq!(t1.probes_sent, t4.probes_sent);
+        assert!(t1.probes_sent > 0, "burst never fired");
+        assert_eq!(t1.clamped_past, 0);
+        assert_eq!((t1.threads, t4.threads), (1, 4));
+        let sec = scaling_section(&[t1, t4]);
+        assert_eq!(sec.rows.len(), 2);
+        assert_eq!(sec.rows[0].id, "n24_k2_t1");
+    }
+
+    #[test]
+    #[should_panic(expected = "not deterministic")]
+    fn scaling_section_rejects_divergent_digests() {
+        let a = run_scaling_cell(8, 2, 1);
+        let mut b = a.clone();
+        b.threads = 2;
+        b.digest ^= 1;
+        let _ = scaling_section(&[a, b]);
     }
 
     // The reduction section of `kernel_artifact` iterates the full grid;

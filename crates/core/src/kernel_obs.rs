@@ -11,6 +11,7 @@
 
 use drs_obs::MetricsRegistry;
 use drs_sim::world::KernelStats;
+use drs_sim::ShardStats;
 
 /// Records a kernel-stats snapshot into `reg` under `kernel.*` names.
 ///
@@ -39,6 +40,54 @@ pub fn record_kernel_stats(reg: &mut MetricsRegistry, ks: &KernelStats) {
     reg.gauge_max("kernel.queue_depth_max", w.max_depth as f64);
     reg.gauge_max("kernel.events_per_virtual_sec", events_per_virtual_sec(ks));
     reg.gauge_max("kernel.pool_hit_rate", pool_hit_rate(ks));
+}
+
+/// Records a sharded run's partition/merge counters under `kernel.shard.*`.
+///
+/// Counters: `kernel.shard.epochs`, `kernel.shard.merges`,
+/// `kernel.shard.intents`, `kernel.shard.events`, `kernel.shard.stalls`,
+/// and per-shard `kernel.shard<i>.events` / `kernel.shard<i>.stalls`.
+/// Gauges: `kernel.shard.count`, `kernel.shard.lookahead_ns`, and
+/// `kernel.shard.balance` — busiest shard's event share of a perfectly
+/// even split (1.0 = balanced, S = everything on one shard).
+///
+/// `threads` and `barrier_wait_ns` are deliberately NOT recorded: the
+/// merged schedule is thread-count invariant and barrier wait is wall
+/// clock, so recording either would break the byte-identical-registry
+/// guarantee the rest of this module keeps.
+pub fn record_shard_stats(reg: &mut MetricsRegistry, ss: &ShardStats) {
+    let events: u64 = ss.events_per_shard.iter().sum();
+    let stalls: u64 = ss.stalls_per_shard.iter().sum();
+    reg.inc("kernel.shard.epochs", ss.epochs);
+    reg.inc("kernel.shard.merges", ss.merges);
+    reg.inc("kernel.shard.intents", ss.intents);
+    reg.inc("kernel.shard.events", events);
+    reg.inc("kernel.shard.stalls", stalls);
+    for (i, (&ev, &st)) in ss
+        .events_per_shard
+        .iter()
+        .zip(&ss.stalls_per_shard)
+        .enumerate()
+    {
+        reg.inc(&format!("kernel.shard{i}.events"), ev);
+        reg.inc(&format!("kernel.shard{i}.stalls"), st);
+    }
+    reg.gauge_max("kernel.shard.count", ss.shards as f64);
+    reg.gauge_max("kernel.shard.lookahead_ns", ss.lookahead_ns as f64);
+    reg.gauge_max("kernel.shard.balance", shard_balance(ss));
+}
+
+/// Busiest shard's event count over the per-shard mean. 1.0 is a perfect
+/// split; `shards` means one shard did all the work. Zero-event runs
+/// report 1.0 (trivially balanced).
+#[must_use]
+pub fn shard_balance(ss: &ShardStats) -> f64 {
+    let total: u64 = ss.events_per_shard.iter().sum();
+    let max = ss.events_per_shard.iter().copied().max().unwrap_or(0);
+    if total == 0 || ss.events_per_shard.is_empty() {
+        return 1.0;
+    }
+    max as f64 * ss.events_per_shard.len() as f64 / total as f64
 }
 
 /// Events popped per second of *virtual* time — the kernel's workload
@@ -105,5 +154,32 @@ mod tests {
         let ks = KernelStats::default();
         assert_eq!(events_per_virtual_sec(&ks), 0.0);
         assert_eq!(pool_hit_rate(&ks), 0.0);
+    }
+
+    #[test]
+    fn sharded_drs_run_records_partition_metrics() {
+        use drs_sim::ShardedWorld;
+        let n = 12;
+        let cfg = DrsConfig::default();
+        let mut w = ShardedWorld::new(ClusterSpec::new(n).seed(9), move |id| {
+            DrsDaemon::new(id, n, cfg)
+        });
+        w.run_for(SimDuration::from_secs(2));
+        let ss = w.shard_stats();
+        let mut reg = MetricsRegistry::new();
+        record_shard_stats(&mut reg, &ss);
+        assert!(reg.counter("kernel.shard.epochs") > 0);
+        assert!(reg.counter("kernel.shard.events") > 0);
+        assert_eq!(reg.gauge("kernel.shard.count"), Some(ss.shards as f64));
+        let bal = reg.gauge("kernel.shard.balance").unwrap();
+        assert!(
+            (1.0..=ss.shards as f64).contains(&bal),
+            "balance out of range: {bal}"
+        );
+        // Per-shard counters sum back to the total.
+        let sum: u64 = (0..ss.shards)
+            .map(|i| reg.counter(&format!("kernel.shard{i}.events")))
+            .sum();
+        assert_eq!(sum, reg.counter("kernel.shard.events"));
     }
 }

@@ -65,6 +65,9 @@ pub mod frame;
 pub mod host;
 pub mod ids;
 pub mod medium;
+/// Reference `BinaryHeap` event queue, kept only as a bench/equivalence
+/// oracle for the timer wheel. Enable with `--features bench-ref`.
+#[cfg(feature = "bench-ref")]
 pub mod naive_heap;
 pub mod routes;
 pub mod scenario;
@@ -80,4 +83,7 @@ pub use ids::{NetId, NodeId};
 pub use routes::Route;
 pub use scenario::ClusterSpec;
 pub use time::{SimDuration, SimTime};
-pub use world::{Ctx, Protocol, TransportEvent, World};
+pub use world::{
+    threads_from_env, Ctx, EventRecord, EventTag, HubTimeline, Protocol, ShardStats, ShardedWorld,
+    TransportEvent, World,
+};

@@ -46,6 +46,8 @@ use crate::time::SimTime;
 
 /// log₂ of the level-0 grain in nanoseconds (4.096 µs).
 const GRAIN_BITS: u32 = 12;
+/// Low bits of a time within its grain.
+const GRAIN_MASK: u64 = (1 << GRAIN_BITS) - 1;
 /// log₂ of the slots per level.
 const SLOT_BITS: u32 = 6;
 /// Slots per level.
@@ -55,6 +57,11 @@ const LEVELS: usize = 6;
 
 /// Grains the wheel proper can represent ahead of the cursor.
 const HORIZON_GRAINS: u64 = 1 << (SLOT_BITS * LEVELS as u32);
+
+/// Most spare buffers a wheel can ever put to use at once: one per slot
+/// across all levels, plus the ready buffer and one in-flight drain.
+/// Pre-sizing a pool beyond this only wastes memory.
+pub const MAX_USEFUL_SPARE: usize = LEVELS * SLOTS + 2;
 
 /// One queued event: its due time, the global tie-break sequence number,
 /// and the payload.
@@ -117,6 +124,24 @@ pub struct WheelStats {
     pub max_depth: u64,
 }
 
+impl WheelStats {
+    /// Folds another wheel's counters into this one. Counters add;
+    /// `max_depth` takes the maximum (per-wheel high-water marks at
+    /// different instants don't sum to a global one).
+    pub fn merge(&mut self, other: &WheelStats) {
+        self.pushes += other.pushes;
+        self.pops += other.pops;
+        self.overflow_pushes += other.overflow_pushes;
+        self.overflow_migrations += other.overflow_migrations;
+        self.cascades += other.cascades;
+        self.slot_drains += other.slot_drains;
+        self.ready_inserts += other.ready_inserts;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
+}
+
 /// A hierarchical timer wheel over `(SimTime, seq)`-keyed events.
 ///
 /// Pop order is exactly ascending `(at, seq)` — bit-identical to a
@@ -138,6 +163,8 @@ pub struct TimerWheel<T> {
     overflow: BinaryHeap<OverflowEntry<T>>,
     /// Recycled slot buffers.
     spare: Vec<Vec<Entry<T>>>,
+    /// Most buffers the pool retains; see [`TimerWheel::with_spare_pool`].
+    spare_cap: usize,
     /// Queued entries (wheel + ready + overflow).
     len: usize,
     /// Deterministic operation counters.
@@ -151,9 +178,27 @@ impl<T> Default for TimerWheel<T> {
 }
 
 impl<T> TimerWheel<T> {
+    /// Default spare-pool bound for wheels built without a workload hint.
+    const DEFAULT_SPARE_CAP: usize = 64;
+
     /// An empty wheel with its cursor at the simulation epoch.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_spare_pool(0, 0)
+    }
+
+    /// An empty wheel whose spare pool is pre-filled with `buffers`
+    /// recycled slot buffers of `capacity` entries each.
+    ///
+    /// The pool otherwise warms up lazily: each cold slot's first use is
+    /// a `pool_misses` allocation until enough buffers are circulating.
+    /// A caller that knows its workload shape (the simulator core knows
+    /// the host and plane counts) can pre-size the pool so steady-state
+    /// replays never miss. The retention bound is raised to `buffers`
+    /// when that exceeds the default, so pre-sized buffers are never
+    /// dropped back to the allocator during draining.
+    #[must_use]
+    pub fn with_spare_pool(buffers: usize, capacity: usize) -> Self {
         TimerWheel {
             levels: (0..LEVELS)
                 .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
@@ -162,7 +207,8 @@ impl<T> TimerWheel<T> {
             cur: 0,
             ready: Vec::new(),
             overflow: BinaryHeap::new(),
-            spare: Vec::new(),
+            spare: (0..buffers).map(|_| Vec::with_capacity(capacity)).collect(),
+            spare_cap: Self::DEFAULT_SPARE_CAP.max(buffers),
             len: 0,
             stats: WheelStats::default(),
         }
@@ -248,6 +294,88 @@ impl<T> TimerWheel<T> {
         self.ready.last().map(|e| (SimTime(e.at), e.seq))
     }
 
+    /// Like [`peek`](Self::peek), but never advances the cursor to a
+    /// grain at or past `limit`: only events strictly before `limit` are
+    /// staged. Entries already staged in the ready buffer are reported
+    /// regardless (the caller compares the returned time against its
+    /// bound).
+    ///
+    /// The sharded kernel's epoch loop pops through this so the cursor
+    /// stays within the epoch window and cross-shard arrivals pushed at
+    /// the next barrier — all at or after the window bound — land ahead
+    /// of the cursor in O(1), never in the sorted ready buffer.
+    pub fn peek_before(&mut self, limit: SimTime) -> Option<(SimTime, u64)> {
+        if self.ready.is_empty() {
+            // Ceiling grain: events < limit can live in limit's own
+            // grain when limit is not grain-aligned.
+            let limit_grain = (limit.0 >> GRAIN_BITS) + u64::from(limit.0 & GRAIN_MASK != 0);
+            self.fill_ready_bounded(limit_grain);
+        }
+        self.ready.last().map(|e| (SimTime(e.at), e.seq))
+    }
+
+    /// A lower bound on the next event's time, without staging anything
+    /// or moving the cursor. Exact when the next event is already staged
+    /// (ready buffer) or sits in the overflow heap or a level-0 slot
+    /// (grain resolution); for higher-level slots it is the occupied
+    /// window's start, which can undershoot by up to the window span.
+    ///
+    /// The sharded kernel opens epoch windows at the global minimum of
+    /// these hints: a window opened on an undershot hint simply executes
+    /// zero events, and the coordinator escalates to [`next_exact`]
+    /// (Self::next_exact) for the following window — so the hint's
+    /// looseness costs at most one empty epoch, never correctness.
+    pub fn next_hint(&self) -> Option<SimTime> {
+        if let Some(e) = self.ready.last() {
+            return Some(SimTime(e.at));
+        }
+        let mut best: Option<u64> = None;
+        for level in 0..LEVELS {
+            if let Some((start, _)) = self.earliest_window(level) {
+                // A higher-level window can begin before the cursor
+                // (the cursor sits inside it); its entries cannot.
+                let floor = start.max(self.cur) << GRAIN_BITS;
+                if best.is_none_or(|b| floor < b) {
+                    best = Some(floor);
+                }
+            }
+        }
+        if let Some(head) = self.overflow.peek() {
+            if best.is_none_or(|b| head.0.at < b) {
+                best = Some(head.0.at);
+            }
+        }
+        best.map(SimTime)
+    }
+
+    /// The exact time of the next event, without staging anything or
+    /// moving the cursor. Scans the earliest occupied bucket of every
+    /// level (the global minimum always lives in one of those, the
+    /// ready buffer, or the overflow head), so it costs a bucket scan
+    /// rather than O(1) — the sharded coordinator only calls it after an
+    /// epoch executed nothing, to jump the clock over an idle gap.
+    pub fn next_exact(&self) -> Option<SimTime> {
+        let mut best: Option<(u64, u64)> = None;
+        if let Some(e) = self.ready.last() {
+            best = Some((e.at, e.seq));
+        }
+        for level in 0..LEVELS {
+            if let Some((_, slot)) = self.earliest_window(level) {
+                for e in &self.levels[level][slot] {
+                    if best.is_none_or(|b| (e.at, e.seq) < b) {
+                        best = Some((e.at, e.seq));
+                    }
+                }
+            }
+        }
+        if let Some(head) = self.overflow.peek() {
+            if best.is_none_or(|b| (head.0.at, head.0.seq) < b) {
+                best = Some((head.0.at, head.0.seq));
+            }
+        }
+        best.map(|(at, _)| SimTime(at))
+    }
+
     /// Pops the earliest event as `(at, seq, payload)`.
     pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
         if self.ready.is_empty() {
@@ -264,8 +392,7 @@ impl<T> TimerWheel<T> {
 
     /// Returns the drained ready buffer's storage to the spare pool.
     fn recycle_ready_buffer(&mut self) {
-        const SPARE_CAP: usize = 64;
-        if self.ready.capacity() > 0 && self.spare.len() < SPARE_CAP {
+        if self.ready.capacity() > 0 && self.spare.len() < self.spare_cap {
             self.spare.push(std::mem::take(&mut self.ready));
         }
     }
@@ -279,6 +406,13 @@ impl<T> TimerWheel<T> {
     /// loop keeps draining and cascading until every source whose window
     /// starts at the cursor grain has been merged into `ready`.
     fn fill_ready(&mut self) {
+        self.fill_ready_bounded(u64::MAX);
+    }
+
+    /// [`fill_ready`](Self::fill_ready) with a horizon: windows starting
+    /// at or past `limit_grain` are left untouched and the cursor never
+    /// reaches them. `u64::MAX` recovers the unbounded behaviour.
+    fn fill_ready_bounded(&mut self, limit_grain: u64) {
         loop {
             // Migrate overflow entries that now fit the wheel horizon, so
             // the wheel scan below always sees the true minimum.
@@ -313,12 +447,20 @@ impl<T> TimerWheel<T> {
                     // Wheel empty; far-future overflow only. Jump the
                     // cursor so the migration loop can admit the head.
                     if let Some(head) = self.overflow.peek() {
-                        self.cur = head.0.at >> GRAIN_BITS;
+                        let grain = head.0.at >> GRAIN_BITS;
+                        if grain >= limit_grain {
+                            return;
+                        }
+                        self.cur = grain;
                         continue;
                     }
                 }
                 return;
             };
+            if start >= limit_grain {
+                // Beyond the caller's horizon: leave it slotted.
+                return;
+            }
             if !self.ready.is_empty() && start > self.cur {
                 // The staged grain is complete; later windows wait.
                 return;
@@ -356,8 +498,7 @@ impl<T> TimerWheel<T> {
 
     /// Returns a drained buffer to the spare pool (bounded).
     fn return_buffer(&mut self, buf: Vec<Entry<T>>) {
-        const SPARE_CAP: usize = 64;
-        if buf.capacity() > 0 && self.spare.len() < SPARE_CAP {
+        if buf.capacity() > 0 && self.spare.len() < self.spare_cap {
             self.spare.push(buf);
         }
     }
@@ -519,6 +660,38 @@ mod tests {
         assert!(
             s.pool_misses <= 2,
             "steady state should not allocate: {s:?}"
+        );
+    }
+
+    #[test]
+    fn pre_sized_pool_never_misses() {
+        let mut w = TimerWheel::with_spare_pool(16, 8);
+        for round in 0..10u64 {
+            let base = round * 1_000_000;
+            for i in 0..8u64 {
+                w.push(SimTime(base + i), round * 8 + i, 0);
+            }
+            while w.pop().is_some() {}
+        }
+        let s = w.stats();
+        assert_eq!(
+            s.pool_misses, 0,
+            "pre-sized pool must absorb cold slots: {s:?}"
+        );
+        assert!(s.pool_hits > 0);
+    }
+
+    #[test]
+    fn pre_sized_pool_raises_retention_bound() {
+        // A pool pre-sized beyond the default retention bound must keep
+        // its buffers through drain cycles rather than dropping them.
+        let mut w = TimerWheel::with_spare_pool(100, 4);
+        assert_eq!(w.spare.len(), 100);
+        w.push(SimTime(5000), 0, 0);
+        assert!(w.pop().is_some());
+        assert!(
+            w.spare.len() >= 100,
+            "drained buffers must return to the pool"
         );
     }
 

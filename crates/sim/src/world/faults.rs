@@ -3,7 +3,8 @@
 
 use crate::fault::{FaultEvent, FaultPlan, SimComponent};
 
-use super::queue::EventKind;
+use super::kernel::Engine;
+use super::queue::{EventKind, Fabric};
 use super::{Protocol, World};
 
 impl<P: Protocol> World<P> {
@@ -15,7 +16,7 @@ impl<P: Protocol> World<P> {
     pub fn component_is_up(&self, c: SimComponent) -> bool {
         match c {
             SimComponent::Hub(net) => self.core.media[net.idx()].is_up(),
-            SimComponent::Nic(node, net) => self.core.hosts[node.idx()].nic_is_up(net),
+            SimComponent::Nic(node, net) => self.core.hosts.nic_is_up(node, net),
         }
     }
 
@@ -38,11 +39,25 @@ impl<P: Protocol> World<P> {
             self.core.schedule_at(ev.at, EventKind::Fault(ev));
         }
     }
+}
 
+impl<P: Protocol> Engine<'_, P> {
     pub(crate) fn apply_fault(&mut self, ev: FaultEvent) {
         match ev.component {
-            SimComponent::Hub(net) => self.core.media[net.idx()].set_up(ev.up),
-            SimComponent::Nic(node, net) => self.core.hosts[node.idx()].set_nic(net, ev.up),
+            SimComponent::Hub(net) => {
+                // Hub liveness is live medium state under the plain
+                // world. Under a shard the hubs are coordinator-owned
+                // (precomputed timeline + barrier-replayed toggles), so
+                // a hub fault should never reach a shard's queue.
+                debug_assert!(
+                    matches!(self.core.fabric, Fabric::Direct),
+                    "hub fault dispatched inside a shard"
+                );
+                if matches!(self.core.fabric, Fabric::Direct) {
+                    self.core.media[net.idx()].set_up(ev.up);
+                }
+            }
+            SimComponent::Nic(node, net) => self.core.hosts.set_nic(node, net, ev.up),
         }
     }
 }

@@ -1,14 +1,21 @@
 //! Kernel-side stack behaviours: frame transmission and delivery, ICMP
 //! auto-reply, TTL forwarding, and the reliable transport (RTO timers,
 //! acknowledgements, flow completion).
+//!
+//! The behaviours are written once against [`Engine`] — a core plus the
+//! protocol instances of the hosts that core owns — and driven by both
+//! the single-threaded [`World`] and each shard of a
+//! [`super::ShardedWorld`]: the only difference between the two is how
+//! transmitted frames reach the medium (see
+//! [`super::queue::Fabric`]).
 
 use crate::frame::{Destination, Frame, FrameKind, Segment, SegmentKind};
 use crate::ids::{FlowId, NodeId};
 use crate::medium::TrafficClass;
 use crate::transport::{rto_for_attempt, OutstandingSend};
 
-use super::queue::{Core, EventKind};
-use super::{Ctx, FlowOutcome, Protocol, TransportEvent, World};
+use super::queue::{Core, EventKind, Fabric, Intent};
+use super::{Ctx, FlowOutcome, Protocol, TransportEvent};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum SendStatus {
@@ -24,9 +31,21 @@ impl<M: Clone + std::fmt::Debug> Core<M> {
     /// the frame silently and still returns `true` — that loss is not
     /// locally observable.
     pub(crate) fn transmit(&mut self, frame: Frame<M>) -> bool {
-        if !self.hosts[frame.src.idx()].nic_is_up(frame.net) {
-            self.hosts[frame.src.idx()].counters.tx_nic_down += 1;
+        if !self.hosts.nic_is_up(frame.src, frame.net) {
+            self.hosts.counters_mut(frame.src).tx_nic_down += 1;
             return false;
+        }
+        if matches!(self.fabric, Fabric::Deferred { .. }) {
+            // Shard mode: record the intent; the coordinator admits it
+            // onto the medium at the next epoch barrier, in global
+            // (at, seq) order. Admission-time hub state is replayed
+            // there too, so nothing else is decided here.
+            let at = self.now;
+            let seq = self.next_seq();
+            if let Fabric::Deferred { outbox, .. } = &mut self.fabric {
+                outbox.push(Intent { at, seq, frame });
+            }
+            return true;
         }
         let class = if frame.is_probe() {
             TrafficClass::Probe
@@ -45,10 +64,10 @@ impl<M: Clone + std::fmt::Debug> Core<M> {
     /// (Re)transmits the payload segment of an outstanding flow. Returns
     /// `false` when no route to the destination is installed.
     pub(crate) fn transport_transmit(&mut self, node: NodeId, flow: FlowId) -> bool {
-        let Some(os) = self.hosts[node.idx()].transport.get(flow).copied() else {
+        let Some(os) = self.hosts.transport(node).get(flow).copied() else {
             return false;
         };
-        let Some(route) = self.hosts[node.idx()].routes.get(os.dst) else {
+        let Some(route) = self.hosts.routes(node).get(os.dst) else {
             return false;
         };
         let (hop, net) = route.next_hop(os.dst);
@@ -74,7 +93,7 @@ impl<M: Clone + std::fmt::Debug> Core<M> {
 
     /// Sends (or forwards) an existing segment along this host's route.
     pub(crate) fn send_segment(&mut self, from: NodeId, segment: Segment) -> SendStatus {
-        let Some(route) = self.hosts[from.idx()].routes.get(segment.dst) else {
+        let Some(route) = self.hosts.routes(from).get(segment.dst) else {
             return SendStatus::NoRoute;
         };
         let (hop, net) = route.next_hop(segment.dst);
@@ -97,13 +116,51 @@ impl<M: Clone + std::fmt::Debug> Core<M> {
     }
 }
 
-impl<P: Protocol> World<P> {
+/// One core plus the daemon instances of the hosts it owns: the unit of
+/// event execution shared by the single-threaded world (whose engine
+/// spans the whole cluster) and each shard of the parallel driver.
+/// Protocol instances are indexed block-locally, in host order.
+pub(crate) struct Engine<'a, P: Protocol> {
+    pub(crate) core: &'a mut Core<P::Msg>,
+    pub(crate) protocols: &'a mut [P],
+}
+
+impl<P: Protocol> Engine<'_, P> {
+    /// Executes one popped event. The caller has already advanced
+    /// `core.now` to the event's instant and logged it.
+    pub(crate) fn dispatch(&mut self, kind: EventKind<P::Msg>) {
+        match kind {
+            EventKind::Fault(ev) => self.apply_fault(ev),
+            EventKind::ProtoTimer { node, token } => {
+                let idx = self.core.hosts.local(node);
+                let mut ctx = Ctx {
+                    core: &mut *self.core,
+                    node,
+                };
+                self.protocols[idx].on_timer(&mut ctx, token);
+            }
+            EventKind::AppSend {
+                flow,
+                src,
+                dst,
+                payload_bytes,
+            } => self.handle_app_send(flow, src, dst, payload_bytes),
+            EventKind::Rto {
+                node,
+                flow,
+                attempt,
+            } => self.handle_rto(node, flow, attempt),
+            EventKind::Arrive(frame) => self.handle_arrival(frame),
+        }
+    }
+
     pub(crate) fn notify_transport(&mut self, node: NodeId, event: TransportEvent) {
+        let idx = self.core.hosts.local(node);
         let mut ctx = Ctx {
-            core: &mut self.core,
+            core: &mut *self.core,
             node,
         };
-        self.protocols[node.idx()].on_transport(&mut ctx, event);
+        self.protocols[idx].on_transport(&mut ctx, event);
     }
 
     pub(crate) fn handle_app_send(
@@ -115,7 +172,7 @@ impl<P: Protocol> World<P> {
     ) {
         self.core.app_stats.sent += 1;
         let now = self.core.now;
-        self.core.hosts[src.idx()].transport.begin(
+        self.core.hosts.transport_mut(src).begin(
             flow,
             OutstandingSend {
                 dst,
@@ -144,7 +201,7 @@ impl<P: Protocol> World<P> {
     }
 
     pub(crate) fn handle_rto(&mut self, node: NodeId, flow: FlowId, attempt: u32) {
-        let Some(os) = self.core.hosts[node.idx()].transport.get(flow).copied() else {
+        let Some(os) = self.core.hosts.transport(node).get(flow).copied() else {
             return; // already delivered
         };
         if os.attempts != attempt {
@@ -152,14 +209,15 @@ impl<P: Protocol> World<P> {
         }
         let dst = os.dst;
         if attempt > self.core.spec.transport.max_retries {
-            self.core.hosts[node.idx()].transport.complete(flow);
+            self.core.hosts.transport_mut(node).complete(flow);
             self.core.app_stats.gave_up += 1;
             self.core.record_outcome(flow, FlowOutcome::GaveUp);
             self.notify_transport(node, TransportEvent::GaveUp { flow, dst });
             return;
         }
-        self.core.hosts[node.idx()]
-            .transport
+        self.core
+            .hosts
+            .transport_mut(node)
             .get_mut(flow)
             .expect("checked above")
             .attempts = attempt + 1;
@@ -184,14 +242,20 @@ impl<P: Protocol> World<P> {
 
     pub(crate) fn handle_arrival(&mut self, frame: Frame<P::Msg>) {
         // A hub that died while the frame was in flight eats it.
-        if !self.core.media[frame.net.idx()].is_up() {
+        if !self.core.hub_is_up(frame.net) {
             return;
         }
         match frame.dst {
             Destination::Node(dst) => self.deliver_to(dst, &frame),
             Destination::Broadcast => {
-                for i in 0..self.core.spec.n {
-                    let node = NodeId(i as u32);
+                // Deliver across this engine's block only — under the
+                // sharded driver every shard receives its own copy of a
+                // broadcast frame; under the plain world the block is
+                // the whole cluster.
+                let base = self.core.hosts.base();
+                let end = base + self.core.hosts.len() as u32;
+                for i in base..end {
+                    let node = NodeId(i);
                     if node != frame.src {
                         self.deliver_to(node, &frame);
                     }
@@ -201,26 +265,27 @@ impl<P: Protocol> World<P> {
     }
 
     fn deliver_to(&mut self, node: NodeId, frame: &Frame<P::Msg>) {
-        if !self.core.hosts[node.idx()].nic_is_up(frame.net) {
+        if !self.core.hosts.nic_is_up(node, frame.net) {
             return;
         }
         // Wire corruption: base loss rate compounded with degraded cabling
         // on either end. Rolled per receiver (a broadcast can reach some
-        // hosts and miss others, as on a real shared segment).
+        // hosts and miss others, as on a real shared segment), from the
+        // receiver's random stream.
         let p_ok = (1.0 - self.core.spec.frame_loss_rate)
-            * (1.0 - self.core.hosts[frame.src.idx()].link_loss(frame.net))
-            * (1.0 - self.core.hosts[node.idx()].link_loss(frame.net));
+            * (1.0 - self.core.link_loss(frame.src, frame.net))
+            * (1.0 - self.core.link_loss(node, frame.net));
         if p_ok < 1.0 {
             use rand::Rng;
-            if self.core.rng.gen::<f64>() >= p_ok {
-                self.core.hosts[node.idx()].counters.rx_corrupt += 1;
+            if self.core.rng.for_node(node).gen::<f64>() >= p_ok {
+                self.core.hosts.counters_mut(node).rx_corrupt += 1;
                 return;
             }
         }
         match &frame.kind {
             FrameKind::EchoRequest { id, seq } => {
                 // Kernel ICMP: answer without daemon involvement.
-                self.core.hosts[node.idx()].counters.echo_answered += 1;
+                self.core.hosts.counters_mut(node).echo_answered += 1;
                 let reply = Frame {
                     src: node,
                     dst: Destination::Node(frame.src),
@@ -231,19 +296,21 @@ impl<P: Protocol> World<P> {
                 self.core.transmit(reply);
             }
             FrameKind::EchoReply { id, seq } => {
+                let idx = self.core.hosts.local(node);
                 let mut ctx = Ctx {
-                    core: &mut self.core,
+                    core: &mut *self.core,
                     node,
                 };
-                self.protocols[node.idx()].on_echo_reply(&mut ctx, frame.src, frame.net, *id, *seq);
+                self.protocols[idx].on_echo_reply(&mut ctx, frame.src, frame.net, *id, *seq);
             }
             FrameKind::Control(msg) => {
-                self.core.hosts[node.idx()].counters.control_received += 1;
+                self.core.hosts.counters_mut(node).control_received += 1;
+                let idx = self.core.hosts.local(node);
                 let mut ctx = Ctx {
-                    core: &mut self.core,
+                    core: &mut *self.core,
                     node,
                 };
-                self.protocols[node.idx()].on_control(&mut ctx, frame.src, frame.net, msg);
+                self.protocols[idx].on_control(&mut ctx, frame.src, frame.net, msg);
             }
             FrameKind::Data(segment) => self.handle_data(node, *segment),
         }
@@ -288,7 +355,7 @@ impl<P: Protocol> World<P> {
                     }
                 }
                 SegmentKind::Ack => {
-                    if let Some(os) = self.core.hosts[node.idx()].transport.complete(segment.flow) {
+                    if let Some(os) = self.core.hosts.transport_mut(node).complete(segment.flow) {
                         let rtt = self.core.now - os.first_sent;
                         self.core.app_stats.delivered += 1;
                         self.core.app_stats.latency.record(rtt);
@@ -309,14 +376,14 @@ impl<P: Protocol> World<P> {
         }
         // Not ours: forward along our own route (gateway duty).
         if segment.ttl == 0 {
-            self.core.hosts[node.idx()].counters.dropped_ttl += 1;
+            self.core.hosts.counters_mut(node).dropped_ttl += 1;
             return;
         }
         let mut fwd = segment;
         fwd.ttl -= 1;
         match self.core.send_segment(node, fwd) {
-            SendStatus::Sent => self.core.hosts[node.idx()].counters.forwarded += 1,
-            SendStatus::NoRoute => self.core.hosts[node.idx()].counters.dropped_no_route += 1,
+            SendStatus::Sent => self.core.hosts.counters_mut(node).forwarded += 1,
+            SendStatus::NoRoute => self.core.hosts.counters_mut(node).dropped_no_route += 1,
             SendStatus::NicDown => {} // tx_nic_down already counted
         }
     }

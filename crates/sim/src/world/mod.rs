@@ -16,13 +16,15 @@
 mod faults;
 mod kernel;
 mod queue;
+pub mod shard;
 
-pub use queue::{Core, KernelStats};
+pub use queue::{Core, EventRecord, EventTag, KernelStats};
+pub use shard::{threads_from_env, HubTimeline, ShardStats, ShardedWorld};
 
 use rand::rngs::SmallRng;
 
 use crate::app::Workload;
-use crate::host::HostState;
+use crate::host::HostView;
 use crate::ids::{FlowId, NetId, NodeId};
 use crate::medium::SharedMedium;
 use crate::routes::{Route, RouteTable};
@@ -30,6 +32,7 @@ use crate::scenario::ClusterSpec;
 use crate::stats::{AppStats, HostCounters, ProbeObs};
 use crate::time::{SimDuration, SimTime};
 
+use kernel::Engine;
 use queue::EventKind;
 
 /// A routing daemon running on every host.
@@ -180,17 +183,20 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
         &self.core.spec
     }
 
-    /// Deterministic per-world RNG (shared; draws interleave with other
-    /// hosts', but the whole interleaving is seed-reproducible).
+    /// Deterministic RNG stream for this host's daemon. Under the plain
+    /// world this is the single shared per-world stream (draws interleave
+    /// with other hosts', but the whole interleaving is seed-
+    /// reproducible); under the sharded driver each host has its own
+    /// seed-derived stream so draw order is thread-count-independent.
     pub fn rng(&mut self) -> &mut SmallRng {
-        &mut self.core.rng
+        self.core.rng.for_node(self.node)
     }
 
     /// Sends an ICMP echo request to `dst` on `net`.
     pub fn send_echo(&mut self, net: NetId, dst: NodeId, id: u32, seq: u32) {
-        self.core.hosts[self.node.idx()].counters.echo_sent += 1;
+        self.core.hosts.counters_mut(self.node).echo_sent += 1;
         let wire = self.core.spec.icmp_wire_bytes;
-        self.core.hosts[self.node.idx()].obs.probe_bytes += u64::from(wire);
+        self.core.hosts.obs_mut(self.node).probe_bytes += u64::from(wire);
         self.core.transmit(crate::frame::Frame {
             src: self.node,
             dst: crate::frame::Destination::Node(dst),
@@ -209,7 +215,7 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
     /// Sends a control message with an explicit wire size (e.g. a RIP full
     /// table dump grows with the cluster).
     pub fn send_control_sized(&mut self, net: NetId, dst: NodeId, msg: M, wire_bytes: u32) {
-        self.core.hosts[self.node.idx()].counters.control_sent += 1;
+        self.core.hosts.counters_mut(self.node).control_sent += 1;
         self.core.transmit(crate::frame::Frame {
             src: self.node,
             dst: crate::frame::Destination::Node(dst),
@@ -227,7 +233,7 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
 
     /// Broadcast with an explicit wire size.
     pub fn broadcast_control_sized(&mut self, net: NetId, msg: M, wire_bytes: u32) {
-        self.core.hosts[self.node.idx()].counters.control_sent += 1;
+        self.core.hosts.counters_mut(self.node).control_sent += 1;
         self.core.transmit(crate::frame::Frame {
             src: self.node,
             dst: crate::frame::Destination::Broadcast,
@@ -253,43 +259,43 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
 
     /// Installs a kernel route.
     pub fn set_route(&mut self, dst: NodeId, route: Route) {
-        self.core.hosts[self.node.idx()].routes.set(dst, route);
+        self.core.hosts.routes_mut(self.node).set(dst, route);
     }
 
     /// Removes the kernel route to `dst`.
     pub fn del_route(&mut self, dst: NodeId) {
-        self.core.hosts[self.node.idx()].routes.remove(dst);
+        self.core.hosts.routes_mut(self.node).remove(dst);
     }
 
     /// The current route to `dst`.
     #[must_use]
     pub fn route(&self, dst: NodeId) -> Option<Route> {
-        self.core.hosts[self.node.idx()].routes.get(dst)
+        self.core.hosts.routes(self.node).get(dst)
     }
 
     /// Read access to the whole local route table.
     #[must_use]
     pub fn routes(&self) -> &RouteTable {
-        &self.core.hosts[self.node.idx()].routes
+        self.core.hosts.routes(self.node)
     }
 
     /// Local NIC driver status (available to daemons, though DRS
     /// deliberately relies on probing instead).
     #[must_use]
     pub fn nic_is_up(&self, net: NetId) -> bool {
-        self.core.hosts[self.node.idx()].nic_is_up(net)
+        self.core.hosts.nic_is_up(self.node, net)
     }
 
     /// The local stack counters.
     #[must_use]
     pub fn counters(&self) -> &HostCounters {
-        &self.core.hosts[self.node.idx()].counters
+        self.core.hosts.counters(self.node)
     }
 
     /// The local probe-path observability record.
     #[must_use]
     pub fn probe_obs(&self) -> &ProbeObs {
-        &self.core.hosts[self.node.idx()].obs
+        self.core.hosts.obs(self.node)
     }
 
     /// Mutable access to the local probe-path observability record, for
@@ -298,7 +304,7 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
     /// randomness or touches routes, so instrumented runs stay
     /// event-for-event identical to uninstrumented ones.
     pub fn probe_obs_mut(&mut self) -> &mut ProbeObs {
-        &mut self.core.hosts[self.node.idx()].obs
+        self.core.hosts.obs_mut(self.node)
     }
 }
 
@@ -352,8 +358,8 @@ impl<P: Protocol> World<P> {
 
     /// Read access to a host's simulated state.
     #[must_use]
-    pub fn host(&self, node: NodeId) -> &HostState {
-        &self.core.hosts[node.idx()]
+    pub fn host(&self, node: NodeId) -> HostView<'_> {
+        self.core.hosts.view(node)
     }
 
     /// Read access to a network segment.
@@ -375,8 +381,8 @@ impl<P: Protocol> World<P> {
     #[must_use]
     pub fn merged_probe_obs(&self) -> ProbeObs {
         let mut merged = ProbeObs::default();
-        for host in &self.core.hosts {
-            merged.merge(&host.obs);
+        for obs in self.core.hosts.obs_iter() {
+            merged.merge(obs);
         }
         merged
     }
@@ -411,17 +417,24 @@ impl<P: Protocol> World<P> {
     /// Number of flows still outstanding across the cluster.
     #[must_use]
     pub fn flows_in_flight(&self) -> usize {
-        self.core
-            .hosts
-            .iter()
-            .map(|h| h.transport.in_flight())
-            .sum()
+        self.core.hosts.flows_in_flight()
     }
 
     /// Degrades (or restores) one host's cabling on one network: every
     /// frame it sends or receives there is corrupted with probability `p`.
     pub fn set_link_loss(&mut self, node: NodeId, net: NetId, p: f64) {
-        self.core.hosts[node.idx()].set_link_loss(net, p);
+        self.core.set_link_loss(node, net, p);
+    }
+
+    /// Starts recording every dispatched event (for equivalence tests).
+    pub fn enable_event_log(&mut self) {
+        self.core.event_log = Some(Vec::new());
+    }
+
+    /// The recorded event log, if [`Self::enable_event_log`] was called.
+    #[must_use]
+    pub fn event_log(&self) -> Option<&[EventRecord]> {
+        self.core.event_log.as_deref()
     }
 
     /// Schedules one application message; returns its flow id.
@@ -480,33 +493,17 @@ impl<P: Protocol> World<P> {
 
     /// Processes one event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some((at, _seq, kind)) = self.core.events.pop() else {
+        let Some((at, seq, kind)) = self.core.events.pop() else {
             return false;
         };
         debug_assert!(at >= self.core.now);
         self.core.now = at;
-        match kind {
-            EventKind::Fault(ev) => self.apply_fault(ev),
-            EventKind::ProtoTimer { node, token } => {
-                let mut ctx = Ctx {
-                    core: &mut self.core,
-                    node,
-                };
-                self.protocols[node.idx()].on_timer(&mut ctx, token);
-            }
-            EventKind::AppSend {
-                flow,
-                src,
-                dst,
-                payload_bytes,
-            } => self.handle_app_send(flow, src, dst, payload_bytes),
-            EventKind::Rto {
-                node,
-                flow,
-                attempt,
-            } => self.handle_rto(node, flow, attempt),
-            EventKind::Arrive(frame) => self.handle_arrival(frame),
+        self.core.log_event(at, seq, &kind);
+        Engine {
+            core: &mut self.core,
+            protocols: &mut self.protocols,
         }
+        .dispatch(kind);
         true
     }
 }
@@ -573,11 +570,13 @@ mod tests {
         let flow = w.send_app(SimTime(1000), NodeId(0), NodeId(1), 100);
         w.run_for(SimDuration::from_millis(500));
         // Flip sender route (and receiver's route for the ack path).
-        w.core.hosts[0]
-            .routes
+        w.core
+            .hosts
+            .routes_mut(NodeId(0))
             .set(NodeId(1), Route::Direct(NetId::B));
-        w.core.hosts[1]
-            .routes
+        w.core
+            .hosts
+            .routes_mut(NodeId(1))
             .set(NodeId(0), Route::Direct(NetId::B));
         w.run_for(SimDuration::from_secs(10));
         assert_eq!(w.app_stats().delivered, 1);
@@ -595,26 +594,28 @@ mod tests {
     fn gateway_forwarding_works() {
         // 0 -> 2 via gateway 1: 0 reaches 1 on net A, 1 reaches 2 on net B.
         let mut w = idle_world(3);
-        w.core.hosts[0].routes.set(
+        w.core.hosts.routes_mut(NodeId(0)).set(
             NodeId(2),
             Route::Via {
                 gateway: NodeId(1),
                 net: NetId::A,
             },
         );
-        w.core.hosts[1]
-            .routes
+        w.core
+            .hosts
+            .routes_mut(NodeId(1))
             .set(NodeId(2), Route::Direct(NetId::B));
         // Ack path: 2 -> 0 via 1 as well.
-        w.core.hosts[2].routes.set(
+        w.core.hosts.routes_mut(NodeId(2)).set(
             NodeId(0),
             Route::Via {
                 gateway: NodeId(1),
                 net: NetId::B,
             },
         );
-        w.core.hosts[1]
-            .routes
+        w.core
+            .hosts
+            .routes_mut(NodeId(1))
             .set(NodeId(0), Route::Direct(NetId::A));
         w.send_app(SimTime(0), NodeId(0), NodeId(2), 64);
         w.run_for(SimDuration::from_secs(1));
@@ -626,14 +627,14 @@ mod tests {
     fn ttl_expiry_breaks_routing_loops() {
         // 0 and 1 point at each other as gateways for 2: a loop.
         let mut w = idle_world(3);
-        w.core.hosts[0].routes.set(
+        w.core.hosts.routes_mut(NodeId(0)).set(
             NodeId(2),
             Route::Via {
                 gateway: NodeId(1),
                 net: NetId::A,
             },
         );
-        w.core.hosts[1].routes.set(
+        w.core.hosts.routes_mut(NodeId(1)).set(
             NodeId(2),
             Route::Via {
                 gateway: NodeId(0),
@@ -927,8 +928,14 @@ mod tests {
                 .fail_at(SimTime(0), SimComponent::Hub(NetId::A))
                 .fail_at(SimTime(0), SimComponent::Hub(NetId::B)),
         );
-        w.core.hosts[0].routes.set(NodeId(1), Route::Direct(NetId(2)));
-        w.core.hosts[1].routes.set(NodeId(0), Route::Direct(NetId(2)));
+        w.core
+            .hosts
+            .routes_mut(NodeId(0))
+            .set(NodeId(1), Route::Direct(NetId(2)));
+        w.core
+            .hosts
+            .routes_mut(NodeId(1))
+            .set(NodeId(0), Route::Direct(NetId(2)));
         let flow = w.send_app(SimTime(1000), NodeId(0), NodeId(1), 64);
         w.run_for(SimDuration::from_secs(5));
         assert!(matches!(

@@ -6,21 +6,32 @@
 //! The queue itself is a hierarchical timer wheel ([`crate::wheel`]) —
 //! O(1) push against the former `BinaryHeap`'s O(log n) — with pop order
 //! bit-identical to the heap's ascending `(at, seq)`. The heap survives
-//! as [`crate::naive_heap`] for benches and equivalence tests.
+//! as `crate::naive_heap` (behind the `bench-ref` feature) for benches
+//! and equivalence tests.
+//!
+//! One `Core` serves two drivers. Under [`super::World`] it owns the
+//! whole cluster and a [`Fabric::Direct`] medium: transmitted frames are
+//! admitted onto the shared segment immediately. Under
+//! [`super::ShardedWorld`] each shard owns a `Core` over a *block* of
+//! hosts with a [`Fabric::Deferred`]: transmissions are logged as
+//! [`Intent`]s and admitted by the coordinator at the next epoch
+//! barrier, in global `(at, seq)` order — which is what makes the
+//! parallel schedule reproduce the single-threaded one.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::fault::FaultEvent;
-use crate::frame::Frame;
-use crate::host::HostState;
+use crate::fault::{FaultEvent, SimComponent};
+use crate::frame::{Destination, Frame, FrameKind};
+use crate::host::Hosts;
 use crate::ids::{FlowId, NetId, NodeId};
 use crate::medium::SharedMedium;
 use crate::scenario::ClusterSpec;
 use crate::stats::AppStats;
 use crate::time::SimTime;
-use crate::wheel::{TimerWheel, WheelStats};
+use crate::wheel::{TimerWheel, WheelStats, MAX_USEFUL_SPARE};
 
+use super::shard::HubTimeline;
 use super::FlowOutcome;
 
 pub(crate) enum EventKind<M> {
@@ -60,15 +71,126 @@ pub struct KernelStats {
     pub now_ns: u64,
 }
 
+/// A transmission recorded by a shard for deferred medium admission: the
+/// instant the sending host put the frame on the wire, the sender's
+/// packed sequence number, and the frame itself. Outboxes are sorted by
+/// `(at, seq)` by construction — `at` is the shard's non-decreasing
+/// clock and `seq` its increasing counter.
+pub(crate) struct Intent<M> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) frame: Frame<M>,
+}
+
+/// How transmitted frames reach the shared medium.
+pub(crate) enum Fabric<M> {
+    /// Single-threaded world: admit onto `Core::media` immediately.
+    Direct,
+    /// Shard of a [`super::ShardedWorld`]: log an [`Intent`]; the
+    /// coordinator admits at the next barrier. Hub liveness is read from
+    /// the precomputed timeline instead of live medium state.
+    Deferred {
+        outbox: Vec<Intent<M>>,
+        timeline: HubTimeline,
+    },
+}
+
+/// Seed-deterministic random streams for the corruption rolls.
+///
+/// The plain world keeps the historical single shared stream (draw order
+/// = event order, reproducible from the seed). Shards cannot share a
+/// stream without re-serializing, so each host gets its own SplitMix64-
+/// derived stream — draw order then depends only on that host's own
+/// event sequence, which the deterministic merge fixes independently of
+/// the thread count.
+pub(crate) enum RngBank {
+    Shared(SmallRng),
+    PerHost { base: u32, rngs: Vec<SmallRng> },
+}
+
+impl RngBank {
+    pub(crate) fn for_node(&mut self, node: NodeId) -> &mut SmallRng {
+        match self {
+            RngBank::Shared(rng) => rng,
+            RngBank::PerHost { base, rngs } => &mut rngs[(node.0 - *base) as usize],
+        }
+    }
+}
+
+/// One SplitMix64 step keyed by the host id: cheap independent seeds for
+/// per-host streams, stable across shard layouts and thread counts.
+fn host_rng_seed(seed: u64, node: u32) -> u64 {
+    let mut z = seed ^ u64::from(node).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What kind of event a popped [`EventRecord`] was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventTag {
+    /// A frame arrival.
+    Arrive,
+    /// A protocol timer.
+    Timer,
+    /// A retransmission timeout.
+    Rto,
+    /// A component fault or repair.
+    Fault,
+    /// An application send.
+    AppSend,
+}
+
+/// One dispatched event, recorded at pop time when event logging is on
+/// (equivalence tests compare these across drivers and thread counts).
+///
+/// `seq` is driver-specific (the plain world numbers events with one
+/// global counter, shards with epoch-packed counters), so cross-driver
+/// comparisons use the `(at, tag, node, net, aux)` projection while
+/// shard-vs-shard comparisons include `seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventRecord {
+    /// Virtual time the event fired.
+    pub at: SimTime,
+    /// Tie-break sequence number it carried.
+    pub seq: u64,
+    /// Event kind.
+    pub tag: EventTag,
+    /// The host the event concerns (frame source for arrivals; 0 for
+    /// hub faults).
+    pub node: u32,
+    /// The network plane, where meaningful (0 otherwise).
+    pub net: u8,
+    /// Kind-specific discriminating payload.
+    pub aux: u64,
+}
+
 /// Shared simulator state (everything except the protocol instances).
 pub struct Core<M> {
     pub(crate) spec: ClusterSpec,
     pub(crate) now: SimTime,
-    pub(crate) seq: u64,
+    /// High bits of issued sequence numbers. Zero under the plain world
+    /// (whose events are numbered by one global counter); set per epoch
+    /// to `epoch << 32 | shard << 24` under the sharded driver so that
+    /// sequence numbers are globally unique and ordered identically for
+    /// every thread count.
+    pub(crate) seq_base: u64,
+    /// Low bits: events numbered since `seq_base` was last set.
+    pub(crate) seq_local: u64,
     pub(crate) events: TimerWheel<EventKind<M>>,
-    pub(crate) hosts: Vec<HostState>,
+    /// This driver's block of hosts (the whole cluster under the plain
+    /// world; a contiguous slice under a shard).
+    pub(crate) hosts: Hosts,
     /// One shared segment per network plane, indexed by [`NetId::idx`].
+    /// Empty under a shard — media live at the coordinator there.
     pub(crate) media: Vec<SharedMedium>,
+    /// Per-frame corruption probability of each host's cabling,
+    /// `[node][plane]` over the *whole cluster*: a receiver's roll
+    /// compounds the sender's cabling, and the sender may live in
+    /// another shard, so every core carries the full (replicated,
+    /// run-constant) table.
+    pub(crate) link_loss: Vec<f64>,
+    pub(crate) fabric: Fabric<M>,
     pub(crate) app_stats: AppStats,
     /// Outcome per flow, indexed by [`FlowId`] — flow ids are handed out
     /// sequentially by [`super::World::send_app`], so a dense vector is
@@ -77,30 +199,84 @@ pub struct Core<M> {
     pub(crate) flow_outcomes: Vec<Option<FlowOutcome>>,
     pub(crate) next_flow: u64,
     pub(crate) clamped_past: u64,
-    pub(crate) rng: SmallRng,
+    pub(crate) rng: RngBank,
+    /// When `Some`, every popped event is recorded here.
+    pub(crate) event_log: Option<Vec<EventRecord>>,
 }
 
 impl<M: Clone + std::fmt::Debug> Core<M> {
     pub(crate) fn new(spec: ClusterSpec) -> Self {
-        let hosts = (0..spec.n)
-            .map(|i| HostState::new(NodeId(i as u32), spec.n, spec.planes))
-            .collect();
         let media = NetId::planes(spec.planes)
             .map(|net| SharedMedium::new(net, spec.bandwidth_bps, spec.propagation))
             .collect();
+        let rng = RngBank::Shared(SmallRng::seed_from_u64(spec.seed));
+        Self::build(spec, 0, spec.n, media, Fabric::Direct, rng)
+    }
+
+    /// A shard core owning hosts `[base, base + len)`, with deferred
+    /// medium admission against the given hub timeline and per-host
+    /// random streams.
+    pub(crate) fn new_shard(spec: ClusterSpec, base: u32, len: usize, timeline: HubTimeline) -> Self {
+        let rngs = (base..base + len as u32)
+            .map(|i| SmallRng::seed_from_u64(host_rng_seed(spec.seed, i)))
+            .collect();
+        Self::build(
+            spec,
+            base,
+            len,
+            Vec::new(),
+            Fabric::Deferred {
+                outbox: Vec::new(),
+                timeline,
+            },
+            RngBank::PerHost { base, rngs },
+        )
+    }
+
+    fn build(
+        spec: ClusterSpec,
+        base: u32,
+        len: usize,
+        media: Vec<SharedMedium>,
+        fabric: Fabric<M>,
+        rng: RngBank,
+    ) -> Self {
+        let planes = spec.planes as usize;
+        // Pre-size the wheel's slot-buffer pool from the workload shape:
+        // the steady-state probe schedule keeps ~2 live timers per (host,
+        // plane), so 2·len·planes buffers (plus slack for transport and
+        // fault events) absorbs every cold slot without a pool miss. The
+        // structural ceiling keeps huge clusters from over-allocating.
+        let buffers = (2 * len * planes + 64).min(MAX_USEFUL_SPARE);
         Core {
             spec,
             now: SimTime::ZERO,
-            seq: 0,
-            events: TimerWheel::new(),
-            hosts,
+            seq_base: 0,
+            seq_local: 0,
+            events: TimerWheel::with_spare_pool(buffers, 8),
+            hosts: Hosts::new_block(base, len, spec.n, spec.planes),
             media,
+            link_loss: vec![0.0; spec.n * planes],
+            fabric,
             app_stats: AppStats::default(),
             flow_outcomes: Vec::new(),
             next_flow: 0,
             clamped_past: 0,
-            rng: SmallRng::seed_from_u64(spec.seed),
+            rng,
+            event_log: None,
         }
+    }
+
+    /// Issues the next tie-break sequence number.
+    #[inline]
+    pub(crate) fn next_seq(&mut self) -> u64 {
+        debug_assert!(
+            self.seq_base == 0 || self.seq_local < 1 << 24,
+            "epoch sequence space exhausted (>16.7M events in one shard epoch)"
+        );
+        let seq = self.seq_base + self.seq_local;
+        self.seq_local += 1;
+        seq
     }
 
     pub(crate) fn schedule_at(&mut self, at: SimTime, kind: EventKind<M>) {
@@ -115,9 +291,33 @@ impl<M: Clone + std::fmt::Debug> Core<M> {
         } else {
             at
         };
-        let seq = self.seq;
-        self.seq += 1;
+        let seq = self.next_seq();
         self.events.push(at, seq, kind);
+    }
+
+    /// Whether the hub of `net` is currently operational — from live
+    /// medium state under the plain world, from the precomputed fault
+    /// timeline under a shard (whose media live at the coordinator).
+    pub(crate) fn hub_is_up(&self, net: NetId) -> bool {
+        match &self.fabric {
+            Fabric::Direct => self.media[net.idx()].is_up(),
+            Fabric::Deferred { timeline, .. } => timeline.is_up(net, self.now),
+        }
+    }
+
+    /// Per-frame corruption probability of `node`'s cabling on `net`.
+    #[inline]
+    pub(crate) fn link_loss(&self, node: NodeId, net: NetId) -> f64 {
+        self.link_loss[node.idx() * self.spec.planes as usize + net.idx()]
+    }
+
+    /// Degrades (or restores) `node`'s cabling on `net`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub(crate) fn set_link_loss(&mut self, node: NodeId, net: NetId, p: f64) {
+        assert!((0.0..1.0).contains(&p), "loss rate must be in [0, 1)");
+        self.link_loss[node.idx() * self.spec.planes as usize + net.idx()] = p;
     }
 
     /// Records the final outcome of `flow` (dense, grow-on-demand).
@@ -127,6 +327,51 @@ impl<M: Clone + std::fmt::Debug> Core<M> {
             self.flow_outcomes.resize(idx + 1, None);
         }
         self.flow_outcomes[idx] = Some(outcome);
+    }
+
+    /// Appends a record for a just-popped event, if logging is enabled.
+    pub(crate) fn log_event(&mut self, at: SimTime, seq: u64, kind: &EventKind<M>) {
+        let Some(log) = self.event_log.as_mut() else {
+            return;
+        };
+        let (tag, node, net, aux) = match kind {
+            EventKind::Arrive(f) => {
+                let disc: u64 = match &f.kind {
+                    FrameKind::EchoRequest { .. } => 0,
+                    FrameKind::EchoReply { .. } => 1,
+                    FrameKind::Control(_) => 2,
+                    FrameKind::Data(_) => 3,
+                };
+                let dst = match f.dst {
+                    Destination::Broadcast => 0,
+                    Destination::Node(n) => u64::from(n.0) + 1,
+                };
+                (EventTag::Arrive, f.src.0, f.net.idx() as u8, disc << 32 | dst)
+            }
+            EventKind::ProtoTimer { node, token } => (EventTag::Timer, node.0, 0, *token),
+            EventKind::Rto {
+                node,
+                flow,
+                attempt,
+            } => (EventTag::Rto, node.0, 0, flow.0 << 32 | u64::from(*attempt)),
+            EventKind::Fault(ev) => match ev.component {
+                SimComponent::Hub(net) => (EventTag::Fault, 0, net.idx() as u8, u64::from(ev.up)),
+                SimComponent::Nic(node, net) => {
+                    (EventTag::Fault, node.0, net.idx() as u8, u64::from(ev.up))
+                }
+            },
+            EventKind::AppSend {
+                flow, src, dst, ..
+            } => (EventTag::AppSend, src.0, 0, flow.0 << 32 | u64::from(dst.0)),
+        };
+        log.push(EventRecord {
+            at,
+            seq,
+            tag,
+            node,
+            net,
+            aux,
+        });
     }
 
     /// A deterministic snapshot of the kernel's operation counters.

@@ -1,0 +1,1086 @@
+//! The sharded multi-core driver: conservative-lookahead parallel DES
+//! with a seed-deterministic merge.
+//!
+//! # How the parallelism works
+//!
+//! The cluster's hosts are partitioned into contiguous blocks (shards),
+//! each owning its own [`Core`] — timer wheel, host state, per-host RNG
+//! streams. The only interaction between hosts is frames crossing the
+//! shared medium, and the medium guarantees a *minimum* latency: a frame
+//! transmitted at `t` arrives no earlier than
+//! `t + serialization(1 byte) + propagation`. That minimum is the
+//! **lookahead** `L`, and it makes a conservative window safe: if every
+//! shard's next pending event is at or after `T_start`, then every shard
+//! can execute all its events in `[T_start, T_start + L)` without ever
+//! receiving a frame dated inside that window from another shard —
+//! anything sent during the window arrives at `≥ T_start + L`.
+//!
+//! Each such window is an **epoch**. Workers run their shards' epochs in
+//! parallel; transmissions are not admitted onto the medium immediately
+//! but logged as [`Intent`]s in per-shard outboxes (see
+//! [`Fabric::Deferred`]). At the epoch barrier the coordinator merges
+//! all outboxes in global `(at, seq)` order, replays any hub fault due
+//! by each transmission instant, admits the frames onto the
+//! coordinator-owned media, and pushes the resulting arrivals directly
+//! into the destination shards' wheels. Arrivals land at
+//! `≥ T_start + L ≥` every shard's cursor, so the wheels never see a
+//! past-time push.
+//!
+//! # Why it is deterministic
+//!
+//! Everything that orders events is derived from virtual time and
+//! sequence numbers, never from thread interleaving:
+//!
+//! * within an epoch a shard numbers its events
+//!   `epoch << 32 | shard << 24 | local`, so sequence numbers are
+//!   globally unique and depend only on (epoch, shard, order-in-shard) —
+//!   all three identical for every thread count;
+//! * the merge admits intents in `(at, seq)` order, so medium queueing
+//!   (FIFO per segment) is resolved identically for every thread count;
+//! * hub liveness during an epoch is read from a precomputed
+//!   [`HubTimeline`] rather than live medium state, so a hub fault takes
+//!   effect at the same virtual instant in every shard regardless of
+//!   which thread gets there first;
+//! * corruption rolls draw from per-host RNG streams
+//!   ([`super::queue::RngBank::PerHost`]), so draw order depends only on
+//!   the host's own event sequence.
+//!
+//! The result: `run_until` produces a bit-identical event schedule for
+//! any thread count — the equivalence oracle `tests/shard_equivalence.rs`
+//! checks against the single-threaded [`super::World`].
+//!
+//! # Semantic deltas vs. [`super::World`] (by design)
+//!
+//! * Hub faults must be scheduled before the run starts; they are
+//!   compiled into the timeline instead of travelling as events. A hub
+//!   toggle at instant `t` takes effect before any transmission at `t`.
+//! * Corruption rolls use per-host streams, so under `frame_loss_rate >
+//!   0` the two drivers make *statistically equivalent but not
+//!   draw-identical* decisions. Loss-free runs match the plain world
+//!   event-for-event.
+
+use std::cell::UnsafeCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+use crate::app::Workload;
+use crate::fault::{FaultEvent, FaultPlan, SimComponent};
+use crate::frame::{Destination, Frame};
+use crate::host::HostView;
+use crate::ids::{FlowId, NetId, NodeId};
+use crate::medium::{SharedMedium, TrafficClass};
+use crate::scenario::ClusterSpec;
+use crate::stats::{AppStats, ProbeObs};
+use crate::time::{SimDuration, SimTime};
+
+use super::kernel::Engine;
+use super::queue::{Core, EventKind, EventRecord, Fabric, Intent, KernelStats};
+use super::{Ctx, FlowOutcome, Protocol};
+
+/// Precomputed hub liveness: per plane, the sorted fault/repair
+/// transitions. Shards read this instead of live medium state so that a
+/// hub failure takes effect at the same virtual instant on every thread.
+#[derive(Debug, Clone, Default)]
+pub struct HubTimeline {
+    /// Per plane (indexed by [`NetId::idx`]), `(instant, up)` transitions
+    /// sorted by instant; between transitions the last one holds, and
+    /// before the first the hub is up.
+    transitions: Vec<Vec<(SimTime, bool)>>,
+}
+
+impl HubTimeline {
+    pub(crate) fn new(planes: u8) -> Self {
+        HubTimeline {
+            transitions: vec![Vec::new(); planes as usize],
+        }
+    }
+
+    /// Compiles the hub events of a fault schedule (already time-sorted,
+    /// stable) into a timeline.
+    pub(crate) fn rebuild(planes: u8, hub_events: &[FaultEvent]) -> Self {
+        let mut t = HubTimeline::new(planes);
+        for ev in hub_events {
+            if let SimComponent::Hub(net) = ev.component {
+                t.transitions[net.idx()].push((ev.at, ev.up));
+            }
+        }
+        t
+    }
+
+    /// Whether the hub of `net` is up at instant `at`. A transition *at*
+    /// `at` has already taken effect (hub toggles sort before same-
+    /// instant transmissions, matching the plain world's pre-run fault
+    /// sequence numbers).
+    #[must_use]
+    pub fn is_up(&self, net: NetId, at: SimTime) -> bool {
+        let v = &self.transitions[net.idx()];
+        let idx = v.partition_point(|&(t, _)| t <= at);
+        idx == 0 || v[idx - 1].1
+    }
+}
+
+/// One shard: a core over a contiguous host block plus those hosts'
+/// daemon instances.
+struct Shard<P: Protocol> {
+    id: usize,
+    core: Core<P::Msg>,
+    protocols: Vec<P>,
+    /// Events dispatched by this shard (over all epochs).
+    events: u64,
+    /// Epochs in which this shard had nothing to do — lookahead stalls:
+    /// the window opened but every local event lay beyond it.
+    stalls: u64,
+}
+
+/// Interior-mutable shard slot, shared with worker threads.
+struct ShardCell<P: Protocol>(UnsafeCell<Shard<P>>);
+
+// SAFETY: a shard is touched by exactly one thread at a time. During an
+// epoch, worker `w` accesses only the shards `i ≡ w (mod threads)` it
+// owns (a disjoint partition); between the `done` and `go` barriers only
+// the coordinator touches shards, with every worker parked. The barriers
+// provide the happens-before edges for the hand-offs.
+unsafe impl<P: Protocol> Sync for ShardCell<P>
+where
+    P: Send,
+    P::Msg: Send,
+{
+}
+
+/// Coordinator-side state: the real media, the compiled hub schedule,
+/// and merge counters. Deliberately not generic so the borrow can be
+/// split from the shard cells.
+struct Coordinator {
+    media: Vec<SharedMedium>,
+    /// All hub toggles, time-sorted (stable: plan order at equal
+    /// instants).
+    hub_events: Vec<FaultEvent>,
+    /// How many of `hub_events` have been applied to `media`.
+    hub_applied: usize,
+    intents: u64,
+    merges: u64,
+}
+
+impl Coordinator {
+    /// Applies every not-yet-applied hub toggle due at or before `t`.
+    fn apply_hub_through(&mut self, t: SimTime) {
+        while let Some(ev) = self.hub_events.get(self.hub_applied) {
+            if ev.at > t {
+                break;
+            }
+            if let SimComponent::Hub(net) = ev.component {
+                self.media[net.idx()].set_up(ev.up);
+            }
+            self.hub_applied += 1;
+        }
+    }
+}
+
+/// Deterministic counters of the sharded driver, complementing the
+/// merged [`KernelStats`]. Everything except `barrier_wait_ns` is
+/// thread-count-independent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Number of shards.
+    pub shards: usize,
+    /// Configured worker thread count (effective count is capped at the
+    /// shard count).
+    pub threads: usize,
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Merge phases that had at least one intent to admit.
+    pub merges: u64,
+    /// Total transmissions admitted through the deferred fabric.
+    pub intents: u64,
+    /// The conservative lookahead window, nanoseconds.
+    pub lookahead_ns: u64,
+    /// Events dispatched per shard (load-balance view).
+    pub events_per_shard: Vec<u64>,
+    /// Per shard, epochs in which it had no event inside the window.
+    pub stalls_per_shard: Vec<u64>,
+    /// Wall-clock nanoseconds the coordinator spent waiting at `done`
+    /// barriers. The only wall-clock (non-deterministic) field; never
+    /// committed to artifacts.
+    pub barrier_wait_ns: u64,
+}
+
+/// Worker thread count from the `DRS_SIM_THREADS` environment knob
+/// (default 1, clamped to `[1, 256]`).
+#[must_use]
+pub fn threads_from_env() -> usize {
+    std::env::var("DRS_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map_or(1, |t| t.clamp(1, 256))
+}
+
+/// The parallel cluster driver: same simulation as [`super::World`],
+/// executed epoch-by-epoch across shards.
+pub struct ShardedWorld<P: Protocol> {
+    spec: ClusterSpec,
+    shards: Vec<ShardCell<P>>,
+    /// Host → shard index.
+    owner: Vec<u32>,
+    coord: Coordinator,
+    /// Master copy of the compiled hub schedule (each shard's fabric
+    /// holds a clone).
+    timeline: HubTimeline,
+    now: SimTime,
+    /// Epochs executed so far; epoch ids start at 1 so the pre-run
+    /// sequence space (`seq_base == 0`) is never reused.
+    epoch: u64,
+    /// Conservative lookahead `serialization(1 byte) + propagation`, ns.
+    lookahead: u64,
+    threads: usize,
+    next_flow: u64,
+    barrier_wait_ns: u64,
+}
+
+impl<P: Protocol> ShardedWorld<P> {
+    /// Builds a sharded cluster with an automatic shard count (one shard
+    /// per ~16 hosts, capped at 64) and the thread count from
+    /// [`threads_from_env`]. Every daemon gets `on_start` at time zero,
+    /// in global host order — exactly like [`super::World::new`].
+    pub fn new(spec: ClusterSpec, factory: impl FnMut(NodeId) -> P) -> Self {
+        let shards = (spec.n / 16).clamp(1, 64);
+        Self::with_topology(spec, shards, threads_from_env(), factory)
+    }
+
+    /// Builds with explicit shard and worker-thread counts.
+    ///
+    /// # Panics
+    /// Panics if `shards` or `threads` is zero.
+    pub fn with_topology(
+        spec: ClusterSpec,
+        shards: usize,
+        threads: usize,
+        mut factory: impl FnMut(NodeId) -> P,
+    ) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        assert!(threads >= 1, "at least one thread");
+        let shards = shards.min(spec.n).min(256);
+        let threads = threads.min(256);
+
+        let timeline = HubTimeline::new(spec.planes);
+        let mut owner = vec![0u32; spec.n];
+        let mut cells = Vec::with_capacity(shards);
+        let (block, extra) = (spec.n / shards, spec.n % shards);
+        let mut base = 0u32;
+        for id in 0..shards {
+            let len = block + usize::from(id < extra);
+            for i in base..base + len as u32 {
+                owner[i as usize] = id as u32;
+            }
+            let core = Core::new_shard(spec, base, len, timeline.clone());
+            let protocols = (base..base + len as u32)
+                .map(|i| factory(NodeId(i)))
+                .collect();
+            cells.push(ShardCell(UnsafeCell::new(Shard {
+                id,
+                core,
+                protocols,
+                events: 0,
+                stalls: 0,
+            })));
+            base += len as u32;
+        }
+
+        let media: Vec<SharedMedium> = NetId::planes(spec.planes)
+            .map(|net| SharedMedium::new(net, spec.bandwidth_bps, spec.propagation))
+            .collect();
+        // The minimum cross-host latency: 1-byte serialization plus
+        // propagation. Queueing and real frame sizes only add to it.
+        let lookahead = (media[0].serialization(1) + spec.propagation)
+            .as_nanos()
+            .max(1);
+
+        let mut world = ShardedWorld {
+            spec,
+            shards: cells,
+            owner,
+            coord: Coordinator {
+                media,
+                hub_events: Vec::new(),
+                hub_applied: 0,
+                intents: 0,
+                merges: 0,
+            },
+            timeline,
+            now: SimTime::ZERO,
+            epoch: 0,
+            lookahead,
+            threads,
+            next_flow: 0,
+            barrier_wait_ns: 0,
+        };
+        for i in 0..spec.n {
+            let node = NodeId(i as u32);
+            let shard = world.shards[world.owner[i] as usize].0.get_mut();
+            let local = shard.core.hosts.local(node);
+            let mut ctx = Ctx {
+                core: &mut shard.core,
+                node,
+            };
+            shard.protocols[local].on_start(&mut ctx);
+        }
+        world
+    }
+
+    /// Read access to shard `i`.
+    ///
+    /// SAFETY of the deref: worker threads exist only inside
+    /// [`Self::run_until`], which takes `&mut self` — any `&self` method
+    /// therefore runs with no epoch in flight and no aliasing access.
+    fn shard(&self, i: usize) -> &Shard<P> {
+        unsafe { &*self.shards[i].0.get() }
+    }
+
+    fn shard_mut(&mut self, i: usize) -> &mut Shard<P> {
+        self.shards[i].0.get_mut()
+    }
+
+    fn owner_of(&self, node: NodeId) -> usize {
+        self.owner[node.idx()] as usize
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The cluster configuration.
+    #[must_use]
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Configured worker thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The daemon instance on `node`.
+    #[must_use]
+    pub fn protocol(&self, node: NodeId) -> &P {
+        let shard = self.shard(self.owner_of(node));
+        &shard.protocols[shard.core.hosts.local(node)]
+    }
+
+    /// Mutable access to the daemon on `node` (for test instrumentation).
+    pub fn protocol_mut(&mut self, node: NodeId) -> &mut P {
+        let s = self.owner_of(node);
+        let shard = self.shard_mut(s);
+        let local = shard.core.hosts.local(node);
+        &mut shard.protocols[local]
+    }
+
+    /// Read access to a host's simulated state.
+    #[must_use]
+    pub fn host(&self, node: NodeId) -> HostView<'_> {
+        self.shard(self.owner_of(node)).core.hosts.view(node)
+    }
+
+    /// Read access to a network segment. Medium state (busy horizon,
+    /// cumulative stats) is current through the last merge — i.e. exact
+    /// whenever the driver is not mid-`run_until`.
+    #[must_use]
+    pub fn medium(&self, net: NetId) -> &SharedMedium {
+        &self.coord.media[net.idx()]
+    }
+
+    /// Cluster-wide application statistics, merged across shards.
+    #[must_use]
+    pub fn app_stats(&self) -> AppStats {
+        let mut merged = AppStats::default();
+        for i in 0..self.shards.len() {
+            merged.merge(&self.shard(i).core.app_stats);
+        }
+        merged
+    }
+
+    /// Every host's probe-path observability record merged into one.
+    /// Exactly equals the plain world's merge: histogram merging is
+    /// order-independent.
+    #[must_use]
+    pub fn merged_probe_obs(&self) -> ProbeObs {
+        let mut merged = ProbeObs::default();
+        for i in 0..self.shards.len() {
+            for obs in self.shard(i).core.hosts.obs_iter() {
+                merged.merge(obs);
+            }
+        }
+        merged
+    }
+
+    /// Outcome of a completed flow, if it has completed. Outcomes are
+    /// recorded by the shard owning the flow's source host.
+    #[must_use]
+    pub fn flow_outcome(&self, flow: FlowId) -> Option<FlowOutcome> {
+        let idx = flow.0 as usize;
+        (0..self.shards.len())
+            .find_map(|i| self.shard(i).core.flow_outcomes.get(idx).copied().flatten())
+    }
+
+    /// All completed flow outcomes in ascending [`FlowId`] order.
+    #[must_use]
+    pub fn flow_outcomes(&self) -> Vec<(FlowId, FlowOutcome)> {
+        let mut dense: Vec<Option<FlowOutcome>> = vec![None; self.next_flow as usize];
+        for i in 0..self.shards.len() {
+            for (idx, o) in self.shard(i).core.flow_outcomes.iter().enumerate() {
+                if o.is_some() {
+                    dense[idx] = *o;
+                }
+            }
+        }
+        dense
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.map(|o| (FlowId(i as u64), o)))
+            .collect()
+    }
+
+    /// Merged deterministic kernel counters across all shard wheels.
+    #[must_use]
+    pub fn kernel_stats(&self) -> KernelStats {
+        let mut merged = KernelStats {
+            now_ns: self.now.0,
+            ..KernelStats::default()
+        };
+        for i in 0..self.shards.len() {
+            let ks = self.shard(i).core.kernel_stats();
+            merged.wheel.merge(&ks.wheel);
+            merged.clamped_past += ks.clamped_past;
+            merged.queue_depth += ks.queue_depth;
+        }
+        merged
+    }
+
+    /// The sharded driver's own counters.
+    #[must_use]
+    pub fn shard_stats(&self) -> ShardStats {
+        ShardStats {
+            shards: self.shards.len(),
+            threads: self.threads,
+            epochs: self.epoch,
+            merges: self.coord.merges,
+            intents: self.coord.intents,
+            lookahead_ns: self.lookahead,
+            events_per_shard: (0..self.shards.len())
+                .map(|i| self.shard(i).events)
+                .collect(),
+            stalls_per_shard: (0..self.shards.len())
+                .map(|i| self.shard(i).stalls)
+                .collect(),
+            barrier_wait_ns: self.barrier_wait_ns,
+        }
+    }
+
+    /// Number of flows still outstanding across the cluster.
+    #[must_use]
+    pub fn flows_in_flight(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).core.hosts.flows_in_flight())
+            .sum()
+    }
+
+    /// Degrades (or restores) one host's cabling on one network. The
+    /// table is replicated (receivers compound the *sender's* loss, and
+    /// the sender may live in another shard), so the change is broadcast
+    /// to every shard.
+    pub fn set_link_loss(&mut self, node: NodeId, net: NetId, p: f64) {
+        for i in 0..self.shards.len() {
+            self.shard_mut(i).core.set_link_loss(node, net, p);
+        }
+    }
+
+    /// Whether a hardware component is currently operational.
+    ///
+    /// # Panics
+    /// Panics if the component names a plane the scenario does not have.
+    #[must_use]
+    pub fn component_is_up(&self, c: SimComponent) -> bool {
+        match c {
+            SimComponent::Hub(net) => {
+                assert!(net.idx() < self.spec.planes as usize, "no such plane");
+                self.timeline.is_up(net, self.now)
+            }
+            SimComponent::Nic(node, net) => self
+                .shard(self.owner_of(node))
+                .core
+                .hosts
+                .nic_is_up(node, net),
+        }
+    }
+
+    /// Schedules every event of a fault plan.
+    ///
+    /// NIC faults become ordinary events in the owning shard. Hub faults
+    /// are compiled into the [`HubTimeline`], which requires them to be
+    /// known before the run starts.
+    ///
+    /// # Panics
+    /// Panics if an event lies in the past, names a plane outside the
+    /// scenario, or is a hub fault scheduled after the run has started.
+    pub fn schedule_faults(&mut self, plan: FaultPlan) {
+        let planes = self.spec.planes as usize;
+        let mut any_hub = false;
+        for ev in plan.into_sorted_events() {
+            assert!(ev.at >= self.now, "fault scheduled in the past");
+            let net = match ev.component {
+                SimComponent::Hub(net) | SimComponent::Nic(_, net) => net,
+            };
+            assert!(
+                net.idx() < planes,
+                "fault on plane {net} but the cluster has {planes} planes"
+            );
+            match ev.component {
+                SimComponent::Hub(_) => {
+                    assert!(
+                        self.epoch == 0 && self.now == SimTime::ZERO,
+                        "hub faults must be scheduled before the sharded run starts \
+                         (they compile into the hub timeline)"
+                    );
+                    self.coord.hub_events.push(ev);
+                    any_hub = true;
+                }
+                SimComponent::Nic(node, _) => {
+                    let s = self.owner_of(node);
+                    self.shard_mut(s)
+                        .core
+                        .schedule_at(ev.at, EventKind::Fault(ev));
+                }
+            }
+        }
+        if any_hub {
+            // Keep time-sorted across plans; the stable sort preserves
+            // scheduling order at equal instants, matching the plain
+            // world's sequence-number tie-break.
+            self.coord.hub_events.sort_by_key(|ev| ev.at);
+            self.timeline = HubTimeline::rebuild(self.spec.planes, &self.coord.hub_events);
+            let rebuilt = self.timeline.clone();
+            for i in 0..self.shards.len() {
+                if let Fabric::Deferred { timeline, .. } = &mut self.shard_mut(i).core.fabric {
+                    *timeline = rebuilt.clone();
+                }
+            }
+        }
+    }
+
+    /// Schedules one application message; returns its flow id. Flow ids
+    /// are allocated by the coordinator (globally sequential, like the
+    /// plain world); the send event lives in the source host's shard.
+    pub fn send_app(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        payload_bytes: u32,
+    ) -> FlowId {
+        assert!(at >= self.now, "app send scheduled in the past");
+        assert_ne!(src, dst, "a host does not message itself");
+        let flow = FlowId(self.next_flow);
+        self.next_flow += 1;
+        let s = self.owner_of(src);
+        self.shard_mut(s).core.schedule_at(
+            at,
+            EventKind::AppSend {
+                flow,
+                src,
+                dst,
+                payload_bytes,
+            },
+        );
+        flow
+    }
+
+    /// Schedules a whole workload; returns the flow ids in schedule order.
+    pub fn schedule_workload(&mut self, w: &Workload) -> Vec<FlowId> {
+        w.messages()
+            .iter()
+            .map(|m| self.send_app(m.at, m.src, m.dst, m.payload_bytes))
+            .collect()
+    }
+
+    /// Starts recording every dispatched event on every shard.
+    pub fn enable_event_log(&mut self) {
+        for i in 0..self.shards.len() {
+            self.shard_mut(i).core.event_log = Some(Vec::new());
+        }
+    }
+
+    /// The recorded event log merged across shards in `(at, seq, shard)`
+    /// order, if [`Self::enable_event_log`] was called. Pre-run events
+    /// carry shard-local sequence numbers (which may collide across
+    /// shards), so the shard index breaks those ties deterministically.
+    #[must_use]
+    pub fn event_log(&self) -> Option<Vec<EventRecord>> {
+        let mut tagged: Vec<(EventRecord, usize)> = Vec::new();
+        for i in 0..self.shards.len() {
+            let log = self.shard(i).core.event_log.as_ref()?;
+            tagged.extend(log.iter().map(|r| (*r, i)));
+        }
+        tagged.sort_by_key(|&(r, s)| (r.at, r.seq, s));
+        Some(tagged.into_iter().map(|(r, _)| r).collect())
+    }
+
+    /// Runs for a span of virtual time.
+    pub fn run_for(&mut self, d: SimDuration)
+    where
+        P: Send,
+        P::Msg: Send,
+    {
+        let until = self.now + d;
+        self.run_until(until);
+    }
+
+    /// Runs until every shard's queue is drained or virtual time reaches
+    /// `until`; afterwards `now() == until`. Bit-identical to the same
+    /// calls on [`super::World`] (modulo the documented deltas) for
+    /// every shard count and thread count.
+    pub fn run_until(&mut self, until: SimTime)
+    where
+        P: Send,
+        P::Msg: Send,
+    {
+        let nthreads = self.threads.min(self.shards.len());
+        if nthreads <= 1 {
+            self.run_seq(until);
+        } else {
+            self.run_par(until, nthreads);
+        }
+        // Final outbox state is always empty (the loop merges before
+        // deciding to stop), so only the hub schedule and the clocks
+        // need settling to the horizon.
+        self.coord.apply_hub_through(until);
+        for i in 0..self.shards.len() {
+            let core = &mut self.shard_mut(i).core;
+            if core.now < until {
+                core.now = until;
+            }
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// The epoch window upper bound for a window opening at `t_start`.
+    fn epoch_bound(&self, t_start: SimTime, until: SimTime) -> SimTime {
+        SimTime(
+            t_start
+                .0
+                .saturating_add(self.lookahead)
+                .min(until.0.saturating_add(1)),
+        )
+    }
+
+    /// Single-threaded epoch loop: identical schedule, no workers.
+    fn run_seq(&mut self, until: SimTime) {
+        let mut exact = false;
+        loop {
+            // SAFETY: no worker threads exist; access is exclusive.
+            let next = unsafe { merge_and_min(&mut self.coord, &self.shards, &self.owner, exact) };
+            let Some(t_start) = next else { break };
+            if t_start > until {
+                break;
+            }
+            let bound = self.epoch_bound(t_start, until);
+            self.epoch += 1;
+            let mut popped = 0u64;
+            for cell in &self.shards {
+                // SAFETY: as above — single-threaded.
+                let shard = unsafe { &mut *cell.0.get() };
+                popped += run_shard_epoch(shard, self.epoch, bound);
+            }
+            // A window that executed nothing was opened on an undershot
+            // occupancy hint; reopen it from the exact global minimum.
+            exact = popped == 0;
+        }
+    }
+
+    /// Parallel epoch loop: persistent scoped workers, two barriers per
+    /// epoch (`go` / `done`), coordinator phase in between with all
+    /// workers parked.
+    fn run_par(&mut self, until: SimTime, nthreads: usize)
+    where
+        P: Send,
+        P::Msg: Send,
+    {
+        let cells = &self.shards[..];
+        let owner = &self.owner[..];
+        let coord = &mut self.coord;
+        let lookahead = self.lookahead;
+        let mut epoch = self.epoch;
+        let mut barrier_ns = 0u64;
+
+        let barrier = Barrier::new(nthreads);
+        let stop = AtomicBool::new(false);
+        let bound_ns = AtomicU64::new(0);
+        let epoch_id = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            for w in 1..nthreads {
+                let (barrier, stop) = (&barrier, &stop);
+                let (bound_ns, epoch_id) = (&bound_ns, &epoch_id);
+                scope.spawn(move || loop {
+                    barrier.wait(); // go
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let bound = SimTime(bound_ns.load(Ordering::Acquire));
+                    let e = epoch_id.load(Ordering::Acquire);
+                    for i in (w..cells.len()).step_by(nthreads) {
+                        // SAFETY: worker `w` exclusively owns shards
+                        // `i ≡ w (mod nthreads)` between the barriers.
+                        let shard = unsafe { &mut *cells[i].0.get() };
+                        run_shard_epoch(shard, e, bound);
+                    }
+                    barrier.wait(); // done
+                });
+            }
+            let mut exact = false;
+            loop {
+                // Coordinator phase: every worker is parked at `go`, so
+                // shard access is unaliased.
+                // SAFETY: see above.
+                let next = unsafe { merge_and_min(coord, cells, owner, exact) };
+                let t_start = match next {
+                    Some(t) if t <= until => t,
+                    _ => {
+                        stop.store(true, Ordering::Release);
+                        barrier.wait(); // release workers into the stop check
+                        break;
+                    }
+                };
+                let bound = SimTime(
+                    t_start
+                        .0
+                        .saturating_add(lookahead)
+                        .min(until.0.saturating_add(1)),
+                );
+                epoch += 1;
+                // SAFETY: workers still parked — counters are stable.
+                let before: u64 = cells.iter().map(|c| unsafe { (*c.0.get()).events }).sum();
+                bound_ns.store(bound.0, Ordering::Release);
+                epoch_id.store(epoch, Ordering::Release);
+                barrier.wait(); // go
+                for i in (0..cells.len()).step_by(nthreads) {
+                    // SAFETY: the coordinator thread is worker 0.
+                    let shard = unsafe { &mut *cells[i].0.get() };
+                    run_shard_epoch(shard, epoch, bound);
+                }
+                let t0 = Instant::now();
+                barrier.wait(); // done — time here is waiting on stragglers
+                barrier_ns += t0.elapsed().as_nanos() as u64;
+                // SAFETY: workers parked again after `done`.
+                let after: u64 = cells.iter().map(|c| unsafe { (*c.0.get()).events }).sum();
+                // Same escalation rule as `run_seq`: a window that popped
+                // nothing reopens at the exact global minimum, so the
+                // seq/par epoch sequences stay identical.
+                exact = after == before;
+            }
+        });
+
+        self.epoch = epoch;
+        self.barrier_wait_ns += barrier_ns;
+    }
+}
+
+/// Executes one shard's slice of an epoch: every pending event strictly
+/// before `bound`, numbered from the epoch's packed sequence base.
+///
+/// Pops go through the wheel's bounded peek so the cursor never crosses
+/// the epoch bound: the arrivals the next merge distributes (all at or
+/// after the bound, by the lookahead argument) then land ahead of the
+/// cursor in O(1) instead of degenerating into sorted-buffer inserts.
+/// Returns the number of events executed.
+fn run_shard_epoch<P: Protocol>(shard: &mut Shard<P>, epoch: u64, bound: SimTime) -> u64 {
+    debug_assert!(shard.id < 256, "shard id exceeds the 8-bit seq field");
+    debug_assert!(
+        epoch > 0 && epoch < 1 << 32,
+        "epoch outside the 32-bit seq field"
+    );
+    shard.core.seq_base = epoch << 32 | (shard.id as u64) << 24;
+    shard.core.seq_local = 0;
+    let mut n = 0u64;
+    while let Some((at, _)) = shard.core.events.peek_before(bound) {
+        if at >= bound {
+            break;
+        }
+        let (at, seq, kind) = shard.core.events.pop().expect("peeked above");
+        debug_assert!(at >= shard.core.now);
+        shard.core.now = at;
+        shard.core.log_event(at, seq, &kind);
+        Engine {
+            core: &mut shard.core,
+            protocols: &mut shard.protocols,
+        }
+        .dispatch(kind);
+        n += 1;
+    }
+    shard.events += n;
+    if n == 0 {
+        shard.stalls += 1;
+    }
+    n
+}
+
+fn class_of<M>(frame: &Frame<M>) -> TrafficClass {
+    if frame.is_probe() {
+        TrafficClass::Probe
+    } else if frame.is_control() {
+        TrafficClass::Control
+    } else {
+        TrafficClass::Data
+    }
+}
+
+/// The barrier-time merge: drains every shard's outbox, admits the
+/// intents onto the media in global `(at, seq)` order (replaying hub
+/// toggles due by each instant first), distributes the arrivals into
+/// the destination shards' wheels, and returns a lower bound on the
+/// earliest pending event across all shards — exact when `exact` is
+/// set, otherwise each wheel's O(1) occupancy hint (never staging, so
+/// no cursor moves past the last epoch's bound).
+///
+/// # Safety
+/// The caller must guarantee exclusive access to every shard: either no
+/// worker threads exist, or all of them are parked at a barrier.
+unsafe fn merge_and_min<P: Protocol>(
+    coord: &mut Coordinator,
+    cells: &[ShardCell<P>],
+    owner: &[u32],
+    exact: bool,
+) -> Option<SimTime> {
+    let s = cells.len();
+    // Drain the outboxes (each sorted by (at, seq) by construction:
+    // `at` is the shard's non-decreasing clock, `seq` its counter).
+    let mut boxes: Vec<Vec<Intent<P::Msg>>> = (0..s)
+        .map(|i| {
+            let shard = &mut *cells[i].0.get();
+            match &mut shard.core.fabric {
+                Fabric::Deferred { outbox, .. } => std::mem::take(outbox),
+                Fabric::Direct => unreachable!("shard cores always defer"),
+            }
+        })
+        .collect();
+    let total: usize = boxes.iter().map(Vec::len).sum();
+    if total > 0 {
+        coord.merges += 1;
+        coord.intents += total as u64;
+        // K-way merge by (at, seq) through a min-heap of outbox heads.
+        // Each box is reversed once so the next intent pops off the back.
+        let mut heap: BinaryHeap<Reverse<(SimTime, u64, usize)>> = BinaryHeap::with_capacity(s);
+        for (i, b) in boxes.iter_mut().enumerate() {
+            b.reverse();
+            if let Some(head) = b.last() {
+                heap.push(Reverse((head.at, head.seq, i)));
+            }
+        }
+        while let Some(Reverse((at, _, i))) = heap.pop() {
+            let intent = boxes[i].pop().expect("head tracked by the heap");
+            if let Some(next) = boxes[i].last() {
+                heap.push(Reverse((next.at, next.seq, i)));
+            }
+            // Hub toggles due by the transmission instant take effect
+            // first — they sort below same-instant transmissions in the
+            // plain world (pre-run sequence numbers).
+            coord.apply_hub_through(at);
+            let frame = intent.frame;
+            let class = class_of(&frame);
+            let Some(arrive) = coord.media[frame.net.idx()].admit(at, frame.wire_bytes, class)
+            else {
+                continue; // dead hub ate it
+            };
+            // The arrival lands at ≥ epoch bound ≥ every shard's cursor,
+            // so pushing straight into the wheels is safe; the intent's
+            // seq keeps the global order thread-count-independent.
+            match frame.dst {
+                Destination::Node(dst) => {
+                    let shard = &mut *cells[owner[dst.idx()] as usize].0.get();
+                    shard
+                        .core
+                        .events
+                        .push(arrive, intent.seq, EventKind::Arrive(frame));
+                }
+                Destination::Broadcast => {
+                    for cell in cells {
+                        let shard = &mut *cell.0.get();
+                        shard.core.events.push(
+                            arrive,
+                            intent.seq,
+                            EventKind::Arrive(frame.clone()),
+                        );
+                    }
+                }
+            }
+        }
+        // Hand the drained (capacity-preserving) buffers back for reuse.
+        for (i, b) in boxes.into_iter().enumerate() {
+            let shard = &mut *cells[i].0.get();
+            if let Fabric::Deferred { outbox, .. } = &mut shard.core.fabric {
+                *outbox = b;
+            }
+        }
+    }
+    // The next window's opening instant: a lower bound on the global
+    // minimum pending event. Neither query stages entries or moves a
+    // cursor — an exact `peek` here would advance idle shards' cursors
+    // past the next bound, and later arrivals would then violate the
+    // wheel's cursor invariant.
+    let mut min: Option<SimTime> = None;
+    for cell in cells {
+        let shard = &mut *cell.0.get();
+        let next = if exact {
+            shard.core.events.next_exact()
+        } else {
+            shard.core.events.next_hint()
+        };
+        if let Some(at) = next {
+            if min.is_none_or(|m| at < m) {
+                min = Some(at);
+            }
+        }
+    }
+    min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::world::World;
+
+    struct Idle;
+    impl Protocol for Idle {
+        type Msg = ();
+    }
+
+    #[test]
+    fn timeline_last_transition_wins_and_same_instant_applies() {
+        let events = vec![
+            FaultEvent {
+                at: SimTime(100),
+                component: SimComponent::Hub(NetId::A),
+                up: false,
+            },
+            FaultEvent {
+                at: SimTime(200),
+                component: SimComponent::Hub(NetId::A),
+                up: true,
+            },
+        ];
+        let t = HubTimeline::rebuild(2, &events);
+        assert!(t.is_up(NetId::A, SimTime(99)));
+        assert!(!t.is_up(NetId::A, SimTime(100))); // same-instant: applied
+        assert!(!t.is_up(NetId::A, SimTime(199)));
+        assert!(t.is_up(NetId::A, SimTime(200)));
+        assert!(t.is_up(NetId::B, SimTime(150))); // untouched plane
+    }
+
+    #[test]
+    fn sharded_delivery_matches_plain_world() {
+        let spec = ClusterSpec::new(8).seed(11);
+        let mut w = World::new(spec, |_| Idle);
+        let mut sw = ShardedWorld::with_topology(spec, 3, 1, |_| Idle);
+        let f1 = w.send_app(SimTime(0), NodeId(0), NodeId(7), 512);
+        let f2 = sw.send_app(SimTime(0), NodeId(0), NodeId(7), 512);
+        assert_eq!(f1, f2);
+        w.run_for(SimDuration::from_secs(2));
+        sw.run_for(SimDuration::from_secs(2));
+        assert_eq!(w.app_stats().delivered, 1);
+        assert_eq!(sw.app_stats().delivered, 1);
+        assert_eq!(w.flow_outcome(f1), sw.flow_outcome(f2));
+        assert_eq!(w.now(), sw.now());
+        // Identical medium accounting, admitted in the same global order.
+        assert_eq!(w.medium(NetId::A).stats, sw.medium(NetId::A).stats);
+    }
+
+    #[test]
+    fn cross_shard_flow_survives_thread_counts() {
+        let spec = ClusterSpec::new(12).seed(3);
+        let run = |threads: usize| {
+            let mut sw = ShardedWorld::with_topology(spec, 4, threads, |_| Idle);
+            sw.enable_event_log();
+            for i in 0..6u32 {
+                sw.send_app(SimTime(i as u64 * 1000), NodeId(i), NodeId(11 - i), 256);
+            }
+            sw.run_for(SimDuration::from_secs(3));
+            (sw.app_stats(), sw.event_log().unwrap())
+        };
+        let (stats1, log1) = run(1);
+        let (stats2, log2) = run(2);
+        let (stats4, log4) = run(4);
+        assert_eq!(stats1.delivered, 6);
+        assert_eq!(stats1, stats2);
+        assert_eq!(stats1, stats4);
+        assert_eq!(log1, log2, "thread count changed the event schedule");
+        assert_eq!(log1, log4, "thread count changed the event schedule");
+    }
+
+    #[test]
+    fn hub_failure_via_timeline_eats_frames() {
+        let spec = ClusterSpec::new(4).seed(5);
+        let mut sw = ShardedWorld::with_topology(spec, 2, 1, |_| Idle);
+        sw.schedule_faults(FaultPlan::new().fail_at(SimTime(0), SimComponent::Hub(NetId::A)));
+        let flow = sw.send_app(SimTime(1000), NodeId(0), NodeId(3), 100);
+        sw.run_for(SimDuration::from_secs(200));
+        assert_eq!(sw.flow_outcome(flow), Some(FlowOutcome::GaveUp));
+        assert!(!sw.component_is_up(SimComponent::Hub(NetId::A)));
+        assert!(sw.medium(NetId::A).stats.dropped_hub_down > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the sharded run starts")]
+    fn late_hub_fault_rejected() {
+        let spec = ClusterSpec::new(4).seed(5);
+        let mut sw = ShardedWorld::with_topology(spec, 2, 1, |_| Idle);
+        sw.send_app(SimTime(0), NodeId(0), NodeId(1), 64);
+        sw.run_for(SimDuration::from_secs(1));
+        sw.schedule_faults(FaultPlan::new().fail_at(
+            sw.now() + SimDuration::from_secs(1),
+            SimComponent::Hub(NetId::A),
+        ));
+    }
+
+    #[test]
+    fn nic_fault_mid_run_is_fine() {
+        let spec = ClusterSpec::new(6).seed(9);
+        let mut sw = ShardedWorld::with_topology(spec, 3, 2, |_| Idle);
+        sw.run_for(SimDuration::from_millis(10));
+        sw.schedule_faults(FaultPlan::new().fail_at(
+            sw.now() + SimDuration::from_millis(1),
+            SimComponent::Nic(NodeId(2), NetId::A),
+        ));
+        sw.run_for(SimDuration::from_millis(10));
+        assert!(!sw.component_is_up(SimComponent::Nic(NodeId(2), NetId::A)));
+        assert!(sw.component_is_up(SimComponent::Nic(NodeId(1), NetId::A)));
+    }
+
+    #[test]
+    fn stats_are_thread_count_independent() {
+        let spec = ClusterSpec::new(16).seed(21);
+        let run = |threads: usize| {
+            let mut sw = ShardedWorld::with_topology(spec, 8, threads, |_| Idle);
+            for i in 0..8u32 {
+                sw.send_app(SimTime(i as u64 * 7), NodeId(i), NodeId(15 - i), 128);
+            }
+            sw.run_for(SimDuration::from_secs(2));
+            let mut ss = sw.shard_stats();
+            ss.threads = 0; // normalize the knobs themselves
+            ss.barrier_wait_ns = 0; // the only wall-clock field
+            (sw.kernel_stats(), ss)
+        };
+        assert_eq!(run(1), run(4));
+    }
+}

@@ -10,7 +10,6 @@ use drs_sim::app::Workload;
 use drs_sim::fault::{component_count, component_to_index, index_to_component, FaultPlan};
 use drs_sim::ids::{NetId, NodeId};
 use drs_sim::medium::{SharedMedium, TrafficClass};
-use drs_sim::naive_heap::NaiveHeap;
 use drs_sim::scenario::{ClusterSpec, TransportConfig};
 use drs_sim::stats::LatencyHistogram;
 use drs_sim::time::{SimDuration, SimTime};
@@ -171,7 +170,9 @@ proptest! {
 
 // ---------------------------------------------------------------------------
 // Timer-wheel kernel: pop order must be indistinguishable from the
-// reference binary heap ordered on `(at, seq)`.
+// reference binary heap ordered on `(at, seq)`. The heap itself lives
+// behind the `bench-ref` feature; the direct comparisons are gated in
+// `wheel_vs_heap` below, the heap-free invariants run unconditionally.
 // ---------------------------------------------------------------------------
 
 /// One random schedule mixing every regime the wheel handles differently:
@@ -200,36 +201,86 @@ fn random_schedule(seed: u64, len: usize) -> Vec<SimTime> {
     out
 }
 
-/// Pushes the schedule into both structures and checks the full drain
-/// agrees triple-for-triple.
-fn assert_wheel_matches_heap(schedule: &[SimTime]) {
-    let mut wheel: TimerWheel<u64> = TimerWheel::new();
-    let mut heap: NaiveHeap<u64> = NaiveHeap::new();
-    for (seq, &at) in schedule.iter().enumerate() {
-        wheel.push(at, seq as u64, seq as u64);
-        heap.push(at, seq as u64, seq as u64);
+#[cfg(feature = "bench-ref")]
+mod wheel_vs_heap {
+    use super::*;
+    use drs_sim::naive_heap::NaiveHeap;
+
+    /// Pushes the schedule into both structures and checks the full drain
+    /// agrees triple-for-triple.
+    fn assert_wheel_matches_heap(schedule: &[SimTime]) {
+        let mut wheel: TimerWheel<u64> = TimerWheel::new();
+        let mut heap: NaiveHeap<u64> = NaiveHeap::new();
+        for (seq, &at) in schedule.iter().enumerate() {
+            wheel.push(at, seq as u64, seq as u64);
+            heap.push(at, seq as u64, seq as u64);
+        }
+        assert_eq!(wheel.len(), heap.len());
+        loop {
+            let expect = heap.pop();
+            let got = wheel.pop();
+            assert_eq!(got, expect, "wheel diverged from the reference heap");
+            if expect.is_none() {
+                break;
+            }
+        }
+        assert!(wheel.is_empty());
     }
-    assert_eq!(wheel.len(), heap.len());
-    loop {
-        let expect = heap.pop();
-        let got = wheel.pop();
-        assert_eq!(got, expect, "wheel diverged from the reference heap");
-        if expect.is_none() {
-            break;
+
+    /// ISSUE acceptance: 1000+ seeded random schedules, including
+    /// same-tick bursts, drain in exactly the reference `(at, seq)` order.
+    #[test]
+    fn wheel_matches_heap_on_1000_seeded_schedules() {
+        use rand::Rng;
+        for seed in 0..1000u64 {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+            let len = rng.gen_range(1usize..64);
+            assert_wheel_matches_heap(&random_schedule(seed, len));
         }
     }
-    assert!(wheel.is_empty());
-}
 
-/// ISSUE acceptance: 1000+ seeded random schedules, including same-tick
-/// bursts, drain in exactly the reference `(at, seq)` order.
-#[test]
-fn wheel_matches_heap_on_1000_seeded_schedules() {
-    use rand::Rng;
-    for seed in 0..1000u64 {
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
-        let len = rng.gen_range(1usize..64);
-        assert_wheel_matches_heap(&random_schedule(seed, len));
+    proptest! {
+        /// Larger randomized schedules than the seeded sweep, full drain.
+        #[test]
+        fn wheel_pop_order_matches_heap(seed in any::<u64>(), len in 1usize..400) {
+            assert_wheel_matches_heap(&random_schedule(seed, len));
+        }
+
+        /// Interleaved push/pop: pops advance the wheel cursor between
+        /// pushes, exercising cascades and the ready-buffer merge paths
+        /// that a push-all-then-drain test never reaches.
+        #[test]
+        fn wheel_matches_heap_under_interleaved_ops(
+            seed in any::<u64>(),
+            ops in proptest::collection::vec(0u32..4, 1..300),
+        ) {
+            use rand::Rng;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut wheel: TimerWheel<u64> = TimerWheel::new();
+            let mut heap: NaiveHeap<u64> = NaiveHeap::new();
+            let mut now = 0u64;
+            let mut seq = 0u64;
+            for op in ops {
+                if op == 0 && !heap.is_empty() {
+                    let expect = heap.pop();
+                    let got = wheel.pop();
+                    prop_assert_eq!(got, expect);
+                    now = expect.unwrap().0 .0;
+                } else {
+                    // Schedules never go backwards past the last pop — the
+                    // same contract `Core::schedule_at` enforces by clamping.
+                    let at = SimTime(now + rng.gen_range(0u64..10_000_000_000));
+                    wheel.push(at, seq, seq);
+                    heap.push(at, seq, seq);
+                    seq += 1;
+                }
+            }
+            while let Some(expect) = heap.pop() {
+                prop_assert_eq!(wheel.pop(), Some(expect));
+            }
+            prop_assert!(wheel.is_empty());
+            prop_assert_eq!(wheel.peek(), None);
+        }
     }
 }
 
@@ -249,48 +300,6 @@ fn wheel_same_tick_burst_pops_in_seq_order() {
 }
 
 proptest! {
-    /// Larger randomized schedules than the seeded sweep, full drain.
-    #[test]
-    fn wheel_pop_order_matches_heap(seed in any::<u64>(), len in 1usize..400) {
-        assert_wheel_matches_heap(&random_schedule(seed, len));
-    }
-
-    /// Interleaved push/pop: pops advance the wheel cursor between
-    /// pushes, exercising cascades and the ready-buffer merge paths that
-    /// a push-all-then-drain test never reaches.
-    #[test]
-    fn wheel_matches_heap_under_interleaved_ops(
-        seed in any::<u64>(),
-        ops in proptest::collection::vec(0u32..4, 1..300),
-    ) {
-        use rand::Rng;
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut wheel: TimerWheel<u64> = TimerWheel::new();
-        let mut heap: NaiveHeap<u64> = NaiveHeap::new();
-        let mut now = 0u64;
-        let mut seq = 0u64;
-        for op in ops {
-            if op == 0 && !heap.is_empty() {
-                let expect = heap.pop();
-                let got = wheel.pop();
-                prop_assert_eq!(got, expect);
-                now = expect.unwrap().0 .0;
-            } else {
-                // Schedules never go backwards past the last pop — the
-                // same contract `Core::schedule_at` enforces by clamping.
-                let at = SimTime(now + rng.gen_range(0u64..10_000_000_000));
-                wheel.push(at, seq, seq);
-                heap.push(at, seq, seq);
-                seq += 1;
-            }
-        }
-        while let Some(expect) = heap.pop() {
-            prop_assert_eq!(wheel.pop(), Some(expect));
-        }
-        prop_assert!(wheel.is_empty());
-        prop_assert_eq!(wheel.peek(), None);
-    }
-
     /// The wheel's own accounting: pushes = pops after a full drain, and
     /// the high-water depth equals the schedule length for push-all-first.
     #[test]

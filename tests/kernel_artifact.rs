@@ -9,7 +9,7 @@
 //! it alongside the change; CI runs the same regenerate-and-diff check.
 
 use drs::obs::{FieldValue, Row};
-use drs_bench::kernel::{kernel_artifact, kernel_artifact_json, run_grid};
+use drs_bench::kernel::{kernel_artifact, kernel_artifact_json, run_grid, SCALING_THREADS};
 use drs_bench::{BENCH_SEED, KERNEL_BENCH_JSON};
 
 fn committed() -> String {
@@ -52,7 +52,7 @@ fn committed_artifact_regenerates_byte_for_byte() {
 
 #[test]
 fn batched_queue_traffic_is_linear_in_n_across_the_grid() {
-    let artifact = kernel_artifact(&run_grid());
+    let artifact = kernel_artifact(&run_grid(), &[]);
     let reduction = artifact
         .get("queue_traffic_reduction")
         .expect("reduction section");
@@ -87,14 +87,46 @@ fn batched_queue_traffic_is_linear_in_n_across_the_grid() {
 #[test]
 fn committed_artifact_reports_clean_healthy_runs() {
     let json = committed();
-    assert!(json.contains("\"schema\": \"drs-bench-kernel/v1\""));
+    assert!(json.contains("\"schema\": \"drs-bench-kernel/v2\""));
     // Healthy clusters must never clamp a past-time schedule: all twelve
-    // wheel_ops rows carry an exact zero.
-    assert_eq!(json.matches("\"clamped_past\": 0").count(), 12);
+    // wheel_ops rows plus all sixteen thread_scaling rows carry an exact
+    // zero.
+    assert_eq!(json.matches("\"clamped_past\": 0").count(), 28);
     for row_id in ["n90_k2_per_pair", "n90_k2_batched"] {
         assert!(
             json.contains(&format!("\"id\": \"{row_id}\"")),
             "headline 90-node cell {row_id} missing from the artifact"
+        );
+    }
+}
+
+#[test]
+fn committed_thread_scaling_is_thread_count_invariant() {
+    // Every (n, k) scaling cell appears once per thread count, and all
+    // of a cell's rows carry the same end-state digest — the committed
+    // proof that the sharded schedule is deterministic.
+    let json = committed();
+    for (n, k) in [(256, 2), (256, 4), (1024, 2), (1024, 4)] {
+        let mut digests = Vec::new();
+        for t in SCALING_THREADS {
+            let id = format!("\"id\": \"n{n}_k{k}_t{t}\"");
+            let row_start = json.find(&id).unwrap_or_else(|| {
+                panic!("scaling cell n{n}_k{k}_t{t} missing from the artifact")
+            });
+            let row = &json[row_start..json[row_start..].find('}').unwrap() + row_start];
+            let tag = "\"state_digest\": ";
+            let at = row.find(tag).expect("state_digest field") + tag.len();
+            let digest: u64 = row[at..]
+                .split(|c: char| !c.is_ascii_digit())
+                .next()
+                .unwrap()
+                .parse()
+                .expect("digest parses");
+            digests.push(digest);
+        }
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "n{n}_k{k}: digests differ across thread counts: {digests:?}"
         );
     }
 }
