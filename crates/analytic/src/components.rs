@@ -26,8 +26,9 @@ use serde::{Deserialize, Serialize};
 
 /// Maximum number of nodes supported by the fixed-width [`FailureSet`]
 /// bitset (`2N + 2 ≤ 256`). The paper evaluates N < 64; the closed form in
-/// [`crate::exact`] has no such limit.
-pub const MAX_NODES: usize = 127;
+/// [`crate::exact`] has no such limit. Shared with every other
+/// bitset-backed engine via [`drs_topology::limits`].
+pub use drs_topology::limits::MAX_NODES;
 
 /// One failable component of the redundant-network cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -84,15 +85,25 @@ impl Component {
     /// Inverse of [`Component::index_k`].
     ///
     /// # Panics
-    /// Panics if `idx ≥ planes·n + planes`.
+    /// Panics if `idx ≥ planes·n + planes`; see
+    /// [`Component::try_from_index_k`] for the non-panicking form.
     #[must_use]
     pub fn from_index_k(idx: usize, n: usize, planes: u8) -> Self {
+        match Component::try_from_index_k(idx, n, planes) {
+            Some(c) => c,
+            None => panic!("component index {idx} out of range for n={n}, K={planes}"),
+        }
+    }
+
+    /// Non-panicking inverse of [`Component::index_k`]: `None` when `idx`
+    /// is at or beyond the `planes·n + planes` universe.
+    #[must_use]
+    pub fn try_from_index_k(idx: usize, n: usize, planes: u8) -> Option<Self> {
         let k = planes as usize;
-        assert!(
-            idx < k * n + k,
-            "component index {idx} out of range for n={n}, K={planes}"
-        );
-        if idx < k {
+        if idx >= k * n + k {
+            return None;
+        }
+        Some(if idx < k {
             Component::Backplane(idx as u8)
         } else {
             let rel = idx - k;
@@ -100,7 +111,7 @@ impl Component {
                 node: (rel % n) as u32,
                 net: (rel / n) as u8,
             }
-        }
+        })
     }
 
     /// Whether this component is network infrastructure shared by all nodes
@@ -264,6 +275,30 @@ mod tests {
     #[should_panic(expected = "out of range for K=3")]
     fn net_out_of_range_for_k_panics() {
         let _ = Component::Nic { node: 0, net: 3 }.index_k(4, 3);
+    }
+
+    #[test]
+    fn try_from_index_boundary_is_none() {
+        for planes in 2u8..=4 {
+            let n = 6;
+            let k = planes as usize;
+            let m = k * n + k;
+            assert_eq!(
+                Component::try_from_index_k(m - 1, n, planes),
+                Some(Component::Nic {
+                    node: (n - 1) as u32,
+                    net: planes - 1
+                })
+            );
+            assert_eq!(Component::try_from_index_k(m, n, planes), None);
+            assert_eq!(Component::try_from_index_k(m + 1, n, planes), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "component index 14 out of range for n=6, K=2")]
+    fn from_index_boundary_panics_with_the_historical_message() {
+        let _ = Component::from_index_k(14, 6, 2);
     }
 
     #[test]

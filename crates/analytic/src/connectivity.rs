@@ -22,12 +22,13 @@
 //! estimator can test millions of failure draws per second without
 //! allocating.
 
-use crate::components::{FailureSet, MAX_NODES};
+use crate::components::FailureSet;
 
 /// Maximum number of network planes the fixed-width [`ClusterState`]
 /// supports. Bounded well under the [`FailureSet`] bitset capacity
-/// (`K·N + K ≤ 256`) for any interesting `N`.
-pub const MAX_PLANES: usize = 8;
+/// (`K·N + K ≤ 256`) for any interesting `N`. Shared with every other
+/// bitset-backed engine via [`drs_topology::limits`].
+pub use drs_topology::limits::MAX_PLANES;
 
 /// Liveness snapshot of a cluster: which NICs and backplanes are up.
 ///
@@ -51,7 +52,7 @@ impl ClusterState {
     /// configuration.
     ///
     /// # Panics
-    /// Panics if `n` is 0 or exceeds [`MAX_NODES`].
+    /// Panics if `n` is 0 or exceeds [`crate::components::MAX_NODES`].
     #[must_use]
     pub fn fully_up(n: usize) -> Self {
         ClusterState::fully_up_k(n, 2)
@@ -60,24 +61,18 @@ impl ClusterState {
     /// A fully-operational `planes`-plane cluster of `n` nodes.
     ///
     /// # Panics
-    /// Panics if `n` is 0 or exceeds [`MAX_NODES`], if `planes` is outside
+    /// Panics if `n` is 0 or exceeds [`crate::components::MAX_NODES`], if
+    /// `planes` is outside
     /// `2..=MAX_PLANES`, or if the `planes·n + planes` components exceed
     /// the [`FailureSet`] index space (256).
     #[must_use]
     pub fn fully_up_k(n: usize, planes: u8) -> Self {
-        assert!(
-            (1..=MAX_NODES).contains(&n),
-            "n={n} outside 1..={MAX_NODES}"
-        );
         let k = planes as usize;
-        assert!(
-            (2..=MAX_PLANES).contains(&k),
-            "planes={planes} outside 2..={MAX_PLANES}"
-        );
-        assert!(
-            k * n + k <= 256,
-            "universe {k}*{n}+{k} exceeds the 256-component index space"
-        );
+        // The shared validation's Display strings are byte-compatible with
+        // the asserts that used to live here.
+        if let Err(e) = drs_topology::limits::validate_kplane(n, k) {
+            panic!("{e}");
+        }
         let full = if n == 128 {
             u128::MAX
         } else {
@@ -477,7 +472,7 @@ mod tests {
 
     #[test]
     fn max_nodes_cluster_works() {
-        let n = MAX_NODES;
+        let n = crate::components::MAX_NODES;
         let st = ClusterState::fully_up(n);
         assert!(pair_connected_state(&st, 0, n - 1));
         assert!(all_pairs_connected_state(&st));

@@ -21,6 +21,11 @@
 //! * a **symmetry-reduced orbit counter** that collapses the subset walk to
 //!   polynomially many weighted equivalence classes, extending bit-exact
 //!   ground truth to the full node range ([`orbit`]),
+//! * **topology-general engines** ([`topo`]): the enumeration walk and the
+//!   Monte-Carlo estimator lifted to arbitrary [`drs_topology::Topology`]
+//!   graphs (Fat-Tree, BCube, DCell, …) with union-find reachability
+//!   policies — the K-plane cluster is the degenerate case, reproduced
+//!   count-for-count and draw-for-draw,
 //! * a **parallel sweep engine** fanning `(N, f)` grids of
 //!   exact/enumerated/Monte-Carlo cells across a rayon pool with
 //!   deterministic seeds and a machine-readable JSON artifact ([`sweep`]),
@@ -61,6 +66,7 @@ pub mod qmodel;
 pub mod series;
 pub mod sweep;
 pub mod thresholds;
+pub mod topo;
 
 pub use allpairs::{expected_disconnected_pairs, p_all_pairs};
 pub use components::{Component, FailureSet};
@@ -70,3 +76,6 @@ pub use montecarlo::{MonteCarlo, MonteCarloEstimate};
 pub use orbit::{orbit_p_success, orbit_pair_success};
 pub use sweep::{run_sweep, SweepConfig, SweepResult};
 pub use thresholds::first_n_exceeding;
+pub use topo::{
+    enumerate_pair_success_topo, enumerate_pair_success_topo_parallel, TopoMonteCarlo,
+};

@@ -50,7 +50,7 @@ impl MonteCarloEstimate {
         ((centre - half).max(0.0), (centre + half).min(1.0))
     }
 
-    fn from_counts(successes: u64, iterations: u64) -> Self {
+    pub(crate) fn from_counts(successes: u64, iterations: u64) -> Self {
         assert!(iterations > 0, "at least one iteration required");
         let p = successes as f64 / iterations as f64;
         MonteCarloEstimate {
@@ -202,9 +202,10 @@ pub fn sample_failure_set_k(n: usize, planes: u8, f: usize, rng: &mut SmallRng) 
     drawn
 }
 
-/// SplitMix64 finalizer used to derive independent per-chunk seeds.
+/// SplitMix64 finalizer used to derive independent per-chunk seeds (shared
+/// with the topology-general estimator in [`crate::topo`]).
 #[must_use]
-fn mix_stream(seed: u64, stream: u64) -> u64 {
+pub(crate) fn mix_stream(seed: u64, stream: u64) -> u64 {
     let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

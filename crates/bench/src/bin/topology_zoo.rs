@@ -1,0 +1,80 @@
+//! Runs the topology-zoo survivability-vs-cost sweep and writes the
+//! machine-readable `BENCH_topology.json` artifact (schema in
+//! EXPERIMENTS.md).
+//!
+//! The run is [`drs_bench::topology_zoo::bench_artifact`] under the fixed
+//! master seed [`drs_bench::BENCH_SEED`]: for every zoo member (K-plane,
+//! Fat-Tree, BCube, DCell) and failure count `f ∈ 1..=4`, the
+//! exact-or-sampled pair survivability over the topology's explicit
+//! component universe, cross-checked by deterministic packet-level trials
+//! — the live DRS cluster on K-plane rows, a flooding graph world on the
+//! datacenter fabrics — plus the topology's equipment bill. Before
+//! writing, the binary re-runs everything serially and asserts the
+//! parallel and serial artifacts are byte-identical, and asserts that
+//! every simulated trial agreed with the reachability predicate.
+//!
+//! Run: `cargo run --release -p drs-bench --bin topology_zoo [output.json]`
+
+use std::path::Path;
+use std::time::Instant;
+
+use drs_bench::topology_zoo::bench_artifact;
+use drs_bench::{fmt_p, row, section, write_artifact, BENCH_SEED, TOPOLOGY_BENCH_JSON};
+use drs_harness::RunMode;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| TOPOLOGY_BENCH_JSON.to_string());
+
+    println!("topology-zoo survivability-vs-cost sweep -> {path}");
+    let started = Instant::now();
+    let artifact = bench_artifact(BENCH_SEED, RunMode::Parallel);
+    let parallel_elapsed = started.elapsed();
+
+    let started = Instant::now();
+    let serial = bench_artifact(BENCH_SEED, RunMode::Serial);
+    let serial_elapsed = started.elapsed();
+
+    section("cells");
+    let widths = [16, 5, 11, 3, 11, 8, 5];
+    row(
+        &["topology", "cost", "method", "f", "p", "agree", "sim p"]
+            .map(String::from)
+            .to_vec(),
+        &widths,
+    );
+    for c in &artifact.cells {
+        row(
+            &[
+                c.topology.clone(),
+                format!("{}", c.cost_units),
+                c.method.as_str().to_string(),
+                c.f.to_string(),
+                fmt_p(c.p),
+                format!("{}/{}", c.agree, c.trials),
+                fmt_p(c.delivered as f64 / c.trials as f64),
+            ],
+            &widths,
+        );
+        assert_eq!(
+            c.agree, c.trials,
+            "cell ({}, f={}) has sim/predicate disagreements",
+            c.topology, c.f
+        );
+    }
+
+    section("determinism");
+    let json = artifact.to_json();
+    assert_eq!(
+        json,
+        serial.to_json(),
+        "parallel and serial artifacts must be byte-identical"
+    );
+    println!("  parallel == serial, byte-for-byte");
+    println!("  parallel {parallel_elapsed:.2?}, serial {serial_elapsed:.2?}");
+
+    write_artifact(Path::new(&path), &json).expect("write topology artifact");
+    println!();
+    println!("wrote {path} (master seed {BENCH_SEED})");
+}

@@ -15,6 +15,7 @@ pub mod kernel;
 pub mod knet;
 pub mod obs_artifact;
 pub mod sim_artifact;
+pub mod topology_zoo;
 
 /// The master seed every sweep-driven binary uses, so the committed
 /// artifacts ([`BENCH_JSON`], [`SIM_BENCH_JSON`]) are reproducible from
@@ -47,6 +48,13 @@ pub const KNET_BENCH_JSON: &str = "BENCH_knet_survivability.json";
 /// queue-traffic and timer-wheel operation counts over the `(N, K)`
 /// probe-workload grid, per-pair vs batched monitor drivers.
 pub const KERNEL_BENCH_JSON: &str = "BENCH_kernel.json";
+
+/// File name of the machine-readable topology-zoo artifact tracked in
+/// the repo root (schema documented in EXPERIMENTS.md): the
+/// survivability-vs-cost frontier over K-plane, Fat-Tree, BCube and
+/// DCell fabrics, exact-or-sampled `P[pair survives]` per `(topology, f)`
+/// cell cross-checked against packet-level graph worlds.
+pub const TOPOLOGY_BENCH_JSON: &str = "BENCH_topology.json";
 
 /// Writes a sweep artifact (or any text) to `path`.
 ///

@@ -20,13 +20,19 @@
 //! 15 %, 25 % of 100 Mb/s) and [`empirical`] *measures* the same
 //! quantities on the packet-level simulator with real [`drs_core`]
 //! daemons, closing the loop between formula and implementation.
+//!
+//! Beyond bandwidth, [`equipment`] prices the *hardware* a topology buys
+//! its redundancy with (switches, ports, cables) — the capital axis of
+//! the survivability-vs-cost frontier in the topology-zoo study.
 
 pub mod empirical;
+pub mod equipment;
 pub mod figure1;
 pub mod model;
 pub mod planner;
 
 pub use empirical::{measure_probe_cost, EmpiricalCost};
+pub use equipment::{cost_units, EquipmentCount, EquipmentPrices};
 pub use figure1::{figure1, CostSeries, PAPER_BUDGETS};
 pub use model::ProbeCostModel;
 pub use planner::{plan_cluster, ClusterPlan, PlanningRequirement};

@@ -165,20 +165,30 @@ impl FaultPlan {
 /// to a simulator component.
 ///
 /// # Panics
-/// Panics if `idx ≥ planes·n + planes`.
+/// Panics if `idx ≥ planes·n + planes`; see [`try_index_to_component`] for
+/// the non-panicking form.
 #[must_use]
 pub fn index_to_component(idx: usize, n: usize, planes: u8) -> SimComponent {
-    assert!(
-        idx < component_count(n, planes),
-        "component index {idx} out of range for n={n} planes={planes}"
-    );
+    match try_index_to_component(idx, n, planes) {
+        Some(c) => c,
+        None => panic!("component index {idx} out of range for n={n} planes={planes}"),
+    }
+}
+
+/// Non-panicking form of [`index_to_component`]: `None` when `idx` is at
+/// or beyond the `planes·n + planes` universe.
+#[must_use]
+pub fn try_index_to_component(idx: usize, n: usize, planes: u8) -> Option<SimComponent> {
+    if idx >= component_count(n, planes) {
+        return None;
+    }
     let k = planes as usize;
-    if idx < k {
+    Some(if idx < k {
         SimComponent::Hub(NetId::from_idx(idx))
     } else {
         let rel = idx - k;
         SimComponent::Nic(NodeId((rel % n) as u32), NetId::from_idx(rel / n))
-    }
+    })
 }
 
 /// Inverse of [`index_to_component`].
@@ -250,6 +260,31 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_plane_component_rejected() {
         let _ = component_to_index(SimComponent::Hub(NetId(2)), 4, 2);
+    }
+
+    #[test]
+    fn boundary_index_is_none_not_a_wrong_component() {
+        // The first out-of-range index is exactly K·n + K; it must be
+        // rejected, not wrapped into some in-range component.
+        for planes in [2u8, 3, 4] {
+            let n = 6;
+            let m = component_count(n, planes);
+            assert_eq!(
+                try_index_to_component(m - 1, n, planes),
+                Some(SimComponent::Nic(
+                    NodeId((n - 1) as u32),
+                    NetId(planes - 1)
+                ))
+            );
+            assert_eq!(try_index_to_component(m, n, planes), None);
+            assert_eq!(try_index_to_component(m + 1, n, planes), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "component index 14 out of range for n=6 planes=2")]
+    fn boundary_index_panics_with_the_historical_message() {
+        let _ = index_to_component(14, 6, 2);
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //!   exponential backoff, standing in for TCP so that experiments can
 //!   observe whether applications notice failures ([`transport`]),
 //! * **fault injection** for NICs and hubs, scheduled or random ([`fault`]),
-//! * application **workloads** and delivery statistics ([`app`], [`stats`]).
+//! * application **workloads** and delivery statistics ([`app`], [`stats`]),
+//! * **explicit topology graphs** beyond the K-plane cluster: a
+//!   [`topology::TopologySpec`] maps any `drs-topology` graph (fat-tree,
+//!   BCube, DCell, …) onto the same kernel — one segment per link, NIC
+//!   membership masks, and switch/link failure components ([`topology`]).
 //!
 //! Routing daemons (DRS itself, and the reactive baselines) plug in through
 //! the [`world::Protocol`] trait: one protocol instance runs on every host,
@@ -73,6 +77,7 @@ pub mod routes;
 pub mod scenario;
 pub mod stats;
 pub mod time;
+pub mod topology;
 pub mod transport;
 pub mod wheel;
 pub mod world;
@@ -83,6 +88,7 @@ pub use ids::{NetId, NodeId};
 pub use routes::Route;
 pub use scenario::ClusterSpec;
 pub use time::{SimDuration, SimTime};
+pub use topology::TopologySpec;
 pub use world::{
     threads_from_env, Ctx, EventRecord, EventTag, HubTimeline, Protocol, ShardStats, ShardedWorld,
     TransportEvent, World,

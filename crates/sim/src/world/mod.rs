@@ -318,11 +318,32 @@ pub struct World<P: Protocol> {
 impl<P: Protocol> World<P> {
     /// Builds a cluster and starts every daemon (each gets `on_start` at
     /// time zero, in host order).
-    pub fn new(spec: ClusterSpec, mut factory: impl FnMut(NodeId) -> P) -> Self {
-        let core = Core::new(spec);
-        let protocols = (0..spec.n).map(|i| factory(NodeId(i as u32))).collect();
+    pub fn new(spec: ClusterSpec, factory: impl FnMut(NodeId) -> P) -> Self {
+        Self::assemble(Core::new(spec), factory)
+    }
+
+    /// Builds a cluster over an explicit topology graph: one simulated
+    /// node per graph node (hosts *and* switches run the protocol), one
+    /// two-endpoint shared segment per link. NICs are masked down to
+    /// link membership and route tables start empty — both applied
+    /// before any `on_start`, so daemons observe the fabric from the
+    /// first instant. See [`crate::topology`] for the mapping.
+    pub fn from_topology(
+        tspec: &crate::topology::TopologySpec,
+        factory: impl FnMut(NodeId) -> P,
+    ) -> Self {
+        let mut core = Core::new_with_media(tspec.cluster_spec(), tspec.media());
+        tspec.apply_membership(&mut core.hosts);
+        Self::assemble(core, factory)
+    }
+
+    /// Instantiates one daemon per host and runs every `on_start` at
+    /// time zero, in host order, over an already-built core.
+    fn assemble(core: Core<P::Msg>, mut factory: impl FnMut(NodeId) -> P) -> Self {
+        let n = core.spec.n;
+        let protocols = (0..n).map(|i| factory(NodeId(i as u32))).collect();
         let mut world = World { core, protocols };
-        for i in 0..spec.n {
+        for i in 0..n {
             let node = NodeId(i as u32);
             let mut ctx = Ctx {
                 core: &mut world.core,
@@ -950,5 +971,158 @@ mod tests {
     fn fault_on_missing_plane_rejected() {
         let mut w = idle_world(2);
         w.schedule_faults(FaultPlan::new().fail_at(SimTime(0), SimComponent::Hub(NetId(2))));
+    }
+
+    // ---- topology worlds -------------------------------------------------
+
+    use crate::topology::TopologySpec;
+    use drs_topology::{generators, ComponentSet, Reachability};
+
+    /// A one-shot flooding protocol over a topology world: the origin
+    /// broadcasts a token on every live NIC shortly after start, and
+    /// every node (hosts and switch nodes alike) rebroadcasts once on
+    /// first receipt — the DES analogue of transitive reachability.
+    struct Flood {
+        origin: NodeId,
+        seen: bool,
+    }
+
+    fn flood_out(ctx: &mut Ctx<'_, u8>) {
+        for s in 0..ctx.planes() {
+            let net = NetId(s);
+            if ctx.nic_is_up(net) {
+                ctx.broadcast_control(net, 1);
+            }
+        }
+    }
+
+    impl Protocol for Flood {
+        type Msg = u8;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u8>) {
+            if ctx.self_id() == self.origin {
+                // Start after the faults at t = 0 have taken effect.
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u8>, _token: u64) {
+            self.seen = true;
+            flood_out(ctx);
+        }
+        fn on_control(&mut self, ctx: &mut Ctx<'_, u8>, _from: NodeId, _net: NetId, _msg: &u8) {
+            if !self.seen {
+                self.seen = true;
+                flood_out(ctx);
+            }
+        }
+    }
+
+    #[test]
+    fn kplane_topology_world_masks_nics_to_membership() {
+        let t = TopologySpec::new(generators::kplane(4, 2)).seed(1);
+        let w = World::from_topology(&t, |_| Idle);
+        // Host i is a member of segments {0·n + i, 1·n + i} only.
+        for i in 0..4u32 {
+            for s in 0..8u8 {
+                let member = s as u32 % 4 == i;
+                assert_eq!(w.host(NodeId(i)).nic_is_up(NetId(s)), member);
+            }
+            assert!(w.host(NodeId(i)).routes.is_empty(), "no default routes");
+        }
+        // Plane p's switch node is a member of segments p·n .. p·n + n.
+        for p in 0..2usize {
+            let sw = t.switch_node(p);
+            for s in 0..8usize {
+                assert_eq!(w.host(sw).nic_is_up(NetId(s as u8)), s / 4 == p);
+            }
+        }
+    }
+
+    /// Runs the flood from host 0 on a topology with the given failed
+    /// components and returns each node's receipt flag.
+    fn flood_reachability(t: &TopologySpec, failed: &[usize]) -> Vec<bool> {
+        let mut w = World::from_topology(t, |_| Flood {
+            origin: NodeId(0),
+            seen: false,
+        });
+        w.schedule_faults(t.fault_plan(SimTime(0), failed));
+        w.run_for(SimDuration::from_secs(1));
+        (0..t.nodes())
+            .map(|i| w.protocol(NodeId(i as u32)).seen)
+            .collect()
+    }
+
+    #[test]
+    fn topology_flood_matches_transitive_reachability() {
+        // DCell(4,1) with its cell-0 switch failed: cell-0 hosts stay
+        // reachable through their cross links; the flood must agree with
+        // the union-find engine host for host.
+        let t = TopologySpec::new(generators::dcell(4, 1)).seed(7);
+        let failed = [0usize]; // switch 0
+        let seen = flood_reachability(&t, &failed);
+        let set = ComponentSet::from_indices(&failed);
+        let mut expected_some_cut = false;
+        for v in 1..t.topology().hosts() {
+            let reach = drs_topology::pair_connected(
+                t.topology(),
+                &set,
+                0,
+                v,
+                Reachability::Transitive,
+            );
+            assert_eq!(seen[v], reach, "host {v} flood vs union-find");
+            expected_some_cut |= !reach;
+        }
+        // Sanity: dcell survives a single switch loss transitively.
+        assert!(!expected_some_cut, "dcell(4,1) tolerates one switch");
+        // A dead switch node must not have received anything.
+        let sw = t.switch_node(0);
+        assert!(!seen[sw.idx()], "failed switch stays deaf");
+    }
+
+    #[test]
+    fn topology_flood_sees_link_cuts() {
+        // Fat-tree(4), host 0's only edge uplink cut: host 0 is isolated
+        // and nothing else is.
+        let t = TopologySpec::new(generators::fat_tree(4)).seed(3);
+        let topo = t.topology();
+        let uplink = topo.incident_links(0)[0] as usize;
+        let failed = [topo.switches() + uplink];
+        // Flood from host 1 instead: origin 0 would be the isolated one.
+        let mut w = World::from_topology(&t, |_| Flood {
+            origin: NodeId(1),
+            seen: false,
+        });
+        w.schedule_faults(t.fault_plan(SimTime(0), &failed));
+        w.run_for(SimDuration::from_secs(1));
+        let set = ComponentSet::from_indices(&failed);
+        for v in 0..topo.hosts() {
+            if v == 1 {
+                continue;
+            }
+            let reach =
+                drs_topology::pair_connected(topo, &set, 1, v, Reachability::Transitive);
+            assert_eq!(w.protocol(NodeId(v as u32)).seen, reach, "host {v}");
+        }
+        assert!(!w.protocol(NodeId(0)).seen, "cut host misses the flood");
+        assert!(w.protocol(NodeId(2)).seen);
+    }
+
+    #[test]
+    fn topology_flood_plain_vs_sharded_identical() {
+        let t = TopologySpec::new(generators::bcube(4, 1)).seed(9);
+        let failed = [1usize, 8]; // one switch, one link
+        let plain = flood_reachability(&t, &failed);
+        for threads in [1usize, 3] {
+            let mut sw = ShardedWorld::from_topology(&t, 4, threads, |_| Flood {
+                origin: NodeId(0),
+                seen: false,
+            });
+            sw.schedule_faults(t.fault_plan(SimTime(0), &failed));
+            sw.run_for(SimDuration::from_secs(1));
+            let sharded: Vec<bool> = (0..t.nodes())
+                .map(|i| sw.protocol(NodeId(i as u32)).seen)
+                .collect();
+            assert_eq!(plain, sharded, "threads={threads}");
+        }
     }
 }

@@ -209,6 +209,17 @@ impl<M: Clone + std::fmt::Debug> Core<M> {
         let media = NetId::planes(spec.planes)
             .map(|net| SharedMedium::new(net, spec.bandwidth_bps, spec.propagation))
             .collect();
+        Self::new_with_media(spec, media)
+    }
+
+    /// A full-cluster core over explicitly built media (the topology
+    /// layer constructs per-link segments with per-link bandwidth).
+    pub(crate) fn new_with_media(spec: ClusterSpec, media: Vec<SharedMedium>) -> Self {
+        assert_eq!(
+            media.len(),
+            spec.planes as usize,
+            "one medium per plane/segment"
+        );
         let rng = RngBank::Shared(SmallRng::seed_from_u64(spec.seed));
         Self::build(spec, 0, spec.n, media, Fabric::Direct, rng)
     }

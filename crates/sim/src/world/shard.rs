@@ -257,6 +257,31 @@ impl<P: Protocol> ShardedWorld<P> {
         spec: ClusterSpec,
         shards: usize,
         threads: usize,
+        factory: impl FnMut(NodeId) -> P,
+    ) -> Self {
+        Self::build(spec, shards, threads, None, factory)
+    }
+
+    /// Builds a sharded cluster over an explicit topology graph — the
+    /// parallel counterpart of [`super::World::from_topology`]: one
+    /// simulated node per graph node, one two-endpoint segment per link,
+    /// NICs masked to membership and empty route tables before any
+    /// `on_start`. The lookahead is the *minimum* over segments (the
+    /// fastest link bounds the earliest cross-shard interaction).
+    pub fn from_topology(
+        tspec: &crate::topology::TopologySpec,
+        shards: usize,
+        threads: usize,
+        factory: impl FnMut(NodeId) -> P,
+    ) -> Self {
+        Self::build(tspec.cluster_spec(), shards, threads, Some(tspec), factory)
+    }
+
+    fn build(
+        spec: ClusterSpec,
+        shards: usize,
+        threads: usize,
+        tspec: Option<&crate::topology::TopologySpec>,
         mut factory: impl FnMut(NodeId) -> P,
     ) -> Self {
         assert!(shards >= 1, "at least one shard");
@@ -274,7 +299,10 @@ impl<P: Protocol> ShardedWorld<P> {
             for i in base..base + len as u32 {
                 owner[i as usize] = id as u32;
             }
-            let core = Core::new_shard(spec, base, len, timeline.clone());
+            let mut core = Core::new_shard(spec, base, len, timeline.clone());
+            if let Some(t) = tspec {
+                t.apply_membership(&mut core.hosts);
+            }
             let protocols = (base..base + len as u32)
                 .map(|i| factory(NodeId(i)))
                 .collect();
@@ -288,13 +316,20 @@ impl<P: Protocol> ShardedWorld<P> {
             base += len as u32;
         }
 
-        let media: Vec<SharedMedium> = NetId::planes(spec.planes)
-            .map(|net| SharedMedium::new(net, spec.bandwidth_bps, spec.propagation))
-            .collect();
-        // The minimum cross-host latency: 1-byte serialization plus
-        // propagation. Queueing and real frame sizes only add to it.
-        let lookahead = (media[0].serialization(1) + spec.propagation)
-            .as_nanos()
+        let media: Vec<SharedMedium> = match tspec {
+            Some(t) => t.media(),
+            None => NetId::planes(spec.planes)
+                .map(|net| SharedMedium::new(net, spec.bandwidth_bps, spec.propagation))
+                .collect(),
+        };
+        // The minimum cross-host latency over all segments: 1-byte
+        // serialization plus propagation. Queueing and real frame sizes
+        // only add to it; the fastest segment bounds the window.
+        let lookahead = media
+            .iter()
+            .map(|m| (m.serialization(1) + spec.propagation).as_nanos())
+            .min()
+            .expect("at least one segment")
             .max(1);
 
         let mut world = ShardedWorld {

@@ -1,0 +1,152 @@
+//! The one shared capacity validation for every bitset-backed engine.
+//!
+//! The analytic counters pack per-plane NIC state into `u128` words and
+//! failure sets into a 256-bit set, so they cap the universe at
+//! [`MAX_NODES`] nodes, [`MAX_PLANES`] planes and [`MAX_COMPONENTS`]
+//! components. Those caps used to live as ad-hoc asserts in each engine;
+//! they are now checked here, once, with one error vocabulary — the
+//! `Display` strings are byte-compatible with the historical assert
+//! messages, so `should_panic` expectations and log greps survive.
+//!
+//! The packet-level simulator deliberately does **not** adopt these caps
+//! (it runs thousand-node clusters); only the counting engines and the
+//! [`crate::Topology`]-driven spec constructors validate through here.
+
+use std::fmt;
+
+/// Largest cluster the bitmask connectivity model supports (NIC state for
+/// one plane packs into a `u128`, with one bit to spare).
+pub const MAX_NODES: usize = 127;
+
+/// Largest redundancy degree the per-plane state arrays support.
+pub const MAX_PLANES: usize = 8;
+
+/// Largest component universe the 256-bit failure set supports.
+pub const MAX_COMPONENTS: usize = 256;
+
+/// A capacity violation detected at construction time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitError {
+    /// Node count outside `1..=MAX_NODES`.
+    Nodes {
+        /// The rejected node count.
+        n: usize,
+    },
+    /// Plane count outside `2..=MAX_PLANES`.
+    Planes {
+        /// The rejected plane count.
+        planes: usize,
+    },
+    /// A K-plane universe `K·n + K` larger than [`MAX_COMPONENTS`].
+    KPlaneUniverse {
+        /// Cluster size.
+        n: usize,
+        /// Redundancy degree.
+        planes: usize,
+    },
+    /// A general component universe larger than [`MAX_COMPONENTS`].
+    Components {
+        /// The rejected component count.
+        components: usize,
+    },
+}
+
+impl fmt::Display for LimitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LimitError::Nodes { n } => write!(f, "n={n} outside 1..={MAX_NODES}"),
+            LimitError::Planes { planes } => {
+                write!(f, "planes={planes} outside 2..={MAX_PLANES}")
+            }
+            LimitError::KPlaneUniverse { n, planes } => write!(
+                f,
+                "universe {planes}*{n}+{planes} exceeds the 256-component index space"
+            ),
+            LimitError::Components { components } => write!(
+                f,
+                "universe of {components} components exceeds the 256-component index space"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LimitError {}
+
+/// Validates a K-plane counting universe: `1 ≤ n ≤ MAX_NODES`,
+/// `2 ≤ planes ≤ MAX_PLANES`, and `planes·n + planes ≤ MAX_COMPONENTS`.
+///
+/// # Errors
+/// The first violated cap, with the engines' historical message wording.
+pub fn validate_kplane(n: usize, planes: usize) -> Result<(), LimitError> {
+    if !(1..=MAX_NODES).contains(&n) {
+        return Err(LimitError::Nodes { n });
+    }
+    if !(2..=MAX_PLANES).contains(&planes) {
+        return Err(LimitError::Planes { planes });
+    }
+    if planes * n + planes > MAX_COMPONENTS {
+        return Err(LimitError::KPlaneUniverse { n, planes });
+    }
+    Ok(())
+}
+
+/// Validates a general component universe against [`MAX_COMPONENTS`].
+///
+/// # Errors
+/// [`LimitError::Components`] when the universe does not fit the 256-bit
+/// failure set.
+pub fn validate_components(components: usize) -> Result<(), LimitError> {
+    if components > MAX_COMPONENTS {
+        return Err(LimitError::Components { components });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_universes_pass() {
+        assert_eq!(validate_kplane(1, 2), Ok(()));
+        assert_eq!(validate_kplane(127, 2), Ok(()));
+        assert_eq!(validate_kplane(30, 8), Ok(()));
+        assert_eq!(validate_components(256), Ok(()));
+    }
+
+    #[test]
+    fn each_cap_has_its_own_error() {
+        assert_eq!(validate_kplane(0, 2), Err(LimitError::Nodes { n: 0 }));
+        assert_eq!(validate_kplane(128, 2), Err(LimitError::Nodes { n: 128 }));
+        assert_eq!(validate_kplane(5, 1), Err(LimitError::Planes { planes: 1 }));
+        assert_eq!(validate_kplane(5, 9), Err(LimitError::Planes { planes: 9 }));
+        assert_eq!(
+            validate_kplane(100, 4),
+            Err(LimitError::KPlaneUniverse { n: 100, planes: 4 })
+        );
+        assert_eq!(
+            validate_components(257),
+            Err(LimitError::Components { components: 257 })
+        );
+    }
+
+    #[test]
+    fn display_matches_the_historical_assert_wording() {
+        assert_eq!(
+            LimitError::Nodes { n: 0 }.to_string(),
+            "n=0 outside 1..=127"
+        );
+        assert_eq!(
+            LimitError::Planes { planes: 9 }.to_string(),
+            "planes=9 outside 2..=8"
+        );
+        assert_eq!(
+            LimitError::KPlaneUniverse { n: 100, planes: 4 }.to_string(),
+            "universe 4*100+4 exceeds the 256-component index space"
+        );
+        assert_eq!(
+            LimitError::Components { components: 300 }.to_string(),
+            "universe of 300 components exceeds the 256-component index space"
+        );
+    }
+}

@@ -6,8 +6,10 @@
 //! reactive baselines ([`baselines`]), the proactive-cost model
 //! ([`cost`]), the deployment failure-trace study ([`trace`]), the
 //! experiment harness that orchestrates simulation trials ([`harness`]),
-//! and the unified observability layer — metric registries, spans and
-//! the observability artifact ([`obs`]).
+//! the unified observability layer — metric registries, spans and
+//! the observability artifact ([`obs`]) — and the first-class topology
+//! graph layer with its datacenter generators and reachability engines
+//! ([`topology`]).
 //!
 //! See the repository README for a guided tour and `DESIGN.md` for the
 //! paper-to-module map.
@@ -19,4 +21,5 @@ pub use drs_cost as cost;
 pub use drs_harness as harness;
 pub use drs_obs as obs;
 pub use drs_sim as sim;
+pub use drs_topology as topology;
 pub use drs_trace as trace;

@@ -92,6 +92,60 @@ fn packet_simulation_agrees_with_predicate_per_trial() {
     }
 }
 
+/// The component index layouts of `drs-analytic`, `drs-sim` and the
+/// `drs-topology` graph layer are three implementations of the same
+/// convention; they must never drift — including at the out-of-range
+/// boundary, where all three must refuse rather than wrap.
+#[test]
+fn topology_component_layout_locks_all_three_layers() {
+    use drs::analytic::components::Component;
+    use drs::sim::fault::{try_index_to_component, SimComponent};
+    use drs::topology::{generators, TopoComponent};
+    for (n, planes) in [(9usize, 2u8), (5, 3), (4, 4)] {
+        let k = planes as usize;
+        let topo = generators::kplane(n, k);
+        let m = k * n + k;
+        assert_eq!(topo.component_count(), m, "n={n} K={k}");
+        for idx in 0..m {
+            let g = topo.component(idx).expect("in range");
+            let a = Component::try_from_index_k(idx, n, planes).expect("in range");
+            let s = try_index_to_component(idx, n, planes).expect("in range");
+            match (g, a, s) {
+                (
+                    TopoComponent::Switch(sw),
+                    Component::Backplane(net),
+                    SimComponent::Hub(hub),
+                ) => {
+                    assert_eq!(sw, net as usize, "idx {idx}");
+                    assert_eq!(sw, hub.idx(), "idx {idx}");
+                }
+                (
+                    TopoComponent::Link(l),
+                    Component::Nic { node, net },
+                    SimComponent::Nic(snode, snet),
+                ) => {
+                    assert_eq!(node, snode.0, "idx {idx}");
+                    assert_eq!(net as usize, snet.idx(), "idx {idx}");
+                    // The graph link is that host's attachment to that
+                    // plane's switch node.
+                    let link = topo.links()[l];
+                    assert_eq!(link.a, node, "idx {idx}: host endpoint");
+                    assert_eq!(
+                        link.b as usize,
+                        n + snet.idx(),
+                        "idx {idx}: switch endpoint"
+                    );
+                }
+                other => panic!("layout drift at idx {idx}: {other:?}"),
+            }
+        }
+        // Boundary: one past the universe is None in every layer.
+        assert_eq!(topo.component(m), None, "n={n} K={k}");
+        assert!(Component::try_from_index_k(m, n, planes).is_none());
+        assert!(try_index_to_component(m, n, planes).is_none());
+    }
+}
+
 /// The component index layouts of `drs-analytic` and `drs-sim` are two
 /// implementations of the same convention; they must never drift.
 #[test]
