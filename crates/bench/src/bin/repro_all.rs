@@ -11,6 +11,7 @@ use drs_analytic::thresholds::first_n_exceeding;
 use drs_baselines::compare::{run_protocol, ProtocolConfigs, ProtocolLabel, ScenarioSpec};
 use drs_baselines::ospf::OspfConfig;
 use drs_baselines::rip::RipConfig;
+use drs_bench::flight::flight_verdict;
 use drs_bench::{e2e, kernel, BENCH_SEED};
 use drs_core::DrsConfig;
 use drs_cost::model::ProbeCostModel;
@@ -206,6 +207,25 @@ fn main() {
             per_pair.timer_events_per_cycle(),
             batched.timer_events_per_cycle(),
             batched.probes_sent
+        ),
+    );
+
+    // Causal flight recorder: every reconstructed failover chain is
+    // complete (no orphaned cause refs) and its timestamp-only
+    // decomposition reproduces the daemon's failover-latency histogram
+    // samples exactly, 100% matched.
+    let fv = flight_verdict();
+    r.check(
+        "flight chains decompose to the failover histograms",
+        fv.all_matched(),
+        format!(
+            "{} failovers, detect {}/{}, reroute {}/{}, {} orphan refs",
+            fv.failovers,
+            fv.matched_detect,
+            fv.detect_chains,
+            fv.matched_reroute,
+            fv.failovers,
+            fv.orphan_refs
         ),
     );
 

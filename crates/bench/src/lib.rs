@@ -11,6 +11,7 @@ use drs_analytic::sweep::SweepResult;
 use drs_sim::time::SimDuration;
 
 pub mod e2e;
+pub mod flight;
 pub mod kernel;
 pub mod knet;
 pub mod obs_artifact;
@@ -55,6 +56,13 @@ pub const KERNEL_BENCH_JSON: &str = "BENCH_kernel.json";
 /// DCell fabrics, exact-or-sampled `P[pair survives]` per `(topology, f)`
 /// cell cross-checked against packet-level graph worlds.
 pub const TOPOLOGY_BENCH_JSON: &str = "BENCH_topology.json";
+
+/// File name of the machine-readable flight-recorder artifact tracked in
+/// the repo root (schema documented in EXPERIMENTS.md): per-cell trace
+/// timelines, causal-chain statistics, and the flight-derived failover
+/// latency decomposition cross-checked bucket-for-bucket against the
+/// daemons' probe observability.
+pub const FLIGHT_BENCH_JSON: &str = "BENCH_flight.json";
 
 /// Writes a sweep artifact (or any text) to `path`.
 ///

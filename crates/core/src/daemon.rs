@@ -22,6 +22,7 @@
 
 use rand::Rng;
 
+use drs_obs::flight::{EventRef, TraceKind};
 use drs_obs::Span;
 use drs_sim::ids::{NetId, NodeId};
 use drs_sim::routes::Route;
@@ -103,6 +104,19 @@ pub struct DrsDaemon {
     cycle_probes: Vec<(NodeId, NetId, u32)>,
     /// Batched-mode down-link backoff: cycles left to skip per pair.
     probe_skip: Vec<u64>,
+    // Flight-recorder identities (all `None` while the recorder is off;
+    // recording never changes what the daemon *does*, only what it can
+    // explain afterwards).
+    /// Last `ProbeSend` record per `(peer, net)` pair.
+    probe_send_ref: Vec<Option<EventRef>>,
+    /// Causal-chain tail per pair: the previous probe send, or the last
+    /// good reply — so a chain walks send → … → send → last-good-recv.
+    probe_chain_ref: Vec<Option<EventRef>>,
+    /// Open `FailoverDecision` per destination, consumed by the
+    /// `RerouteComplete` that closes the repair span.
+    pending_reroute_ref: Vec<Option<EventRef>>,
+    /// Pinned `LinkDown` chain head per pair, released on link-up.
+    down_ref: Vec<Option<EventRef>>,
 }
 
 impl DrsDaemon {
@@ -134,6 +148,10 @@ impl DrsDaemon {
             pending_reroute: vec![None; n],
             cycle_probes: Vec::new(),
             probe_skip: vec![0; n * 2],
+            probe_send_ref: vec![None; n * 2],
+            probe_chain_ref: vec![None; n * 2],
+            pending_reroute_ref: vec![None; n],
+            down_ref: vec![None; n * 2],
         }
     }
 
@@ -184,7 +202,20 @@ impl DrsDaemon {
                 seq,
             });
         }
-        ctx.send_echo(net, peer, ECHO_ID, seq);
+        // Flight: this send's cause is the pair's chain tail (the
+        // previous send, or the last good reply), and the send ref rides
+        // on the frame so kernel loss sites can blame it.
+        let sref = ctx.flight_record(
+            TraceKind::ProbeSend,
+            Some(net),
+            u64::from(peer.0) << 32 | u64::from(seq),
+            self.probe_chain_ref[idx],
+        );
+        if sref.is_some() {
+            self.probe_send_ref[idx] = sref;
+            self.probe_chain_ref[idx] = sref;
+        }
+        ctx.send_echo_traced(net, peer, ECHO_ID, seq, sref);
         seq
     }
 
@@ -243,10 +274,23 @@ impl DrsDaemon {
                 .peers
                 .probe_timed_out(peer, net, seq, self.cfg.miss_threshold);
             if transition == Transition::WentDown {
-                self.handle_link_down(ctx, peer, net);
+                let sweep = self.record_timeout_sweep(ctx, peer, net);
+                self.handle_link_down(ctx, peer, net, sweep);
             }
         }
         self.cycle_probes = probes;
+    }
+
+    /// Flight: the sweep record that declared `(peer, net)` overdue,
+    /// caused by the probe send it gave up on.
+    fn record_timeout_sweep(
+        &mut self,
+        ctx: &mut Ctx<'_, DrsMsg>,
+        peer: NodeId,
+        net: NetId,
+    ) -> Option<EventRef> {
+        let cause = self.probe_send_ref[self.pair_idx(peer, net)];
+        ctx.flight_record(TraceKind::TimeoutSweep, Some(net), u64::from(peer.0), cause)
     }
 
     /// The direct network this daemon would prefer for `peer` right now,
@@ -271,15 +315,37 @@ impl DrsDaemon {
         if let Some(span) = self.pending_reroute[dst.idx()].take() {
             let elapsed = SimDuration(span.elapsed_ns(ctx.now().0));
             ctx.probe_obs_mut().reroute_complete.record(elapsed);
+            // Flight: exactly one completion per closed repair span, so
+            // these records mirror the reroute_complete histogram 1:1.
+            ctx.flight_record(
+                TraceKind::RerouteComplete,
+                None,
+                elapsed.as_nanos(),
+                self.pending_reroute_ref[dst.idx()].take(),
+            );
         }
     }
 
     /// Repairs the route to `dst` after its current path broke: redundant
-    /// direct link first, gateway discovery second.
-    fn repair_route(&mut self, ctx: &mut Ctx<'_, DrsMsg>, dst: NodeId) {
+    /// direct link first, gateway discovery second. `cause` is the
+    /// link-down record that forced the repair.
+    fn repair_route(&mut self, ctx: &mut Ctx<'_, DrsMsg>, dst: NodeId, cause: Option<EventRef>) {
         let now = ctx.now();
+        let newly_opened = self.pending_reroute[dst.idx()].is_none();
         self.pending_reroute[dst.idx()].get_or_insert_with(|| Span::begin(now.0));
-        if let Some(net) = self.best_direct(dst) {
+        let direct = self.best_direct(dst);
+        if newly_opened {
+            // Flight: one decision per repair span, at the instant it
+            // opens — mode says which repair path the daemon committed to.
+            let mode = u64::from(direct.is_none());
+            self.pending_reroute_ref[dst.idx()] = ctx.flight_record(
+                TraceKind::FailoverDecision,
+                None,
+                u64::from(dst.0) << 1 | mode,
+                cause,
+            );
+        }
+        if let Some(net) = direct {
             let new = Route::Direct(net);
             if ctx.route(dst) != Some(new) {
                 self.metrics.direct_failovers += 1;
@@ -290,21 +356,40 @@ impl DrsDaemon {
         }
     }
 
-    fn handle_link_down(&mut self, ctx: &mut Ctx<'_, DrsMsg>, peer: NodeId, net: NetId) {
+    fn handle_link_down(
+        &mut self,
+        ctx: &mut Ctx<'_, DrsMsg>,
+        peer: NodeId,
+        net: NetId,
+        sweep: Option<EventRef>,
+    ) {
         self.metrics.link_down_events += 1;
         self.metrics
             .log(ctx.now(), DrsEventKind::LinkDown { peer, net });
         // Failure-detection latency: last healthy reply → this event. A
         // link that never answered has no baseline and records nothing
         // (no samples, not a fake zero).
-        if let Some(ok) = self.last_ok[self.pair_idx(peer, net)] {
+        let idx = self.pair_idx(peer, net);
+        let mut detect_ns = u64::MAX;
+        if let Some(ok) = self.last_ok[idx] {
             let detect = ctx.now().since(ok);
+            detect_ns = detect.as_nanos();
             ctx.probe_obs_mut().failover_detect.record(detect);
+        }
+        // Flight: the down transition carries the detect latency and is
+        // pinned as a live chain head, so its ancestry (losses, last good
+        // reply) survives ring eviction until the link recovers.
+        let down = ctx.flight_record(TraceKind::LinkDown, Some(net), detect_ns, sweep);
+        if let Some(head) = down {
+            if let Some(old) = self.down_ref[idx].replace(head) {
+                ctx.flight_release(old);
+            }
+            ctx.flight_pin(head);
         }
 
         // The direct route to this peer may have died...
         if ctx.route(peer) == Some(Route::Direct(net)) {
-            self.repair_route(ctx, peer);
+            self.repair_route(ctx, peer, down);
         }
         // ...and so may any route relaying through this peer on this net.
         let broken: Vec<NodeId> = ctx
@@ -316,14 +401,28 @@ impl DrsDaemon {
             })
             .collect();
         for dst in broken {
-            self.repair_route(ctx, dst);
+            self.repair_route(ctx, dst, down);
         }
     }
 
-    fn handle_link_up(&mut self, ctx: &mut Ctx<'_, DrsMsg>, peer: NodeId, net: NetId) {
+    fn handle_link_up(
+        &mut self,
+        ctx: &mut Ctx<'_, DrsMsg>,
+        peer: NodeId,
+        net: NetId,
+        reply: Option<EventRef>,
+    ) {
         self.metrics.link_up_events += 1;
         self.metrics
             .log(ctx.now(), DrsEventKind::LinkUp { peer, net });
+        // Flight: the revival names the reply that proved the link, and
+        // the failure chain it ends is unpinned — its records may now be
+        // evicted like any others.
+        ctx.flight_record(TraceKind::LinkUp, Some(net), u64::from(peer.0), reply);
+        let idx = self.pair_idx(peer, net);
+        if let Some(head) = self.down_ref[idx].take() {
+            ctx.flight_release(head);
+        }
 
         // Any running discovery for this peer is obsolete.
         if let Some(round) = self.discovery[peer.idx()].as_mut() {
@@ -482,6 +581,9 @@ impl Protocol for DrsDaemon {
         self.probe_spans = vec![None; pairs];
         self.last_ok = vec![None; pairs];
         self.probe_skip = vec![0; pairs];
+        self.probe_send_ref = vec![None; pairs];
+        self.probe_chain_ref = vec![None; pairs];
+        self.down_ref = vec![None; pairs];
         if self.cfg.batched_monitor {
             // One cycle event drives the whole sweep (stagger does not
             // apply: the point of batching is the single timer).
@@ -541,7 +643,8 @@ impl Protocol for DrsDaemon {
                     self.peers
                         .probe_timed_out(peer, net, payload as u32, self.cfg.miss_threshold);
                 if transition == Transition::WentDown {
-                    self.handle_link_down(ctx, peer, net);
+                    let sweep = self.record_timeout_sweep(ctx, peer, net);
+                    self.handle_link_down(ctx, peer, net, sweep);
                 }
             }
             KIND_OFFER_WINDOW => self.handle_offer_window(ctx, peer, payload),
@@ -557,7 +660,7 @@ impl Protocol for DrsDaemon {
         from: NodeId,
         net: NetId,
         id: u32,
-        _seq: u32,
+        seq: u32,
     ) {
         if id != ECHO_ID {
             return; // someone else's ping
@@ -573,8 +676,20 @@ impl Protocol for DrsDaemon {
             ctx.probe_obs_mut().probe_rtt.record(rtt);
         }
         self.last_ok[idx] = Some(now);
+        // Flight: a good reply answers the pair's outstanding send and
+        // resets the chain tail — future failure chains walk back to
+        // *this* record as their last-good anchor.
+        let rref = ctx.flight_record(
+            TraceKind::ProbeRecv,
+            Some(net),
+            u64::from(from.0) << 32 | u64::from(seq),
+            self.probe_send_ref[idx],
+        );
+        if rref.is_some() {
+            self.probe_chain_ref[idx] = rref;
+        }
         if self.peers.reply_received(from, net, now) == Transition::WentUp {
-            self.handle_link_up(ctx, from, net);
+            self.handle_link_up(ctx, from, net, rref);
         }
     }
 

@@ -45,8 +45,10 @@ pub fn record_kernel_stats(reg: &mut MetricsRegistry, ks: &KernelStats) {
 /// Records a sharded run's partition/merge counters under `kernel.shard.*`.
 ///
 /// Counters: `kernel.shard.epochs`, `kernel.shard.merges`,
-/// `kernel.shard.intents`, `kernel.shard.events`, `kernel.shard.stalls`,
-/// and per-shard `kernel.shard<i>.events` / `kernel.shard<i>.stalls`.
+/// `kernel.shard.intents`, `kernel.shard.cross_shard_frames`,
+/// `kernel.shard.zero_pop_epochs`, `kernel.shard.events`,
+/// `kernel.shard.stalls`, and per-shard `kernel.shard<i>.events` /
+/// `kernel.shard<i>.stalls`.
 /// Gauges: `kernel.shard.count`, `kernel.shard.lookahead_ns`, and
 /// `kernel.shard.balance` — busiest shard's event share of a perfectly
 /// even split (1.0 = balanced, S = everything on one shard).
@@ -61,6 +63,8 @@ pub fn record_shard_stats(reg: &mut MetricsRegistry, ss: &ShardStats) {
     reg.inc("kernel.shard.epochs", ss.epochs);
     reg.inc("kernel.shard.merges", ss.merges);
     reg.inc("kernel.shard.intents", ss.intents);
+    reg.inc("kernel.shard.cross_shard_frames", ss.cross_shard_frames);
+    reg.inc("kernel.shard.zero_pop_epochs", ss.zero_pop_epochs);
     reg.inc("kernel.shard.events", events);
     reg.inc("kernel.shard.stalls", stalls);
     for (i, (&ev, &st)) in ss
@@ -171,6 +175,14 @@ mod tests {
         assert!(reg.counter("kernel.shard.epochs") > 0);
         assert!(reg.counter("kernel.shard.events") > 0);
         assert_eq!(reg.gauge("kernel.shard.count"), Some(ss.shards as f64));
+        assert_eq!(
+            reg.counter("kernel.shard.cross_shard_frames"),
+            ss.cross_shard_frames
+        );
+        assert_eq!(
+            reg.counter("kernel.shard.zero_pop_epochs"),
+            ss.zero_pop_epochs
+        );
         let bal = reg.gauge("kernel.shard.balance").unwrap();
         assert!(
             (1.0..=ss.shards as f64).contains(&bal),

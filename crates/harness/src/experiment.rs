@@ -26,6 +26,10 @@ pub struct TrialCtx {
     pub seed: u64,
     /// The experiment's master seed, for bodies that derive sub-streams.
     pub master_seed: u64,
+    /// Flight-recorder ring capacity the trial body should enable on
+    /// its worlds, when the experiment asked for causal tracing
+    /// ([`Experiment::with_flight`]). `None` = tracing off.
+    pub flight_cap: Option<usize>,
 }
 
 /// Whether to run trials on the calling thread or across the rayon pool.
@@ -50,6 +54,9 @@ pub struct Experiment<S = ()> {
     pub master_seed: u64,
     /// Trial specifications, evaluated and reported in this order.
     pub trials: Vec<S>,
+    /// Flight-recorder capacity handed to every trial via
+    /// [`TrialCtx::flight_cap`]; `None` leaves tracing off.
+    pub flight_cap: Option<usize>,
 }
 
 impl Experiment<()> {
@@ -61,6 +68,7 @@ impl Experiment<()> {
             name: name.to_string(),
             master_seed,
             trials: vec![(); count],
+            flight_cap: None,
         }
     }
 }
@@ -73,6 +81,7 @@ impl<S> Experiment<S> {
             name: name.to_string(),
             master_seed,
             trials: Vec::new(),
+            flight_cap: None,
         }
     }
 
@@ -83,7 +92,18 @@ impl<S> Experiment<S> {
             name: name.to_string(),
             master_seed,
             trials,
+            flight_cap: None,
         }
+    }
+
+    /// Asks every trial to run with the causal flight recorder on, with
+    /// `capacity` records of ring per world. The capacity reaches trial
+    /// bodies through [`TrialCtx::flight_cap`]; bodies that ignore it
+    /// behave exactly as before (recording changes no simulation event).
+    #[must_use]
+    pub fn with_flight(mut self, capacity: usize) -> Self {
+        self.flight_cap = Some(capacity);
+        self
     }
 
     /// Adds one trial specification.
@@ -118,6 +138,7 @@ impl<S> Experiment<S> {
             index,
             seed: self.trial_seed(index),
             master_seed: self.master_seed,
+            flight_cap: self.flight_cap,
         }
     }
 
@@ -258,6 +279,16 @@ mod tests {
             Some(8),
             "one wall-clock sample per trial"
         );
+    }
+
+    #[test]
+    fn with_flight_reaches_every_trial_ctx() {
+        let exp = Experiment::replications("flight", 5, 3).with_flight(4096);
+        for ctx in exp.run_serial(|ctx, ()| ctx) {
+            assert_eq!(ctx.flight_cap, Some(4096));
+        }
+        let off = Experiment::replications("off", 5, 1);
+        assert_eq!(off.trial_ctx(0).flight_cap, None);
     }
 
     #[test]

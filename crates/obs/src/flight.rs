@@ -1,0 +1,638 @@
+//! The causal flight recorder: a bounded ring of structured trace
+//! records where every record can name the record that *caused* it.
+//!
+//! Histograms answer "how long did failovers take"; the paper's
+//! survivability argument needs "*why* did this cluster ride through the
+//! hub loss" — which probes were lost, when the timeout fired, which
+//! plane the daemon chose. [`TraceRecord`] is that answer's unit: a
+//! sim-time-stamped record with a [`TraceKind`], the acting host/plane,
+//! a kind-specific argument, and an optional [`EventRef`] pointing at
+//! the record that caused it. The simulator records them in dispatch
+//! order, so a drained log is already sorted by `(time, seq, sub)` and
+//! merges across shards exactly like the kernel's own event log —
+//! bit-identical at any thread count.
+//!
+//! # Identity
+//!
+//! A record is identified by [`EventRef`] `{time_ns, seq, host, sub}`:
+//! the simulation time and kernel event sequence number of the dispatch
+//! that produced it, the acting host, and a per-dispatch sub-counter
+//! (one kernel event may emit several records — a timeout sweep that
+//! declares a link down emits the sweep *and* the down transition).
+//! The tuple is unique within one world run and totally ordered, so
+//! cause references are stable keys, not indices into a buffer that
+//! eviction would invalidate.
+//!
+//! # Bounding
+//!
+//! The ring holds at most `capacity` records. When full, the *oldest*
+//! record is evicted and counted in [`FlightRecorder::dropped`] — unless
+//! it has been pinned as an ancestor of a still-live causal chain head
+//! ([`FlightRecorder::pin_chain`]), in which case it is moved to a
+//! retained side buffer instead, so a post-mortem can always walk a live
+//! chain back to its anchor even on runs long enough to wrap the ring.
+//!
+//! # The clock rule
+//!
+//! `time_ns` is *simulation* time, never wall clock — flight logs feed
+//! committed artifacts and the Perfetto export, both of which must be
+//! byte-reproducible (see the crate docs).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+/// Stable identity of one trace record: the sim-time and kernel event
+/// seq of the dispatch that produced it, the acting host, and the
+/// per-dispatch record sub-counter. Totally ordered by `(time, seq,
+/// host, sub)` — the same order the merged timeline is sorted in.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct EventRef {
+    /// Simulation time of the producing dispatch, in nanoseconds.
+    pub time_ns: u64,
+    /// Kernel event sequence number of the producing dispatch (the full
+    /// packed seq under a sharded kernel).
+    pub seq: u64,
+    /// Acting host (`u32::MAX` for coordinator/kernel records).
+    pub host: u32,
+    /// Index of this record among those the dispatch emitted.
+    pub sub: u32,
+}
+
+/// What a trace record describes. The daemon kinds mirror the paper's
+/// failover narrative; the kernel kinds give the Perfetto export its
+/// engine tracks.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum TraceKind {
+    /// A monitor probe left a host. `arg = (peer << 32) | probe_seq`;
+    /// cause: the previous probe in the run, or the last good reply.
+    ProbeSend,
+    /// A probe reply arrived. `arg = (peer << 32) | probe_seq`; cause:
+    /// the send it answers.
+    ProbeRecv,
+    /// A traced probe frame died in the kernel. `arg` is a
+    /// [`loss_site`] code; cause: the [`TraceKind::ProbeSend`] that
+    /// launched the frame.
+    ProbeLoss,
+    /// The monitor declared a peer's probes overdue. `arg = peer`;
+    /// cause: the probe send it gave up on.
+    TimeoutSweep,
+    /// The daemon marked a peer link down. `arg` is the detect latency
+    /// in ns (`u64::MAX` when the link was never up); cause: the
+    /// timeout sweep.
+    LinkDown,
+    /// The daemon marked a peer link up. `arg = peer`; cause: the probe
+    /// receive that revived it.
+    LinkUp,
+    /// The daemon committed to repairing a route. `arg = (dst << 1) |
+    /// mode` with mode 0 = direct failover, 1 = discovery; cause: the
+    /// link-down that forced it.
+    FailoverDecision,
+    /// A pending reroute installed its new route. `arg` is the reroute
+    /// latency in ns; cause: the failover decision that opened it.
+    RerouteComplete,
+    /// A fault plan took a component down. `arg` = component code
+    /// (0 = hub, 1 = NIC); host is the NIC's node or `u32::MAX` for a
+    /// hub; `plane` = the affected plane.
+    Fault,
+    /// A fault plan brought a component back. Fields as [`Self::Fault`].
+    Repair,
+    /// Kernel track: a sharded epoch opened. `arg` = epoch index.
+    Epoch,
+    /// Kernel track: the barrier merged an epoch's outboxes. `arg` =
+    /// intents merged.
+    Merge,
+    /// Kernel track: a shard crossed an epoch without popping anything.
+    /// `host` = shard index.
+    Stall,
+}
+
+impl TraceKind {
+    /// Stable lowercase label (artifact field names, Perfetto events).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::ProbeSend => "probe_send",
+            Self::ProbeRecv => "probe_recv",
+            Self::ProbeLoss => "probe_loss",
+            Self::TimeoutSweep => "timeout_sweep",
+            Self::LinkDown => "link_down",
+            Self::LinkUp => "link_up",
+            Self::FailoverDecision => "failover_decision",
+            Self::RerouteComplete => "reroute_complete",
+            Self::Fault => "fault",
+            Self::Repair => "repair",
+            Self::Epoch => "epoch",
+            Self::Merge => "merge",
+            Self::Stall => "stall",
+        }
+    }
+
+    /// Every kind, in declaration order (artifact row iteration).
+    pub const ALL: [TraceKind; 13] = [
+        Self::ProbeSend,
+        Self::ProbeRecv,
+        Self::ProbeLoss,
+        Self::TimeoutSweep,
+        Self::LinkDown,
+        Self::LinkUp,
+        Self::FailoverDecision,
+        Self::RerouteComplete,
+        Self::Fault,
+        Self::Repair,
+        Self::Epoch,
+        Self::Merge,
+        Self::Stall,
+    ];
+}
+
+/// Where in the kernel a traced probe frame died ([`TraceKind::ProbeLoss`]
+/// `arg` codes).
+pub mod loss_site {
+    /// Sender's NIC was down at transmit time.
+    pub const TX_NIC_DOWN: u64 = 0;
+    /// The hub was dead when the frame reached the medium.
+    pub const HUB_ADMIT: u64 = 1;
+    /// The hub died while the frame was in flight.
+    pub const HUB_ARRIVAL: u64 = 2;
+    /// Receiver's NIC was down at delivery time.
+    pub const RX_NIC_DOWN: u64 = 3;
+    /// The corruption roll ate the frame at delivery time.
+    pub const CORRUPT: u64 = 4;
+}
+
+/// One entry in the flight log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Simulation time, nanoseconds.
+    pub time_ns: u64,
+    /// Kernel event sequence number of the producing dispatch.
+    pub seq: u64,
+    /// Index among the records this dispatch emitted.
+    pub sub: u32,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Acting host (`u32::MAX` for coordinator/kernel records).
+    pub host: u32,
+    /// Plane the record concerns, when it concerns one.
+    pub plane: Option<u8>,
+    /// Kind-specific argument (see [`TraceKind`] docs).
+    pub arg: u64,
+    /// The record that caused this one, when causality is known.
+    pub cause: Option<EventRef>,
+}
+
+impl TraceRecord {
+    /// This record's identity, as other records reference it.
+    #[must_use]
+    pub fn self_ref(&self) -> EventRef {
+        EventRef {
+            time_ns: self.time_ns,
+            seq: self.seq,
+            host: self.host,
+            sub: self.sub,
+        }
+    }
+
+    /// The merge key: records sort by `(time, seq, sub)` within a shard
+    /// and by shard index across shards at equal keys.
+    #[must_use]
+    pub fn sort_key(&self) -> (u64, u64, u32) {
+        (self.time_ns, self.seq, self.sub)
+    }
+}
+
+/// A drained, merged flight log: the sorted records plus how many were
+/// evicted unpreserved along the way.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlightLog {
+    /// Records in `(time, seq, sub)` order (shard index breaking ties).
+    pub records: Vec<TraceRecord>,
+    /// Records evicted without protection (see [`FlightRecorder`]).
+    pub dropped: u64,
+}
+
+impl FlightLog {
+    /// Merges per-shard logs into one timeline. `logs` must be in shard
+    /// order; each shard's records must already be in dispatch order
+    /// (which [`FlightRecorder::drain`] guarantees). Drop counters add.
+    #[must_use]
+    pub fn merge(logs: Vec<FlightLog>) -> FlightLog {
+        let mut dropped = 0;
+        let mut records: Vec<TraceRecord> = Vec::new();
+        for log in logs {
+            dropped += log.dropped;
+            records.extend(log.records);
+        }
+        // Stable by construction: equal (time, seq, sub) keys keep
+        // shard order, the same tie-break the kernel event log uses.
+        records.sort_by_key(TraceRecord::sort_key);
+        FlightLog { records, dropped }
+    }
+}
+
+/// Bounded ring buffer of [`TraceRecord`]s with causal-ancestor
+/// protection.
+///
+/// `record` appends; once `capacity` is reached each append evicts the
+/// oldest record — counting it in [`Self::dropped`] — unless that
+/// record was pinned via [`Self::pin_chain`], in which case it moves to
+/// a retained side buffer and survives the eviction. [`Self::drain`]
+/// returns retained + ring merged back into dispatch order.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: VecDeque<TraceRecord>,
+    retained: Vec<TraceRecord>,
+    /// Protected refs → pin count (chains may share ancestors).
+    protected: BTreeMap<EventRef, u32>,
+    /// Live chain head → the ancestor refs its pin protects.
+    pins: BTreeMap<EventRef, Vec<EventRef>>,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` unprotected records.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        FlightRecorder {
+            capacity,
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            retained: Vec::new(),
+            protected: BTreeMap::new(),
+            pins: BTreeMap::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest unprotected record if the
+    /// ring is full.
+    pub fn record(&mut self, rec: TraceRecord) {
+        while self.ring.len() >= self.capacity {
+            // Unwrap is safe: capacity > 0 so the ring is non-empty.
+            let oldest = self.ring.pop_front().unwrap();
+            if self.protected.contains_key(&oldest.self_ref()) {
+                self.retained.push(oldest);
+            } else {
+                self.dropped += 1;
+            }
+        }
+        self.ring.push_back(rec);
+    }
+
+    /// Pins `head` and every ancestor reachable through `cause` links
+    /// against eviction, until [`Self::release`]d. Ancestors already
+    /// evicted are silently absent (walks stop at the first miss).
+    pub fn pin_chain(&mut self, head: EventRef) {
+        if self.pins.contains_key(&head) {
+            return;
+        }
+        let mut refs = Vec::new();
+        let mut cursor = Some(head);
+        while let Some(r) = cursor {
+            *self.protected.entry(r).or_insert(0) += 1;
+            refs.push(r);
+            cursor = self.lookup(r).and_then(|rec| rec.cause);
+        }
+        self.pins.insert(head, refs);
+    }
+
+    /// Releases a chain pinned by [`Self::pin_chain`]; records it was
+    /// protecting become ordinary eviction candidates again (ancestors
+    /// already moved to the retained buffer stay preserved).
+    pub fn release(&mut self, head: EventRef) {
+        let Some(refs) = self.pins.remove(&head) else {
+            return;
+        };
+        for r in refs {
+            if let Some(count) = self.protected.get_mut(&r) {
+                *count -= 1;
+                if *count == 0 {
+                    self.protected.remove(&r);
+                }
+            }
+        }
+    }
+
+    /// Number of records currently held (ring + retained).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len() + self.retained.len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted without protection since construction.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Finds a held record by identity (linear scan; pinning is a
+    /// per-failover operation, not a hot path).
+    #[must_use]
+    pub fn lookup(&self, r: EventRef) -> Option<&TraceRecord> {
+        self.retained
+            .iter()
+            .chain(self.ring.iter())
+            .find(|rec| rec.self_ref() == r)
+    }
+
+    /// Drains the recorder into a [`FlightLog`], merging the retained
+    /// buffer back into dispatch order.
+    #[must_use]
+    pub fn drain(&self) -> FlightLog {
+        let mut records: Vec<TraceRecord> =
+            self.retained.iter().chain(self.ring.iter()).copied().collect();
+        records.sort_by_key(TraceRecord::sort_key);
+        FlightLog {
+            records,
+            dropped: self.dropped,
+        }
+    }
+}
+
+/// Renders a merged flight log as Chrome `trace_event` JSON for
+/// Perfetto / `chrome://tracing`.
+///
+/// Layout: one *process* per host (`pid = host + 1`) with one *thread*
+/// track per plane (`tid = plane + 1`; plane-less records land on
+/// `tid = 0`), plus a kernel process (`pid = 0`) whose tracks carry the
+/// sharded engine's epochs, merges and stalls. Every record becomes an
+/// instant event (`ph: "i"`) at its sim-time in microseconds; `args`
+/// carry the seq/sub identity, the kind-specific argument, and the
+/// cause ref, so a failover can be walked visually. Only simulation
+/// time is exported — the clock rule holds.
+#[must_use]
+pub fn to_perfetto(log: &FlightLog) -> String {
+    use crate::jsonfmt::{json_f64, json_string};
+
+    const KERNEL_PID: u32 = 0;
+    fn pid_tid(rec: &TraceRecord) -> (u32, u32) {
+        match rec.kind {
+            TraceKind::Epoch => (KERNEL_PID, 1),
+            TraceKind::Merge => (KERNEL_PID, 2),
+            TraceKind::Stall => (KERNEL_PID, 3),
+            _ => {
+                let pid = rec.host.saturating_add(1);
+                let tid = rec.plane.map_or(0, |p| u32::from(p) + 1);
+                (pid, tid)
+            }
+        }
+    }
+    fn track_name(pid: u32, tid: u32) -> String {
+        if pid == KERNEL_PID {
+            match tid {
+                1 => "epochs".to_string(),
+                2 => "merges".to_string(),
+                _ => "stalls".to_string(),
+            }
+        } else if tid == 0 {
+            "host".to_string()
+        } else {
+            format!("plane{}", tid - 1)
+        }
+    }
+
+    let mut tracks: BTreeMap<(u32, u32), ()> = BTreeMap::new();
+    for rec in &log.records {
+        tracks.insert(pid_tid(rec), ());
+    }
+
+    let mut out = String::with_capacity(128 + log.records.len() * 160);
+    out.push_str("{\n  \"traceEvents\": [\n");
+    let mut first = true;
+    let mut push = |out: &mut String, line: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("    ");
+        out.push_str(&line);
+    };
+
+    for &(pid, tid) in tracks.keys() {
+        let pname = if pid == KERNEL_PID {
+            "kernel".to_string()
+        } else {
+            format!("host{}", pid - 1)
+        };
+        push(
+            &mut out,
+            format!(
+                "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
+                 \"args\": {{\"name\": {}}}}}",
+                json_string(&pname)
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
+                 \"args\": {{\"name\": {}}}}}",
+                json_string(&track_name(pid, tid))
+            ),
+        );
+    }
+
+    for rec in &log.records {
+        let (pid, tid) = pid_tid(rec);
+        let ts = json_f64(rec.time_ns as f64 / 1e3);
+        let cause = rec.cause.map_or("null".to_string(), |c| {
+            json_string(&format!("{}:{}:{}:{}", c.time_ns, c.seq, c.host, c.sub))
+        });
+        push(
+            &mut out,
+            format!(
+                "{{\"name\": {}, \"ph\": \"i\", \"s\": \"t\", \"ts\": {ts}, \"pid\": {pid}, \
+                 \"tid\": {tid}, \"args\": {{\"seq\": {}, \"sub\": {}, \"arg\": {}, \
+                 \"cause\": {cause}}}}}",
+                json_string(rec.kind.label()),
+                rec.seq,
+                rec.sub,
+                rec.arg,
+            ),
+        );
+    }
+
+    out.push_str("\n  ],\n  \"displayTimeUnit\": \"ns\"\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64, seq: u64, kind: TraceKind, cause: Option<EventRef>) -> TraceRecord {
+        TraceRecord {
+            time_ns: t,
+            seq,
+            sub: 0,
+            kind,
+            host: 0,
+            plane: Some(0),
+            arg: 0,
+            cause,
+        }
+    }
+
+    #[test]
+    fn records_and_drains_in_order() {
+        let mut fr = FlightRecorder::new(8);
+        fr.record(rec(10, 1, TraceKind::ProbeSend, None));
+        fr.record(rec(20, 2, TraceKind::ProbeRecv, None));
+        let log = fr.drain();
+        assert_eq!(log.records.len(), 2);
+        assert_eq!(log.dropped, 0);
+        assert!(log.records[0].time_ns < log.records[1].time_ns);
+    }
+
+    #[test]
+    fn bounded_ring_drops_oldest_and_counts() {
+        let mut fr = FlightRecorder::new(3);
+        for i in 0..10 {
+            fr.record(rec(i * 10, i, TraceKind::ProbeSend, None));
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.dropped(), 7);
+        let log = fr.drain();
+        // The three newest survive.
+        let seqs: Vec<u64> = log.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+        assert_eq!(log.dropped, 7);
+    }
+
+    #[test]
+    fn pinned_ancestors_survive_eviction() {
+        let mut fr = FlightRecorder::new(4);
+        // A causal chain: anchor <- send <- sweep.
+        let anchor = rec(10, 1, TraceKind::ProbeRecv, None);
+        fr.record(anchor);
+        let send = rec(20, 2, TraceKind::ProbeSend, Some(anchor.self_ref()));
+        fr.record(send);
+        let sweep = rec(30, 3, TraceKind::TimeoutSweep, Some(send.self_ref()));
+        fr.record(sweep);
+        fr.pin_chain(sweep.self_ref());
+        // Flood the ring far past capacity.
+        for i in 0..20 {
+            fr.record(rec(100 + i, 10 + i, TraceKind::ProbeSend, None));
+        }
+        // The whole pinned chain is still walkable...
+        let log = fr.drain();
+        let mut cursor = Some(sweep.self_ref());
+        let mut hops = 0;
+        while let Some(r) = cursor {
+            let hit = log.records.iter().find(|x| x.self_ref() == r);
+            assert!(hit.is_some(), "pinned ancestor {r:?} was evicted");
+            cursor = hit.unwrap().cause;
+            hops += 1;
+        }
+        assert_eq!(hops, 3);
+        // ...while unpinned records were dropped and counted.
+        assert!(log.dropped > 0);
+        assert_eq!(fr.len(), fr.capacity() + 3, "ring full + 3 retained");
+        // Drained log stays sorted despite the retained side buffer.
+        let mut sorted = log.records.clone();
+        sorted.sort_by_key(TraceRecord::sort_key);
+        assert_eq!(log.records, sorted);
+    }
+
+    #[test]
+    fn release_makes_ancestors_evictable_again() {
+        let mut fr = FlightRecorder::new(2);
+        let a = rec(10, 1, TraceKind::ProbeSend, None);
+        fr.record(a);
+        fr.pin_chain(a.self_ref());
+        fr.release(a.self_ref());
+        fr.record(rec(20, 2, TraceKind::ProbeSend, None));
+        fr.record(rec(30, 3, TraceKind::ProbeSend, None));
+        fr.record(rec(40, 4, TraceKind::ProbeSend, None));
+        assert_eq!(fr.dropped(), 2, "released record evicts normally");
+        assert_eq!(fr.len(), 2);
+    }
+
+    #[test]
+    fn shared_ancestors_stay_protected_until_every_pin_releases() {
+        let mut fr = FlightRecorder::new(3);
+        let root = rec(10, 1, TraceKind::ProbeRecv, None);
+        fr.record(root);
+        let b = rec(20, 2, TraceKind::TimeoutSweep, Some(root.self_ref()));
+        let c = rec(30, 3, TraceKind::TimeoutSweep, Some(root.self_ref()));
+        fr.record(b);
+        fr.record(c);
+        fr.pin_chain(b.self_ref());
+        fr.pin_chain(c.self_ref());
+        fr.release(b.self_ref());
+        for i in 0..6 {
+            fr.record(rec(100 + i, 10 + i, TraceKind::ProbeSend, None));
+        }
+        // Root is still protected through c's pin.
+        assert!(fr.lookup(root.self_ref()).is_some());
+    }
+
+    #[test]
+    fn merge_is_a_stable_keyed_sort() {
+        let shard0 = FlightLog {
+            records: vec![rec(10, 5, TraceKind::ProbeSend, None), {
+                let mut r = rec(30, 7, TraceKind::ProbeRecv, None);
+                r.host = 2;
+                r
+            }],
+            dropped: 1,
+        };
+        let shard1 = FlightLog {
+            records: vec![{
+                let mut r = rec(10, 5, TraceKind::ProbeSend, None);
+                r.host = 9; // same key as shard0's first: shard order breaks the tie
+                r
+            }],
+            dropped: 2,
+        };
+        let merged = FlightLog::merge(vec![shard0, shard1]);
+        assert_eq!(merged.dropped, 3);
+        assert_eq!(merged.records.len(), 3);
+        assert_eq!(merged.records[0].host, 0);
+        assert_eq!(merged.records[1].host, 9);
+        assert_eq!(merged.records[2].host, 2);
+    }
+
+    #[test]
+    fn perfetto_export_is_deterministic_and_sim_time_only() {
+        let anchor = rec(1_000, 1, TraceKind::ProbeRecv, None);
+        let sweep = rec(51_000, 2, TraceKind::TimeoutSweep, Some(anchor.self_ref()));
+        let mut epoch = rec(0, 0, TraceKind::Epoch, None);
+        epoch.host = u32::MAX;
+        epoch.plane = None;
+        let log = FlightLog {
+            records: vec![epoch, anchor, sweep],
+            dropped: 0,
+        };
+        let a = to_perfetto(&log);
+        let b = to_perfetto(&log);
+        assert_eq!(a, b);
+        assert!(a.contains("\"traceEvents\""));
+        assert!(a.contains("\"timeout_sweep\""));
+        assert!(a.contains("\"ts\": 51.0"), "microsecond timestamps: {a}");
+        assert!(a.contains("\"kernel\""));
+        assert!(a.contains("\"host0\""));
+        assert!(a.contains("\"cause\": \"1000:1:0:0\""));
+    }
+}

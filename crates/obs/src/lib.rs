@@ -19,6 +19,12 @@
 //!   paths accept; with the null profiler installed the instrumented
 //!   code is observationally identical to un-instrumented code, which is
 //!   what keeps the committed artifacts byte-stable ([`profile`]).
+//! * [`FlightRecorder`] / [`TraceRecord`] — the causal flight recorder:
+//!   a bounded ring of sim-time trace records where each record can name
+//!   the record that caused it, merged across shards bit-identically at
+//!   any thread count ([`flight`]); [`causal`] walks the cause chains
+//!   back into per-failover post-mortems and [`to_perfetto`] renders the
+//!   merged timeline as Chrome `trace_event` JSON.
 //! * [`ObsArtifact`] — the versioned `drs-bench-observability/v1`
 //!   serializer in the same deterministic hand-rolled JSON style as the
 //!   other committed artifacts ([`artifact`]), built on the shared
@@ -52,6 +58,8 @@
 //! ```
 
 pub mod artifact;
+pub mod causal;
+pub mod flight;
 pub mod hist;
 pub mod jsonfmt;
 pub mod profile;
@@ -59,6 +67,8 @@ pub mod registry;
 pub mod span;
 
 pub use artifact::{Field, FieldValue, ObsArtifact, Row, Section, SCHEMA};
+pub use causal::{build_post_mortems, Decomposition, PostMortem, PostMortemReport};
+pub use flight::{to_perfetto, EventRef, FlightLog, FlightRecorder, TraceKind, TraceRecord};
 pub use hist::{Histogram, HistogramSummary};
 pub use profile::{NullProfiler, Profiler, WallProfiler};
 pub use registry::MetricsRegistry;

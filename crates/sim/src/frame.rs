@@ -5,6 +5,7 @@
 //! messages (generic over the protocol's message type `M`), and
 //! application data segments carried by the reliable transport.
 
+use drs_obs::flight::EventRef;
 use serde::{Deserialize, Serialize};
 
 use crate::ids::{FlowId, NetId, NodeId};
@@ -92,6 +93,12 @@ pub struct Frame<M> {
     /// Total on-wire size in bytes, including all headers. Determines the
     /// serialization delay on the shared medium.
     pub wire_bytes: u32,
+    /// Flight-recorder identity of the trace record that launched this
+    /// frame (the probe's `ProbeSend`), carried so kernel loss sites and
+    /// the echo auto-reply can name their cause. Pure metadata: never
+    /// read by scheduling, routing or accounting, so traced and
+    /// untraced runs dispatch identical events.
+    pub flight: Option<EventRef>,
 }
 
 impl<M> Frame<M> {
@@ -128,6 +135,7 @@ mod tests {
             net: NetId::A,
             kind,
             wire_bytes: 74,
+            flight: None,
         }
     }
 

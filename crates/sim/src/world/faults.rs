@@ -43,6 +43,19 @@ impl<P: Protocol> World<P> {
 
 impl<P: Protocol> Engine<'_, P> {
     pub(crate) fn apply_fault(&mut self, ev: FaultEvent) {
+        let kind = if ev.up {
+            drs_obs::TraceKind::Repair
+        } else {
+            drs_obs::TraceKind::Fault
+        };
+        match ev.component {
+            SimComponent::Hub(net) => {
+                self.core.flight_record(kind, u32::MAX, Some(net.0), 0, None);
+            }
+            SimComponent::Nic(node, net) => {
+                self.core.flight_record(kind, node.0, Some(net.0), 1, None);
+            }
+        }
         match ev.component {
             SimComponent::Hub(net) => {
                 // Hub liveness is live medium state under the plain

@@ -9,6 +9,8 @@
 //! transmitted frames reach the medium (see
 //! [`super::queue::Fabric`]).
 
+use drs_obs::flight::{loss_site, TraceKind};
+
 use crate::frame::{Destination, Frame, FrameKind, Segment, SegmentKind};
 use crate::ids::{FlowId, NodeId};
 use crate::medium::TrafficClass;
@@ -33,6 +35,7 @@ impl<M: Clone + std::fmt::Debug> Core<M> {
     pub(crate) fn transmit(&mut self, frame: Frame<M>) -> bool {
         if !self.hosts.nic_is_up(frame.src, frame.net) {
             self.hosts.counters_mut(frame.src).tx_nic_down += 1;
+            self.flight_loss(&frame, loss_site::TX_NIC_DOWN);
             return false;
         }
         if matches!(self.fabric, Fabric::Deferred { .. }) {
@@ -57,8 +60,28 @@ impl<M: Clone + std::fmt::Debug> Core<M> {
         let now = self.now;
         if let Some(arrive) = self.media[frame.net.idx()].admit(now, frame.wire_bytes, class) {
             self.schedule_at(arrive, EventKind::Arrive(frame));
+        } else {
+            // The dead hub ate the frame at admission.
+            self.flight_loss(&frame, loss_site::HUB_ADMIT);
         }
         true
+    }
+
+    /// Records a traced frame's death in the flight recorder (no-op for
+    /// untraced frames or with the recorder off). The record is
+    /// attributed to the host that launched the traced send — the
+    /// causing record's owner — so a prober's track shows its own
+    /// probes' fates wherever in the kernel they die.
+    pub(crate) fn flight_loss(&mut self, frame: &Frame<M>, site: u64) {
+        if let Some(cause) = frame.flight {
+            self.flight_record(
+                TraceKind::ProbeLoss,
+                cause.host,
+                Some(frame.net.0),
+                site,
+                Some(cause),
+            );
+        }
     }
 
     /// (Re)transmits the payload segment of an outstanding flow. Returns
@@ -87,6 +110,7 @@ impl<M: Clone + std::fmt::Debug> Core<M> {
             net,
             kind: FrameKind::Data(segment),
             wire_bytes: os.payload_bytes + self.spec.data_header_bytes,
+            flight: None,
         });
         true
     }
@@ -107,6 +131,7 @@ impl<M: Clone + std::fmt::Debug> Core<M> {
             net,
             kind: FrameKind::Data(segment),
             wire_bytes: wire,
+            flight: None,
         });
         if sent {
             SendStatus::Sent
@@ -243,6 +268,7 @@ impl<P: Protocol> Engine<'_, P> {
     pub(crate) fn handle_arrival(&mut self, frame: Frame<P::Msg>) {
         // A hub that died while the frame was in flight eats it.
         if !self.core.hub_is_up(frame.net) {
+            self.core.flight_loss(&frame, loss_site::HUB_ARRIVAL);
             return;
         }
         match frame.dst {
@@ -266,6 +292,7 @@ impl<P: Protocol> Engine<'_, P> {
 
     fn deliver_to(&mut self, node: NodeId, frame: &Frame<P::Msg>) {
         if !self.core.hosts.nic_is_up(node, frame.net) {
+            self.core.flight_loss(frame, loss_site::RX_NIC_DOWN);
             return;
         }
         // Wire corruption: base loss rate compounded with degraded cabling
@@ -279,6 +306,7 @@ impl<P: Protocol> Engine<'_, P> {
             use rand::Rng;
             if self.core.rng.for_node(node).gen::<f64>() >= p_ok {
                 self.core.hosts.counters_mut(node).rx_corrupt += 1;
+                self.core.flight_loss(frame, loss_site::CORRUPT);
                 return;
             }
         }
@@ -292,6 +320,11 @@ impl<P: Protocol> Engine<'_, P> {
                     net: frame.net,
                     kind: FrameKind::EchoReply { id: *id, seq: *seq },
                     wire_bytes: self.core.spec.icmp_wire_bytes,
+                    // The request's flight ref rides back on the reply,
+                    // so a lost reply is blamed on the probe that asked
+                    // for it and the prober's receive record can name
+                    // its own send as the cause.
+                    flight: frame.flight,
                 };
                 self.core.transmit(reply);
             }

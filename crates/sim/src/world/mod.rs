@@ -21,6 +21,11 @@ pub mod shard;
 pub use queue::{Core, EventRecord, EventTag, KernelStats};
 pub use shard::{threads_from_env, HubTimeline, ShardStats, ShardedWorld};
 
+/// The flight-recorder vocabulary, re-exported so protocols written
+/// against [`Ctx`] need not name `drs_obs` directly.
+pub use drs_obs::flight::{EventRef, FlightLog, TraceKind, TraceRecord};
+
+use drs_obs::flight::FlightRecorder;
 use rand::rngs::SmallRng;
 
 use crate::app::Workload;
@@ -194,6 +199,22 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
 
     /// Sends an ICMP echo request to `dst` on `net`.
     pub fn send_echo(&mut self, net: NetId, dst: NodeId, id: u32, seq: u32) {
+        self.send_echo_traced(net, dst, id, seq, None);
+    }
+
+    /// [`Self::send_echo`] with a flight-recorder cause attached: kernel
+    /// loss sites blame `flight` if the frame dies, and the echo
+    /// auto-reply carries it back so the reply's receive record can name
+    /// the send that caused it. `flight` is pure metadata — traced and
+    /// untraced sends put identical frames on the wire.
+    pub fn send_echo_traced(
+        &mut self,
+        net: NetId,
+        dst: NodeId,
+        id: u32,
+        seq: u32,
+        flight: Option<EventRef>,
+    ) {
         self.core.hosts.counters_mut(self.node).echo_sent += 1;
         let wire = self.core.spec.icmp_wire_bytes;
         self.core.hosts.obs_mut(self.node).probe_bytes += u64::from(wire);
@@ -203,6 +224,7 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
             net,
             kind: crate::frame::FrameKind::EchoRequest { id, seq },
             wire_bytes: wire,
+            flight,
         });
     }
 
@@ -222,6 +244,7 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
             net,
             kind: crate::frame::FrameKind::Control(msg),
             wire_bytes,
+            flight: None,
         });
     }
 
@@ -240,6 +263,7 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
             net,
             kind: crate::frame::FrameKind::Control(msg),
             wire_bytes,
+            flight: None,
         });
     }
 
@@ -305,6 +329,36 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
     /// event-for-event identical to uninstrumented ones.
     pub fn probe_obs_mut(&mut self) -> &mut ProbeObs {
         self.core.hosts.obs_mut(self.node)
+    }
+
+    /// Appends a causal flight record attributed to this host, stamped
+    /// with the current dispatch's `(time, seq)` identity, and returns
+    /// its [`EventRef`] for threading into later records. `None` when
+    /// the world's flight recorder is off — like [`Self::probe_obs_mut`]
+    /// this is pure bookkeeping: it never schedules events, draws
+    /// randomness or touches routes, so traced runs stay event-for-event
+    /// identical to untraced ones.
+    pub fn flight_record(
+        &mut self,
+        kind: TraceKind,
+        plane: Option<NetId>,
+        arg: u64,
+        cause: Option<EventRef>,
+    ) -> Option<EventRef> {
+        self.core
+            .flight_record(kind, self.node.0, plane.map(|n| n.0), arg, cause)
+    }
+
+    /// Pins `head`'s causal chain against flight-ring eviction until
+    /// [`Self::flight_release`] — daemons pin the chain that explains a
+    /// still-open outage so the post-mortem can always walk it.
+    pub fn flight_pin(&mut self, head: EventRef) {
+        self.core.flight_pin(head);
+    }
+
+    /// Releases a chain pinned by [`Self::flight_pin`].
+    pub fn flight_release(&mut self, head: EventRef) {
+        self.core.flight_release(head);
     }
 }
 
@@ -458,6 +512,23 @@ impl<P: Protocol> World<P> {
         self.core.event_log.as_deref()
     }
 
+    /// Starts the causal flight recorder with a ring of `capacity`
+    /// records. Protocol decision points ([`Ctx::flight_record`]) and
+    /// kernel loss sites append records from here on; enabling the
+    /// recorder never changes the event schedule.
+    pub fn enable_flight(&mut self, capacity: usize) {
+        self.core.flight = Some(FlightRecorder::new(capacity));
+    }
+
+    /// Drains the flight recorder into a sorted [`FlightLog`], if
+    /// [`Self::enable_flight`] was called. Records are already in
+    /// `(time, seq, sub)` dispatch order — the same order the sharded
+    /// driver's merged log uses.
+    #[must_use]
+    pub fn flight_log(&self) -> Option<FlightLog> {
+        self.core.flight.as_ref().map(FlightRecorder::drain)
+    }
+
     /// Schedules one application message; returns its flow id.
     pub fn send_app(
         &mut self,
@@ -519,6 +590,8 @@ impl<P: Protocol> World<P> {
         };
         debug_assert!(at >= self.core.now);
         self.core.now = at;
+        self.core.cur_ev_seq = seq;
+        self.core.cur_sub = 0;
         self.core.log_event(at, seq, &kind);
         Engine {
             core: &mut self.core,

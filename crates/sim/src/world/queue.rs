@@ -18,6 +18,7 @@
 //! barrier, in global `(at, seq)` order — which is what makes the
 //! parallel schedule reproduce the single-threaded one.
 
+use drs_obs::flight::{EventRef, FlightRecorder, TraceKind, TraceRecord};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -202,6 +203,14 @@ pub struct Core<M> {
     pub(crate) rng: RngBank,
     /// When `Some`, every popped event is recorded here.
     pub(crate) event_log: Option<Vec<EventRecord>>,
+    /// When `Some`, protocol decision points and kernel loss sites
+    /// append causal trace records here (the flight recorder).
+    pub(crate) flight: Option<FlightRecorder>,
+    /// Full (packed) seq of the event currently being dispatched —
+    /// the flight-record identity of this dispatch.
+    pub(crate) cur_ev_seq: u64,
+    /// Trace records emitted so far by the current dispatch.
+    pub(crate) cur_sub: u32,
 }
 
 impl<M: Clone + std::fmt::Debug> Core<M> {
@@ -275,6 +284,9 @@ impl<M: Clone + std::fmt::Debug> Core<M> {
             clamped_past: 0,
             rng,
             event_log: None,
+            flight: None,
+            cur_ev_seq: 0,
+            cur_sub: 0,
         }
     }
 
@@ -383,6 +395,50 @@ impl<M: Clone + std::fmt::Debug> Core<M> {
             net,
             aux,
         });
+    }
+
+    /// Appends a flight record stamped with the current dispatch's
+    /// `(time, seq, sub)` identity, returning its [`EventRef`] so the
+    /// caller can thread it into later records as a cause. A no-op
+    /// returning `None` when the recorder is disabled — instrumented
+    /// runs schedule exactly the same events as uninstrumented ones.
+    pub(crate) fn flight_record(
+        &mut self,
+        kind: TraceKind,
+        host: u32,
+        plane: Option<u8>,
+        arg: u64,
+        cause: Option<EventRef>,
+    ) -> Option<EventRef> {
+        let flight = self.flight.as_mut()?;
+        let rec = TraceRecord {
+            time_ns: self.now.0,
+            seq: self.cur_ev_seq,
+            sub: self.cur_sub,
+            kind,
+            host,
+            plane,
+            arg,
+            cause,
+        };
+        self.cur_sub += 1;
+        flight.record(rec);
+        Some(rec.self_ref())
+    }
+
+    /// Pins `head`'s causal chain against ring eviction (no-op when the
+    /// recorder is disabled).
+    pub(crate) fn flight_pin(&mut self, head: EventRef) {
+        if let Some(flight) = self.flight.as_mut() {
+            flight.pin_chain(head);
+        }
+    }
+
+    /// Releases a chain pinned by [`Self::flight_pin`].
+    pub(crate) fn flight_release(&mut self, head: EventRef) {
+        if let Some(flight) = self.flight.as_mut() {
+            flight.release(head);
+        }
     }
 
     /// A deterministic snapshot of the kernel's operation counters.

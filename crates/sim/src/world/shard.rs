@@ -66,6 +66,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::Instant;
 
+use drs_obs::flight::{loss_site, EventRef, FlightLog, FlightRecorder, TraceKind, TraceRecord};
+
 use crate::app::Workload;
 use crate::fault::{FaultEvent, FaultPlan, SimComponent};
 use crate::frame::{Destination, Frame};
@@ -162,20 +164,87 @@ struct Coordinator {
     hub_applied: usize,
     intents: u64,
     merges: u64,
+    /// Admitted intents whose destination shard differed from the
+    /// sender's (broadcasts count every non-sender shard).
+    cross_shard: u64,
+    /// Epochs whose window popped nothing anywhere, forcing an exact
+    /// reopen (the occupancy hint undershot).
+    zero_pop_epochs: u64,
+    /// Epochs that popped at least one event — the denominator of the
+    /// kernel-track sampling below.
+    busy_epochs: u64,
+    /// Coordinator-side flight recorder: hub-admit losses, hub
+    /// fault/repair toggles, and the kernel tracks (epochs, merges,
+    /// stalls). Shard-side daemon records live in each shard's core.
+    flight: Option<FlightRecorder>,
+    /// Sub counter for coordinator records. Starts at [`COORD_SUB_BASE`]
+    /// so coordinator [`EventRef`]s never collide with a sender shard's
+    /// records carrying the same `(time, seq)`.
+    flight_sub: u32,
 }
+
+/// First `sub` value of coordinator-side flight records; shard-side
+/// per-dispatch sub counters stay far below it.
+const COORD_SUB_BASE: u32 = 1 << 31;
+
+/// Kernel-track sampling stride: one epoch mark (plus stall deltas) per
+/// this many busy epochs, and one merge mark per this many non-empty
+/// merges. Fine-grained epochs outnumber protocol events by orders of
+/// magnitude on long runs; an unsampled track would flood the bounded
+/// ring and evict the causal records the recorder exists to keep. The
+/// stride counts over thread-count-invariant sequences (busy epochs,
+/// non-empty merges), so the sampled timeline is still bit-identical at
+/// any `DRS_SIM_THREADS`.
+const KERNEL_TRACK_SAMPLE: u64 = 64;
 
 impl Coordinator {
     /// Applies every not-yet-applied hub toggle due at or before `t`.
     fn apply_hub_through(&mut self, t: SimTime) {
-        while let Some(ev) = self.hub_events.get(self.hub_applied) {
+        while let Some(&ev) = self.hub_events.get(self.hub_applied) {
             if ev.at > t {
                 break;
             }
             if let SimComponent::Hub(net) = ev.component {
                 self.media[net.idx()].set_up(ev.up);
+                let kind = if ev.up {
+                    TraceKind::Repair
+                } else {
+                    TraceKind::Fault
+                };
+                self.flight_record(ev.at, 0, kind, u32::MAX, Some(net.0), 0, None);
             }
             self.hub_applied += 1;
         }
+    }
+
+    /// Appends a coordinator-side flight record, if recording is on.
+    /// Coordinator phases run in the same order for every thread count,
+    /// so the sub counter — and therefore the record identities — are
+    /// thread-invariant.
+    fn flight_record(
+        &mut self,
+        at: SimTime,
+        seq: u64,
+        kind: TraceKind,
+        host: u32,
+        plane: Option<u8>,
+        arg: u64,
+        cause: Option<EventRef>,
+    ) {
+        let Some(flight) = self.flight.as_mut() else {
+            return;
+        };
+        flight.record(TraceRecord {
+            time_ns: at.0,
+            seq,
+            sub: self.flight_sub,
+            kind,
+            host,
+            plane,
+            arg,
+            cause,
+        });
+        self.flight_sub += 1;
     }
 }
 
@@ -195,6 +264,12 @@ pub struct ShardStats {
     pub merges: u64,
     /// Total transmissions admitted through the deferred fabric.
     pub intents: u64,
+    /// Intents whose destination shard differed from the sender's
+    /// shard (a broadcast counts every non-sender shard once).
+    pub cross_shard_frames: u64,
+    /// Epochs in which no shard popped an event — the occupancy hint
+    /// undershot and the next window reopened at the exact minimum.
+    pub zero_pop_epochs: u64,
     /// The conservative lookahead window, nanoseconds.
     pub lookahead_ns: u64,
     /// Events dispatched per shard (load-balance view).
@@ -342,6 +417,11 @@ impl<P: Protocol> ShardedWorld<P> {
                 hub_applied: 0,
                 intents: 0,
                 merges: 0,
+                cross_shard: 0,
+                zero_pop_epochs: 0,
+                busy_epochs: 0,
+                flight: None,
+                flight_sub: COORD_SUB_BASE,
             },
             timeline,
             now: SimTime::ZERO,
@@ -510,6 +590,8 @@ impl<P: Protocol> ShardedWorld<P> {
             epochs: self.epoch,
             merges: self.coord.merges,
             intents: self.coord.intents,
+            cross_shard_frames: self.coord.cross_shard,
+            zero_pop_epochs: self.coord.zero_pop_epochs,
             lookahead_ns: self.lookahead,
             events_per_shard: (0..self.shards.len())
                 .map(|i| self.shard(i).events)
@@ -654,6 +736,34 @@ impl<P: Protocol> ShardedWorld<P> {
         }
     }
 
+    /// Turns on the causal flight recorder: one bounded ring per shard
+    /// (daemon-side records) plus one on the coordinator (hub-admit
+    /// losses, hub toggles, and the kernel tracks). `capacity` bounds
+    /// each ring individually.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn enable_flight(&mut self, capacity: usize) {
+        for i in 0..self.shards.len() {
+            self.shard_mut(i).core.flight = Some(FlightRecorder::new(capacity));
+        }
+        self.coord.flight = Some(FlightRecorder::new(capacity));
+    }
+
+    /// The merged flight timeline, if [`Self::enable_flight`] was
+    /// called: per-shard logs plus the coordinator's, merged in
+    /// `(time, seq, sub)` order with shard index breaking ties
+    /// (coordinator last). Bit-identical for every thread count.
+    #[must_use]
+    pub fn flight_log(&self) -> Option<FlightLog> {
+        let mut logs = Vec::with_capacity(self.shards.len() + 1);
+        for i in 0..self.shards.len() {
+            logs.push(self.shard(i).core.flight.as_ref()?.drain());
+        }
+        logs.push(self.coord.flight.as_ref()?.drain());
+        Some(FlightLog::merge(logs))
+    }
+
     /// The recorded event log merged across shards in `(at, seq, shard)`
     /// order, if [`Self::enable_event_log`] was called. Pre-run events
     /// carry shard-local sequence numbers (which may collide across
@@ -722,6 +832,7 @@ impl<P: Protocol> ShardedWorld<P> {
     /// Single-threaded epoch loop: identical schedule, no workers.
     fn run_seq(&mut self, until: SimTime) {
         let mut exact = false;
+        let mut prev_stalls: Vec<u64> = (0..self.shards.len()).map(|i| self.shard(i).stalls).collect();
         loop {
             // SAFETY: no worker threads exist; access is exclusive.
             let next = unsafe { merge_and_min(&mut self.coord, &self.shards, &self.owner, exact) };
@@ -740,6 +851,17 @@ impl<P: Protocol> ShardedWorld<P> {
             // A window that executed nothing was opened on an undershot
             // occupancy hint; reopen it from the exact global minimum.
             exact = popped == 0;
+            // SAFETY: as above — single-threaded.
+            unsafe {
+                close_epoch(
+                    &mut self.coord,
+                    &self.shards,
+                    self.epoch,
+                    t_start,
+                    &mut prev_stalls,
+                    exact,
+                );
+            }
         }
     }
 
@@ -757,6 +879,11 @@ impl<P: Protocol> ShardedWorld<P> {
         let lookahead = self.lookahead;
         let mut epoch = self.epoch;
         let mut barrier_ns = 0u64;
+        // SAFETY: no workers spawned yet; access is exclusive.
+        let mut prev_stalls: Vec<u64> = cells
+            .iter()
+            .map(|c| unsafe { (*c.0.get()).stalls })
+            .collect();
 
         let barrier = Barrier::new(nthreads);
         let stop = AtomicBool::new(false);
@@ -823,6 +950,9 @@ impl<P: Protocol> ShardedWorld<P> {
                 // nothing reopens at the exact global minimum, so the
                 // seq/par epoch sequences stay identical.
                 exact = after == before;
+                // SAFETY: workers parked — same coordinator-phase order
+                // as `run_seq`, so the kernel-track records match.
+                unsafe { close_epoch(coord, cells, epoch, t_start, &mut prev_stalls, exact) };
             }
         });
 
@@ -855,6 +985,8 @@ fn run_shard_epoch<P: Protocol>(shard: &mut Shard<P>, epoch: u64, bound: SimTime
         let (at, seq, kind) = shard.core.events.pop().expect("peeked above");
         debug_assert!(at >= shard.core.now);
         shard.core.now = at;
+        shard.core.cur_ev_seq = seq;
+        shard.core.cur_sub = 0;
         shard.core.log_event(at, seq, &kind);
         Engine {
             core: &mut shard.core,
@@ -868,6 +1000,67 @@ fn run_shard_epoch<P: Protocol>(shard: &mut Shard<P>, epoch: u64, bound: SimTime
         shard.stalls += 1;
     }
     n
+}
+
+/// Coordinator-phase bookkeeping after an epoch's windows ran: the
+/// zero-pop counter and, when the flight recorder is on, the kernel
+/// track's epoch mark plus a stall record for every shard whose window
+/// was empty. Runs in the same order for every thread count (workers
+/// are parked), so the records are thread-invariant.
+///
+/// # Safety
+/// Same contract as [`merge_and_min`]: the caller must guarantee
+/// exclusive access to every shard.
+unsafe fn close_epoch<P: Protocol>(
+    coord: &mut Coordinator,
+    cells: &[ShardCell<P>],
+    epoch: u64,
+    t_start: SimTime,
+    prev_stalls: &mut [u64],
+    zero_pop: bool,
+) {
+    if zero_pop {
+        coord.zero_pop_epochs += 1;
+        return;
+    }
+    coord.busy_epochs += 1;
+    if coord.flight.is_none() {
+        return;
+    }
+    // Sampled kernel track: every [`KERNEL_TRACK_SAMPLE`]-th busy epoch
+    // gets an epoch mark plus one stall mark per shard whose stall count
+    // grew since the previous mark. Both the busy-epoch sequence and the
+    // per-shard stall totals are thread-count invariant, so the sampled
+    // timeline is bit-identical at any `DRS_SIM_THREADS`.
+    if coord.busy_epochs % KERNEL_TRACK_SAMPLE != 1 {
+        return;
+    }
+    // The epoch mark carries the epoch's packed sequence base, so it
+    // sorts right at the head of the epoch's own records.
+    coord.flight_record(
+        t_start,
+        epoch << 32,
+        TraceKind::Epoch,
+        u32::MAX,
+        None,
+        epoch,
+        None,
+    );
+    for (i, cell) in cells.iter().enumerate() {
+        let stalls = (*cell.0.get()).stalls;
+        if stalls > prev_stalls[i] {
+            coord.flight_record(
+                t_start,
+                epoch << 32 | (i as u64) << 24,
+                TraceKind::Stall,
+                i as u32,
+                None,
+                epoch,
+                None,
+            );
+        }
+        prev_stalls[i] = stalls;
+    }
 }
 
 fn class_of<M>(frame: &Frame<M>) -> TrafficClass {
@@ -922,6 +1115,15 @@ unsafe fn merge_and_min<P: Protocol>(
                 heap.push(Reverse((head.at, head.seq, i)));
             }
         }
+        // Kernel track: one merge mark per [`KERNEL_TRACK_SAMPLE`]
+        // non-empty barrier phases, keyed by the earliest intent the
+        // sampled phase admits. The non-empty-merge count is thread-count
+        // invariant, so the sampled marks are too.
+        if coord.merges % KERNEL_TRACK_SAMPLE == 1 {
+            if let Some(&Reverse((at0, seq0, _))) = heap.peek() {
+                coord.flight_record(at0, seq0, TraceKind::Merge, u32::MAX, None, total as u64, None);
+            }
+        }
         while let Some(Reverse((at, _, i))) = heap.pop() {
             let intent = boxes[i].pop().expect("head tracked by the heap");
             if let Some(next) = boxes[i].last() {
@@ -931,31 +1133,46 @@ unsafe fn merge_and_min<P: Protocol>(
             // first — they sort below same-instant transmissions in the
             // plain world (pre-run sequence numbers).
             coord.apply_hub_through(at);
+            let seq = intent.seq;
             let frame = intent.frame;
             let class = class_of(&frame);
             let Some(arrive) = coord.media[frame.net.idx()].admit(at, frame.wire_bytes, class)
             else {
-                continue; // dead hub ate it
+                // Dead hub ate it. A traced frame's loss is charged to
+                // the prober that launched it, at the admit instant.
+                if let Some(cause) = frame.flight {
+                    coord.flight_record(
+                        at,
+                        seq,
+                        TraceKind::ProbeLoss,
+                        cause.host,
+                        Some(frame.net.0),
+                        loss_site::HUB_ADMIT,
+                        Some(cause),
+                    );
+                }
+                continue;
             };
             // The arrival lands at ≥ epoch bound ≥ every shard's cursor,
             // so pushing straight into the wheels is safe; the intent's
             // seq keeps the global order thread-count-independent.
             match frame.dst {
                 Destination::Node(dst) => {
-                    let shard = &mut *cells[owner[dst.idx()] as usize].0.get();
-                    shard
-                        .core
-                        .events
-                        .push(arrive, intent.seq, EventKind::Arrive(frame));
+                    let dst_shard = owner[dst.idx()] as usize;
+                    if dst_shard != i {
+                        coord.cross_shard += 1;
+                    }
+                    let shard = &mut *cells[dst_shard].0.get();
+                    shard.core.events.push(arrive, seq, EventKind::Arrive(frame));
                 }
                 Destination::Broadcast => {
+                    coord.cross_shard += (s - 1) as u64;
                     for cell in cells {
                         let shard = &mut *cell.0.get();
-                        shard.core.events.push(
-                            arrive,
-                            intent.seq,
-                            EventKind::Arrive(frame.clone()),
-                        );
+                        shard
+                            .core
+                            .events
+                            .push(arrive, seq, EventKind::Arrive(frame.clone()));
                     }
                 }
             }

@@ -17,7 +17,9 @@ use drs_sim::medium::MediumStats;
 use drs_sim::scenario::ClusterSpec;
 use drs_sim::stats::AppStats;
 use drs_sim::time::{SimDuration, SimTime};
-use drs_sim::world::{Ctx, EventRecord, KernelStats, Protocol, ShardStats, World};
+use drs_sim::world::{
+    Ctx, EventRecord, EventRef, FlightLog, KernelStats, Protocol, ShardStats, TraceKind, World,
+};
 use drs_sim::{NetId, NodeId, ShardedWorld, SimComponent};
 
 /// A chatty protocol: every host runs a periodic timer and, on each
@@ -31,6 +33,11 @@ struct Chatter {
     fired: u32,
     replies: u32,
     controls: u32,
+    /// Tail of this host's traced-probe chain: each send names the
+    /// previous one (or the last good reply) as its cause, exactly like
+    /// the real daemon's probe chains — so the corpus also pins the
+    /// flight recorder's cause refs across thread counts.
+    chain: Option<EventRef>,
 }
 
 impl Chatter {
@@ -42,6 +49,7 @@ impl Chatter {
             fired: 0,
             replies: 0,
             controls: 0,
+            chain: None,
         }
     }
 }
@@ -57,7 +65,12 @@ impl Protocol for Chatter {
         let me = ctx.self_id().0;
         let peer = NodeId((me + 1 + self.fired % (self.n - 1)) % self.n);
         let net = NetId((self.fired % u32::from(self.planes)) as u8);
-        ctx.send_echo(net, peer, me, self.fired);
+        let arg = u64::from(peer.0) << 32 | u64::from(self.fired);
+        let sref = ctx.flight_record(TraceKind::ProbeSend, Some(net), arg, self.chain);
+        if sref.is_some() {
+            self.chain = sref;
+        }
+        ctx.send_echo_traced(net, peer, me, self.fired, sref);
         if self.fired % 3 == 0 {
             ctx.send_control(net, peer, me ^ self.fired);
         }
@@ -67,13 +80,18 @@ impl Protocol for Chatter {
 
     fn on_echo_reply(
         &mut self,
-        _ctx: &mut Ctx<'_, u32>,
-        _from: NodeId,
-        _net: NetId,
+        ctx: &mut Ctx<'_, u32>,
+        from: NodeId,
+        net: NetId,
         _id: u32,
-        _seq: u32,
+        seq: u32,
     ) {
         self.replies += 1;
+        let arg = u64::from(from.0) << 32 | u64::from(seq);
+        let rref = ctx.flight_record(TraceKind::ProbeRecv, Some(net), arg, self.chain);
+        if rref.is_some() {
+            self.chain = rref;
+        }
     }
 
     fn on_control(&mut self, _ctx: &mut Ctx<'_, u32>, _from: NodeId, _net: NetId, _msg: &u32) {
@@ -186,7 +204,15 @@ struct Fingerprint {
     shard: ShardStats,
     media: Vec<MediumStats>,
     chatter: Vec<(u32, u32, u32)>,
+    /// The merged causal flight timeline — every trace record, every
+    /// cause ref, and the eviction counter, all pinned byte-for-byte.
+    flight: Option<FlightLog>,
 }
+
+/// Small enough that chatty draws overflow the per-shard rings and the
+/// corpus also pins the drop-oldest eviction path, not just the happy
+/// append path.
+const FLIGHT_CAP: usize = 1 << 6;
 
 fn run_sharded(sc: &Scenario, threads: usize) -> Fingerprint {
     let n = sc.spec.n;
@@ -195,6 +221,7 @@ fn run_sharded(sc: &Scenario, threads: usize) -> Fingerprint {
         Chatter::new(n as u32, planes, period)
     });
     w.enable_event_log();
+    w.enable_flight(FLIGHT_CAP);
     w.schedule_faults(sc.plan());
     for &(node, net, p) in &sc.loss {
         w.set_link_loss(node, net, p);
@@ -220,6 +247,7 @@ fn run_sharded(sc: &Scenario, threads: usize) -> Fingerprint {
                 (c.fired, c.replies, c.controls)
             })
             .collect(),
+        flight: w.flight_log(),
     }
 }
 
@@ -241,6 +269,8 @@ fn corpus_of_1000_schedules_is_thread_count_invariant() {
     // multi-thread count; every 100th seed runs all of {2, 4, 8}. Each
     // multi-thread count appears 340 times across the corpus.
     let mut checked = [0u32; 3];
+    let mut evicting = 0u32;
+    let mut faulted_lossy = 0u32;
     for seed in 0..1000u64 {
         let mut rng = SmallRng::seed_from_u64(0x5EED_C0DE ^ seed);
         let sc = Scenario::draw(seed, &mut rng);
@@ -249,6 +279,17 @@ fn corpus_of_1000_schedules_is_thread_count_invariant() {
             !oracle.log.is_empty(),
             "seed {seed}: a chatty cluster cannot have an empty schedule"
         );
+        let flight = oracle.flight.as_ref().expect("flight enabled");
+        assert!(
+            !flight.records.is_empty(),
+            "seed {seed}: traced probes must leave flight records"
+        );
+        if flight.dropped > 0 {
+            evicting += 1;
+        }
+        if !sc.faults.is_empty() && !sc.loss.is_empty() {
+            faulted_lossy += 1;
+        }
         let all = seed % 100 == 0;
         for (i, t) in [2usize, 4, 8].into_iter().enumerate() {
             if !all && seed % 3 != i as u64 {
@@ -275,6 +316,17 @@ fn corpus_of_1000_schedules_is_thread_count_invariant() {
             checked[i]
         );
     }
+    // The flight contract must be pinned on both interesting regimes:
+    // rings that overflowed (drop-oldest eviction ran) and schedules
+    // that were simultaneously faulted *and* lossy.
+    assert!(
+        evicting >= 50,
+        "corpus under-covered ring eviction: {evicting} schedules"
+    );
+    assert!(
+        faulted_lossy >= 50,
+        "corpus under-covered faulted+lossy schedules: {faulted_lossy}"
+    );
 }
 
 #[test]

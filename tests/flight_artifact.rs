@@ -1,0 +1,101 @@
+//! Integration: the committed `BENCH_flight.json` artifact is exactly
+//! what the causal flight recorder regenerates — same bytes at any
+//! `DRS_SIM_THREADS` — and every reconstructed failover chain in it is
+//! complete: no orphaned cause refs, no evicted ancestors, and a
+//! timestamp-only decomposition that reproduces the daemons'
+//! failover-latency histogram samples 100% matched.
+//!
+//! If an intentional change shifts the results, regenerate the artifact
+//! (`cargo run --release -p drs-bench --bin flight_report`) and commit
+//! it alongside the change; this test then documents the new ground
+//! truth. CI runs the same regenerate-and-diff check at 1 and 4 worker
+//! threads.
+
+use drs::obs::{FieldValue, Row};
+use drs_bench::flight::{flight_bench_artifact, flight_verdict, FLIGHT_SCHEMA};
+use drs_bench::{BENCH_SEED, FLIGHT_BENCH_JSON};
+
+fn committed() -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(FLIGHT_BENCH_JSON);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read committed artifact {}: {e}", path.display()))
+}
+
+fn count_field(row: &Row, name: &str) -> Option<u64> {
+    row.fields
+        .iter()
+        .find(|f| f.name == name)
+        .and_then(|f| match f.value {
+            FieldValue::Count(c) => Some(c),
+            _ => None,
+        })
+}
+
+#[test]
+fn committed_artifact_regenerates_byte_for_byte() {
+    let regenerated = flight_bench_artifact().to_json_with_schema(FLIGHT_SCHEMA);
+    assert_eq!(
+        regenerated,
+        committed(),
+        "BENCH_flight.json drifted from what the flight recorder \
+         produces under master seed {BENCH_SEED}; regenerate it with \
+         `cargo run --release -p drs-bench --bin flight_report` if the \
+         change is intentional"
+    );
+}
+
+#[test]
+fn every_cell_keeps_complete_causal_chains() {
+    let artifact = flight_bench_artifact();
+    let cells = artifact.get("flight_cells").expect("flight_cells section");
+    assert!(!cells.rows.is_empty());
+    for row in &cells.rows {
+        assert_eq!(
+            count_field(row, "dropped"),
+            Some(0),
+            "{}: the bounded ring evicted records",
+            row.id
+        );
+    }
+    let chains = artifact.get("causal_chains").expect("causal_chains section");
+    for row in &chains.rows {
+        let failovers = count_field(row, "failovers").expect("failovers");
+        assert!(failovers > 0, "{}: fault schedule must fail over", row.id);
+        assert_eq!(count_field(row, "orphan_refs"), Some(0), "{}", row.id);
+        assert_eq!(count_field(row, "complete"), Some(failovers), "{}", row.id);
+        assert_eq!(
+            count_field(row, "matched_reroute"),
+            Some(failovers),
+            "{}: every chain's reroute delta must equal the daemon's \
+             recorded sample",
+            row.id
+        );
+    }
+}
+
+#[test]
+fn decomposition_rows_match_probe_observability() {
+    let artifact = flight_bench_artifact();
+    let decomp = artifact
+        .get("latency_decomposition")
+        .expect("latency_decomposition section");
+    assert!(!decomp.rows.is_empty());
+    for row in &decomp.rows {
+        assert_eq!(
+            count_field(row, "matches_probe_obs"),
+            Some(1),
+            "{}: flight-derived histogram != probe-obs histogram",
+            row.id
+        );
+        assert!(count_field(row, "count").expect("count") > 0, "{}", row.id);
+    }
+}
+
+#[test]
+fn verdict_reports_full_match() {
+    let v = flight_verdict();
+    assert!(
+        v.all_matched(),
+        "flight verdict must be fully matched: {v:?}"
+    );
+}
