@@ -284,7 +284,7 @@ pub fn run_scaling_cell(n: usize, planes: u8, threads: usize) -> ScalingCell {
         probes_sent,
         frames,
         clamped_past: ks.clamped_past,
-        events_per_virtual_sec: drs_core::kernel_obs::events_per_virtual_sec(&ks),
+        events_per_virtual_sec: drs_sim::kernel_obs::events_per_virtual_sec(&ks),
         digest,
     }
 }
@@ -384,7 +384,7 @@ pub fn kernel_artifact(cells: &[KernelCell], scaling: &[ScalingCell]) -> ObsArti
                 .real("timer_events_per_cycle", c.timer_events_per_cycle())
                 .real(
                     "events_per_virtual_sec",
-                    drs_core::kernel_obs::events_per_virtual_sec(&c.stats),
+                    drs_sim::kernel_obs::events_per_virtual_sec(&c.stats),
                 ),
         );
     }
@@ -404,7 +404,7 @@ pub fn kernel_artifact(cells: &[KernelCell], scaling: &[ScalingCell]) -> ObsArti
                 .count("pool_misses", w.pool_misses)
                 .real(
                     "pool_hit_rate",
-                    drs_core::kernel_obs::pool_hit_rate(&c.stats),
+                    drs_sim::kernel_obs::pool_hit_rate(&c.stats),
                 )
                 .count("clamped_past", c.stats.clamped_past),
         );

@@ -7,7 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use drs_sim::time::SimDuration;
+use crate::time::SimDuration;
 
 /// How a requester chooses among gateway offers during route discovery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -68,6 +68,12 @@ pub struct DrsConfig {
     /// with the run — and exists so equivalence tests can compare the
     /// exact probe sequence of the batched and per-pair monitors.
     pub record_probe_log: bool,
+    /// Record every daemon input (start / timer / echo reply / control,
+    /// with its arrival time) and every random gateway pick into a
+    /// [`crate::journal::DaemonJournal`]. Off by default — the journal
+    /// grows with the run — and exists so the replay backend can re-drive
+    /// the daemon offline and byte-compare its decisions.
+    pub record_journal: bool,
 }
 
 impl Default for DrsConfig {
@@ -84,6 +90,7 @@ impl Default for DrsConfig {
             down_probe_backoff: 1,
             batched_monitor: false,
             record_probe_log: false,
+            record_journal: false,
         }
     }
 }
@@ -159,6 +166,13 @@ impl DrsConfig {
     #[must_use]
     pub fn record_probe_log(mut self, on: bool) -> Self {
         self.record_probe_log = on;
+        self
+    }
+
+    /// Enables or disables input journalling for trace replay.
+    #[must_use]
+    pub fn record_journal(mut self, on: bool) -> Self {
+        self.record_journal = on;
         self
     }
 

@@ -19,20 +19,26 @@
 //! All repair actions are driven by probe state transitions, never by
 //! application traffic — that is what makes DRS *proactive*: by the time
 //! an application sends, the route table has already been fixed.
-
-use rand::Rng;
+//!
+//! The daemon talks to the outside world only through
+//! [`crate::io::DrsIo`]: the four entry points ([`DrsDaemon::handle_start`],
+//! [`DrsDaemon::handle_timer`], [`DrsDaemon::handle_echo_reply`],
+//! [`DrsDaemon::handle_control`]) each take `&mut impl DrsIo`, so the
+//! identical state machine runs on the DES kernel, on real UDP sockets,
+//! and against a recorded trace.
 
 use drs_obs::flight::{EventRef, TraceKind};
 use drs_obs::Span;
-use drs_sim::ids::{NetId, NodeId};
-use drs_sim::routes::Route;
-use drs_sim::time::{SimDuration, SimTime};
-use drs_sim::world::{Ctx, Protocol};
 
 use crate::config::{DrsConfig, GatewayPolicy};
+use crate::ids::{NetId, NodeId};
+use crate::io::DrsIo;
+use crate::journal::{DaemonInput, DaemonJournal};
 use crate::messages::DrsMsg;
 use crate::metrics::{DrsEventKind, DrsMetrics, ProbeRecord};
 use crate::monitor::{LinkState, PeerTable, Transition};
+use crate::routes::Route;
+use crate::time::{SimDuration, SimTime};
 
 /// ICMP identifier used by all DRS probes.
 const ECHO_ID: u32 = 0x0D25;
@@ -86,6 +92,10 @@ pub struct DrsDaemon {
     last_discovery: Vec<Option<SimTime>>,
     /// Counters and the timestamped event log.
     pub metrics: DrsMetrics,
+    /// Input journal for trace replay, present when
+    /// [`DrsConfig::record_journal`] is on. Recording never changes what
+    /// the daemon does.
+    journal: Option<DaemonJournal>,
     // Observability spans, all clocked on simulation time. Recording
     // into them never schedules events or draws randomness, so the
     // instrumented daemon is event-for-event identical to PR-2's.
@@ -123,8 +133,8 @@ impl DrsDaemon {
     /// A daemon for host `id` in an `n`-host cluster.
     ///
     /// The link table is sized for the paper's two planes here and
-    /// re-sized to the scenario's actual redundancy degree in
-    /// [`Protocol::on_start`], where the daemon first sees the spec.
+    /// re-sized to the backend's actual redundancy degree in
+    /// [`Self::handle_start`], where the daemon first sees it.
     ///
     /// # Panics
     /// Panics if the cluster has fewer than two hosts or more than the
@@ -143,6 +153,11 @@ impl DrsDaemon {
             discovery: vec![None; n],
             last_discovery: vec![None; n],
             metrics: DrsMetrics::default(),
+            journal: if cfg.record_journal {
+                Some(DaemonJournal::default())
+            } else {
+                None
+            },
             probe_spans: vec![None; n * 2],
             last_ok: vec![None; n * 2],
             pending_reroute: vec![None; n],
@@ -166,10 +181,41 @@ impl DrsDaemon {
         &self.peers
     }
 
+    /// The host this daemon runs on.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The cluster size this daemon was configured for.
+    #[must_use]
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
     /// The daemon's configuration.
     #[must_use]
     pub fn config(&self) -> &DrsConfig {
         &self.cfg
+    }
+
+    /// The recorded input journal, when [`DrsConfig::record_journal`] is
+    /// on.
+    #[must_use]
+    pub fn journal(&self) -> Option<&DaemonJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Takes the recorded journal out of the daemon, leaving recording
+    /// disabled.
+    pub fn take_journal(&mut self) -> Option<DaemonJournal> {
+        self.journal.take()
+    }
+
+    fn journal_input(&mut self, at: SimTime, input: DaemonInput) {
+        if let Some(j) = self.journal.as_mut() {
+            j.push(at, input);
+        }
     }
 
     fn alloc_seq(&mut self) -> u32 {
@@ -181,22 +227,22 @@ impl DrsDaemon {
     /// pending-probe bookkeeping, probe-gap span rotation and the echo
     /// itself — everything except timeout arming, which differs between
     /// the per-pair and batched monitor drivers. Returns the ICMP seq.
-    fn send_probe(&mut self, ctx: &mut Ctx<'_, DrsMsg>, peer: NodeId, net: NetId) -> u32 {
+    fn send_probe(&mut self, io: &mut impl DrsIo, peer: NodeId, net: NetId) -> u32 {
         let seq = self.alloc_seq();
         self.peers.probe_sent(peer, net, seq);
         self.metrics.probes_sent += 1;
         // One monitor-cycle span per (peer, net): opening the new one
         // closes the old one into the probe-gap histogram — the realized
         // sweep period, stagger and backoff included.
-        let span = Span::begin(ctx.now().0);
+        let span = Span::begin(io.now().0);
         let idx = self.pair_idx(peer, net);
         if let Some(prev) = self.probe_spans[idx].replace(span) {
             let gap = SimDuration(prev.elapsed_ns(span.start_ns()));
-            ctx.probe_obs_mut().probe_gap.record(gap);
+            io.probe_obs_mut().probe_gap.record(gap);
         }
         if self.cfg.record_probe_log {
             self.metrics.probe_log.push(ProbeRecord {
-                at: ctx.now(),
+                at: io.now(),
                 peer,
                 net,
                 seq,
@@ -205,7 +251,7 @@ impl DrsDaemon {
         // Flight: this send's cause is the pair's chain tail (the
         // previous send, or the last good reply), and the send ref rides
         // on the frame so kernel loss sites can blame it.
-        let sref = ctx.flight_record(
+        let sref = io.flight_record(
             TraceKind::ProbeSend,
             Some(net),
             u64::from(peer.0) << 32 | u64::from(seq),
@@ -215,7 +261,7 @@ impl DrsDaemon {
             self.probe_send_ref[idx] = sref;
             self.probe_chain_ref[idx] = sref;
         }
-        ctx.send_echo_traced(net, peer, ECHO_ID, seq, sref);
+        io.send_echo_traced(net, peer, ECHO_ID, seq, sref);
         seq
     }
 
@@ -224,7 +270,7 @@ impl DrsDaemon {
     /// exactly the per-pair timers' firing order — then arm a single
     /// timeout sweep and the next cycle. Two queue entries per cycle per
     /// daemon, against `2·K·(N-1)` for the per-pair driver.
-    fn run_monitor_cycle(&mut self, ctx: &mut Ctx<'_, DrsMsg>) {
+    fn run_monitor_cycle(&mut self, io: &mut impl DrsIo) {
         self.cycle_probes.clear();
         let planes = self.peers.planes();
         for p in 0..self.n as u32 {
@@ -240,7 +286,7 @@ impl DrsDaemon {
                     self.probe_skip[idx] -= 1;
                     continue;
                 }
-                let seq = self.send_probe(ctx, peer, net);
+                let seq = self.send_probe(io, peer, net);
                 self.cycle_probes.push((peer, net, seq));
                 if self.peers.state(peer, net) == LinkState::Down {
                     self.probe_skip[idx] = self.cfg.down_probe_backoff - 1;
@@ -248,15 +294,15 @@ impl DrsDaemon {
                 // Same retry hook as the per-pair driver: once per cycle
                 // per peer, keyed to an actually-sent plane-A probe.
                 if net == NetId::A && self.peers.peer_unreachable_direct(peer) {
-                    self.start_discovery(ctx, peer);
+                    self.start_discovery(io, peer);
                 }
             }
         }
-        ctx.set_timer(
+        io.set_timer(
             self.cfg.probe_timeout,
             token(KIND_CYCLE_TIMEOUT, NodeId(0), NetId::A, 0),
         );
-        ctx.set_timer(
+        io.set_timer(
             self.cfg.probe_interval,
             token(KIND_CYCLE, NodeId(0), NetId::A, 0),
         );
@@ -266,7 +312,7 @@ impl DrsDaemon {
     /// cycle sent in the same pair order. Sound because the config
     /// guarantees `probe_timeout < probe_interval`: the sweep always
     /// fires before the next fan-out reuses the buffer.
-    fn sweep_cycle_timeouts(&mut self, ctx: &mut Ctx<'_, DrsMsg>) {
+    fn sweep_cycle_timeouts(&mut self, io: &mut impl DrsIo) {
         let probes = std::mem::take(&mut self.cycle_probes);
         for &(peer, net, seq) in &probes {
             self.metrics.timeouts += 1;
@@ -274,8 +320,8 @@ impl DrsDaemon {
                 .peers
                 .probe_timed_out(peer, net, seq, self.cfg.miss_threshold);
             if transition == Transition::WentDown {
-                let sweep = self.record_timeout_sweep(ctx, peer, net);
-                self.handle_link_down(ctx, peer, net, sweep);
+                let sweep = self.record_timeout_sweep(io, peer, net);
+                self.handle_link_down(io, peer, net, sweep);
             }
         }
         self.cycle_probes = probes;
@@ -285,12 +331,12 @@ impl DrsDaemon {
     /// caused by the probe send it gave up on.
     fn record_timeout_sweep(
         &mut self,
-        ctx: &mut Ctx<'_, DrsMsg>,
+        io: &mut impl DrsIo,
         peer: NodeId,
         net: NetId,
     ) -> Option<EventRef> {
         let cause = self.probe_send_ref[self.pair_idx(peer, net)];
-        ctx.flight_record(TraceKind::TimeoutSweep, Some(net), u64::from(peer.0), cause)
+        io.flight_record(TraceKind::TimeoutSweep, Some(net), u64::from(peer.0), cause)
     }
 
     /// The direct network this daemon would prefer for `peer` right now,
@@ -300,24 +346,24 @@ impl DrsDaemon {
         self.peers.first_up(peer)
     }
 
-    fn install(&mut self, ctx: &mut Ctx<'_, DrsMsg>, dst: NodeId, route: Route) {
-        if ctx.route(dst) == Some(route) {
+    fn install(&mut self, io: &mut impl DrsIo, dst: NodeId, route: Route) {
+        if io.route(dst) == Some(route) {
             return;
         }
-        ctx.set_route(dst, route);
+        io.set_route(dst, route);
         self.metrics.route_changes += 1;
         self.metrics
-            .log(ctx.now(), DrsEventKind::RouteChanged { dst, route });
+            .log(io.now(), DrsEventKind::RouteChanged { dst, route });
         // A repair span for this destination closes on the first actual
         // route change after the failure — if discovery had to wait for
         // the peer to recover, the recorded latency honestly covers the
         // whole outage.
         if let Some(span) = self.pending_reroute[dst.idx()].take() {
-            let elapsed = SimDuration(span.elapsed_ns(ctx.now().0));
-            ctx.probe_obs_mut().reroute_complete.record(elapsed);
+            let elapsed = SimDuration(span.elapsed_ns(io.now().0));
+            io.probe_obs_mut().reroute_complete.record(elapsed);
             // Flight: exactly one completion per closed repair span, so
             // these records mirror the reroute_complete histogram 1:1.
-            ctx.flight_record(
+            io.flight_record(
                 TraceKind::RerouteComplete,
                 None,
                 elapsed.as_nanos(),
@@ -329,8 +375,8 @@ impl DrsDaemon {
     /// Repairs the route to `dst` after its current path broke: redundant
     /// direct link first, gateway discovery second. `cause` is the
     /// link-down record that forced the repair.
-    fn repair_route(&mut self, ctx: &mut Ctx<'_, DrsMsg>, dst: NodeId, cause: Option<EventRef>) {
-        let now = ctx.now();
+    fn repair_route(&mut self, io: &mut impl DrsIo, dst: NodeId, cause: Option<EventRef>) {
+        let now = io.now();
         let newly_opened = self.pending_reroute[dst.idx()].is_none();
         self.pending_reroute[dst.idx()].get_or_insert_with(|| Span::begin(now.0));
         let direct = self.best_direct(dst);
@@ -338,7 +384,7 @@ impl DrsDaemon {
             // Flight: one decision per repair span, at the instant it
             // opens — mode says which repair path the daemon committed to.
             let mode = u64::from(direct.is_none());
-            self.pending_reroute_ref[dst.idx()] = ctx.flight_record(
+            self.pending_reroute_ref[dst.idx()] = io.flight_record(
                 TraceKind::FailoverDecision,
                 None,
                 u64::from(dst.0) << 1 | mode,
@@ -347,52 +393,52 @@ impl DrsDaemon {
         }
         if let Some(net) = direct {
             let new = Route::Direct(net);
-            if ctx.route(dst) != Some(new) {
+            if io.route(dst) != Some(new) {
                 self.metrics.direct_failovers += 1;
-                self.install(ctx, dst, new);
+                self.install(io, dst, new);
             }
         } else {
-            self.start_discovery(ctx, dst);
+            self.start_discovery(io, dst);
         }
     }
 
     fn handle_link_down(
         &mut self,
-        ctx: &mut Ctx<'_, DrsMsg>,
+        io: &mut impl DrsIo,
         peer: NodeId,
         net: NetId,
         sweep: Option<EventRef>,
     ) {
         self.metrics.link_down_events += 1;
         self.metrics
-            .log(ctx.now(), DrsEventKind::LinkDown { peer, net });
+            .log(io.now(), DrsEventKind::LinkDown { peer, net });
         // Failure-detection latency: last healthy reply → this event. A
         // link that never answered has no baseline and records nothing
         // (no samples, not a fake zero).
         let idx = self.pair_idx(peer, net);
         let mut detect_ns = u64::MAX;
         if let Some(ok) = self.last_ok[idx] {
-            let detect = ctx.now().since(ok);
+            let detect = io.now().since(ok);
             detect_ns = detect.as_nanos();
-            ctx.probe_obs_mut().failover_detect.record(detect);
+            io.probe_obs_mut().failover_detect.record(detect);
         }
         // Flight: the down transition carries the detect latency and is
         // pinned as a live chain head, so its ancestry (losses, last good
         // reply) survives ring eviction until the link recovers.
-        let down = ctx.flight_record(TraceKind::LinkDown, Some(net), detect_ns, sweep);
+        let down = io.flight_record(TraceKind::LinkDown, Some(net), detect_ns, sweep);
         if let Some(head) = down {
             if let Some(old) = self.down_ref[idx].replace(head) {
-                ctx.flight_release(old);
+                io.flight_release(old);
             }
-            ctx.flight_pin(head);
+            io.flight_pin(head);
         }
 
         // The direct route to this peer may have died...
-        if ctx.route(peer) == Some(Route::Direct(net)) {
-            self.repair_route(ctx, peer, down);
+        if io.route(peer) == Some(Route::Direct(net)) {
+            self.repair_route(io, peer, down);
         }
         // ...and so may any route relaying through this peer on this net.
-        let broken: Vec<NodeId> = ctx
+        let broken: Vec<NodeId> = io
             .routes()
             .iter()
             .filter_map(|(dst, route)| match route {
@@ -401,27 +447,27 @@ impl DrsDaemon {
             })
             .collect();
         for dst in broken {
-            self.repair_route(ctx, dst, down);
+            self.repair_route(io, dst, down);
         }
     }
 
     fn handle_link_up(
         &mut self,
-        ctx: &mut Ctx<'_, DrsMsg>,
+        io: &mut impl DrsIo,
         peer: NodeId,
         net: NetId,
         reply: Option<EventRef>,
     ) {
         self.metrics.link_up_events += 1;
         self.metrics
-            .log(ctx.now(), DrsEventKind::LinkUp { peer, net });
+            .log(io.now(), DrsEventKind::LinkUp { peer, net });
         // Flight: the revival names the reply that proved the link, and
         // the failure chain it ends is unpinned — its records may now be
         // evicted like any others.
-        ctx.flight_record(TraceKind::LinkUp, Some(net), u64::from(peer.0), reply);
+        io.flight_record(TraceKind::LinkUp, Some(net), u64::from(peer.0), reply);
         let idx = self.pair_idx(peer, net);
         if let Some(head) = self.down_ref[idx].take() {
-            ctx.flight_release(head);
+            io.flight_release(head);
         }
 
         // Any running discovery for this peer is obsolete.
@@ -429,7 +475,7 @@ impl DrsDaemon {
             round.decided = true;
         }
 
-        let current = ctx.route(peer);
+        let current = io.route(peer);
         let best = self
             .best_direct(peer)
             .expect("a link just came up, so some direct net is up");
@@ -445,12 +491,12 @@ impl DrsDaemon {
             if matches!(current, Some(Route::Via { .. }) | Some(Route::Direct(_))) {
                 self.metrics.reverts += 1;
             }
-            self.install(ctx, peer, Route::Direct(best));
+            self.install(io, peer, Route::Direct(best));
         }
     }
 
-    fn start_discovery(&mut self, ctx: &mut Ctx<'_, DrsMsg>, target: NodeId) {
-        let now = ctx.now();
+    fn start_discovery(&mut self, io: &mut impl DrsIo, target: NodeId) {
+        let now = io.now();
         if let Some(last) = self.last_discovery[target.idx()] {
             let round_active = self.discovery[target.idx()]
                 .as_ref()
@@ -472,16 +518,16 @@ impl DrsDaemon {
             .log(now, DrsEventKind::DiscoveryStarted { target });
         let msg = DrsMsg::RouteRequest { target, req_id };
         for net in NetId::planes(self.peers.planes()) {
-            ctx.broadcast_control(net, msg);
+            io.broadcast_control(net, msg);
         }
         // Arm the decision/failure-detection window.
-        ctx.set_timer(
+        io.set_timer(
             self.cfg.offer_window,
             token(KIND_OFFER_WINDOW, target, NetId::A, req_id & 0xFF_FFFF),
         );
     }
 
-    fn handle_offer_window(&mut self, ctx: &mut Ctx<'_, DrsMsg>, target: NodeId, req_low: u64) {
+    fn handle_offer_window(&mut self, io: &mut impl DrsIo, target: NodeId, req_low: u64) {
         let Some(round) = self.discovery[target.idx()].as_ref() else {
             return;
         };
@@ -491,7 +537,7 @@ impl DrsDaemon {
         if round.offers.is_empty() {
             self.discovery[target.idx()].as_mut().expect("present").decided = true;
             self.metrics
-                .log(ctx.now(), DrsEventKind::DiscoveryFailed { target });
+                .log(io.now(), DrsEventKind::DiscoveryFailed { target });
             return;
         }
         let pick = match self.cfg.gateway_policy {
@@ -502,14 +548,17 @@ impl DrsDaemon {
                 .min_by_key(|(gw, _)| gw.0)
                 .expect("non-empty"),
             GatewayPolicy::Random => {
-                let i = ctx.rng().gen_range(0..round.offers.len());
+                let i = io.pick(round.offers.len());
+                if let Some(j) = self.journal.as_mut() {
+                    j.push_pick(i);
+                }
                 round.offers[i]
             }
         };
         self.discovery[target.idx()].as_mut().expect("present").decided = true;
         self.metrics.gateway_failovers += 1;
         self.install(
-            ctx,
+            io,
             target,
             Route::Via {
                 gateway: pick.0,
@@ -520,7 +569,7 @@ impl DrsDaemon {
 
     fn handle_route_request(
         &mut self,
-        ctx: &mut Ctx<'_, DrsMsg>,
+        io: &mut impl DrsIo,
         from: NodeId,
         net: NetId,
         target: NodeId,
@@ -531,7 +580,7 @@ impl DrsDaemon {
         }
         // Offer only with a live *direct* route to the target: one-hop
         // relays cannot form loops.
-        let usable = match ctx.route(target) {
+        let usable = match io.route(target) {
             Some(Route::Direct(tnet)) => self.peers.state(target, tnet) == LinkState::Up,
             _ => false,
         };
@@ -539,12 +588,12 @@ impl DrsDaemon {
             return;
         }
         self.metrics.offers_sent += 1;
-        ctx.send_control(net, from, DrsMsg::RouteOffer { target, req_id });
+        io.send_control(net, from, DrsMsg::RouteOffer { target, req_id });
     }
 
     fn handle_route_offer(
         &mut self,
-        ctx: &mut Ctx<'_, DrsMsg>,
+        io: &mut impl DrsIo,
         from: NodeId,
         net: NetId,
         target: NodeId,
@@ -560,22 +609,26 @@ impl DrsDaemon {
             GatewayPolicy::FirstOffer => {
                 round.decided = true;
                 self.metrics.gateway_failovers += 1;
-                self.install(ctx, target, Route::Via { gateway: from, net });
+                self.install(io, target, Route::Via { gateway: from, net });
             }
             GatewayPolicy::LowestId | GatewayPolicy::Random => {
                 round.offers.push((from, net));
             }
         }
     }
-}
 
-impl Protocol for DrsDaemon {
-    type Msg = DrsMsg;
+    // ---- Entry points -----------------------------------------------
+    //
+    // The backend (DES kernel, UDP event loop, trace replayer) calls
+    // exactly these four methods; everything above is internal.
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, DrsMsg>) {
-        // First sight of the scenario: size the link table (and the dense
-        // per-pair state) to the cluster's actual redundancy degree.
-        let planes = ctx.planes();
+    /// Boot: size the per-pair state to the backend's plane count and arm
+    /// the monitor timers.
+    pub fn handle_start(&mut self, io: &mut impl DrsIo) {
+        // First sight of the environment: size the link table (and the
+        // dense per-pair state) to the cluster's actual redundancy degree.
+        let planes = io.planes();
+        self.journal_input(io.now(), DaemonInput::Start { planes });
         self.peers = PeerTable::new(self.id, self.n, planes);
         let pairs = self.n * planes as usize;
         self.probe_spans = vec![None; pairs];
@@ -587,7 +640,7 @@ impl Protocol for DrsDaemon {
         if self.cfg.batched_monitor {
             // One cycle event drives the whole sweep (stagger does not
             // apply: the point of batching is the single timer).
-            ctx.set_timer(SimDuration::ZERO, token(KIND_CYCLE, NodeId(0), NetId::A, 0));
+            io.set_timer(SimDuration::ZERO, token(KIND_CYCLE, NodeId(0), NetId::A, 0));
             return;
         }
         // Arm one repeating probe timer per (peer, net) pair, staggered
@@ -602,18 +655,20 @@ impl Protocol for DrsDaemon {
                 } else {
                     SimDuration::ZERO
                 };
-                ctx.set_timer(offset, token(KIND_PROBE, peer, net, 0));
+                io.set_timer(offset, token(KIND_PROBE, peer, net, 0));
                 k += 1;
             }
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, DrsMsg>, t: u64) {
+    /// A previously armed timer fired with token `t`.
+    pub fn handle_timer(&mut self, io: &mut impl DrsIo, t: u64) {
+        self.journal_input(io.now(), DaemonInput::Timer { token: t });
         let (kind, peer, net, payload) = untoken(t);
         match kind {
             KIND_PROBE => {
-                let seq = self.send_probe(ctx, peer, net);
-                ctx.set_timer(
+                let seq = self.send_probe(io, peer, net);
+                io.set_timer(
                     self.cfg.probe_timeout,
                     token(KIND_TIMEOUT, peer, net, seq as u64),
                 );
@@ -627,14 +682,14 @@ impl Protocol for DrsDaemon {
                 } else {
                     self.cfg.probe_interval
                 };
-                ctx.set_timer(interval, token(KIND_PROBE, peer, net, 0));
+                io.set_timer(interval, token(KIND_PROBE, peer, net, 0));
 
                 // Retry loop for persistently unreachable peers: while both
                 // direct links are down, keep re-discovering (rate-limited)
                 // so a newly viable gateway is eventually found. Hooked to
                 // the net-A probe only, to fire once per cycle per peer.
                 if net == NetId::A && self.peers.peer_unreachable_direct(peer) {
-                    self.start_discovery(ctx, peer);
+                    self.start_discovery(io, peer);
                 }
             }
             KIND_TIMEOUT => {
@@ -643,43 +698,45 @@ impl Protocol for DrsDaemon {
                     self.peers
                         .probe_timed_out(peer, net, payload as u32, self.cfg.miss_threshold);
                 if transition == Transition::WentDown {
-                    let sweep = self.record_timeout_sweep(ctx, peer, net);
-                    self.handle_link_down(ctx, peer, net, sweep);
+                    let sweep = self.record_timeout_sweep(io, peer, net);
+                    self.handle_link_down(io, peer, net, sweep);
                 }
             }
-            KIND_OFFER_WINDOW => self.handle_offer_window(ctx, peer, payload),
-            KIND_CYCLE => self.run_monitor_cycle(ctx),
-            KIND_CYCLE_TIMEOUT => self.sweep_cycle_timeouts(ctx),
+            KIND_OFFER_WINDOW => self.handle_offer_window(io, peer, payload),
+            KIND_CYCLE => self.run_monitor_cycle(io),
+            KIND_CYCLE_TIMEOUT => self.sweep_cycle_timeouts(io),
             _ => unreachable!("unknown timer kind {kind}"),
         }
     }
 
-    fn on_echo_reply(
+    /// An ICMP echo reply arrived from `from` on `net`.
+    pub fn handle_echo_reply(
         &mut self,
-        ctx: &mut Ctx<'_, DrsMsg>,
+        io: &mut impl DrsIo,
         from: NodeId,
         net: NetId,
         id: u32,
         seq: u32,
     ) {
+        self.journal_input(io.now(), DaemonInput::EchoReply { from, net, id, seq });
         if id != ECHO_ID {
             return; // someone else's ping
         }
         self.metrics.replies_received += 1;
-        let now = ctx.now();
+        let now = io.now();
         // Round-trip of the monitor cycle's probe, measured against the
         // most recent request on this (peer, net) — probes never overlap
         // on a link because the timeout is armed under the interval.
         let idx = self.pair_idx(from, net);
         if let Some(span) = self.probe_spans[idx].as_ref() {
             let rtt = SimDuration(span.elapsed_ns(now.0));
-            ctx.probe_obs_mut().probe_rtt.record(rtt);
+            io.probe_obs_mut().probe_rtt.record(rtt);
         }
         self.last_ok[idx] = Some(now);
         // Flight: a good reply answers the pair's outstanding send and
         // resets the chain tail — future failure chains walk back to
         // *this* record as their last-good anchor.
-        let rref = ctx.flight_record(
+        let rref = io.flight_record(
             TraceKind::ProbeRecv,
             Some(net),
             u64::from(from.0) << 32 | u64::from(seq),
@@ -689,17 +746,19 @@ impl Protocol for DrsDaemon {
             self.probe_chain_ref[idx] = rref;
         }
         if self.peers.reply_received(from, net, now) == Transition::WentUp {
-            self.handle_link_up(ctx, from, net, rref);
+            self.handle_link_up(io, from, net, rref);
         }
     }
 
-    fn on_control(&mut self, ctx: &mut Ctx<'_, DrsMsg>, from: NodeId, net: NetId, msg: &DrsMsg) {
+    /// A DRS control message arrived from `from` on `net`.
+    pub fn handle_control(&mut self, io: &mut impl DrsIo, from: NodeId, net: NetId, msg: &DrsMsg) {
+        self.journal_input(io.now(), DaemonInput::Control { from, net, msg: *msg });
         match *msg {
             DrsMsg::RouteRequest { target, req_id } => {
-                self.handle_route_request(ctx, from, net, target, req_id);
+                self.handle_route_request(io, from, net, target, req_id);
             }
             DrsMsg::RouteOffer { target, req_id } => {
-                self.handle_route_offer(ctx, from, net, target, req_id);
+                self.handle_route_offer(io, from, net, target, req_id);
             }
         }
     }
@@ -708,21 +767,13 @@ impl Protocol for DrsDaemon {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use drs_sim::fault::{FaultPlan, SimComponent};
-    use drs_sim::scenario::ClusterSpec;
-    use drs_sim::time::SimTime;
-    use drs_sim::world::World;
 
-    fn drs_world(n: usize, seed: u64, cfg: DrsConfig) -> World<DrsDaemon> {
-        let spec = ClusterSpec::new(n).seed(seed);
-        World::new(spec, move |id| DrsDaemon::new(id, n, cfg))
-    }
-
-    fn fast_cfg() -> DrsConfig {
-        DrsConfig::default()
-            .probe_timeout(SimDuration::from_millis(50))
-            .probe_interval(SimDuration::from_millis(200))
-    }
+    // The daemon's behavioural test suite runs on the DES kernel and
+    // lives in `crates/sim/tests/daemon_protocol.rs` — inside this
+    // crate's own test build, `drs_sim`'s `Protocol` impl targets the
+    // *library* instance of `DrsDaemon`, not the test harness's copy, so
+    // kernel-driven scenarios cannot compile here. Only backend-free
+    // unit tests belong in this module.
 
     #[test]
     fn token_roundtrip() {
@@ -736,521 +787,5 @@ mod tests {
                 }
             }
         }
-    }
-
-    #[test]
-    fn healthy_cluster_stays_on_primary_routes() {
-        let mut w = drs_world(6, 1, DrsConfig::default());
-        w.run_for(SimDuration::from_secs(10));
-        for i in 0..6u32 {
-            let d = w.protocol(NodeId(i));
-            assert_eq!(d.metrics.link_down_events, 0, "node {i}");
-            assert_eq!(d.metrics.route_changes, 0, "node {i}");
-            assert!(d.metrics.probes_sent > 0);
-            // Every probe is answered except those still in flight when
-            // the run stopped (at most one per monitored link).
-            let in_flight_allowance = 2 * (6 - 1) as u64;
-            assert!(
-                d.metrics.replies_received + in_flight_allowance >= d.metrics.probes_sent,
-                "node {i}: {} replies vs {} probes",
-                d.metrics.replies_received,
-                d.metrics.probes_sent
-            );
-        }
-        assert_eq!(w.host(NodeId(0)).routes.indirect_count(), 0);
-    }
-
-    #[test]
-    fn nic_failure_detected_within_worst_case_bound() {
-        let cfg = fast_cfg();
-        let mut w = drs_world(4, 2, cfg);
-        let t0 = SimTime(2_000_000_000);
-        w.schedule_faults(FaultPlan::new().fail_at(t0, SimComponent::Nic(NodeId(1), NetId::A)));
-        w.run_for(SimDuration::from_secs(5));
-        // Every other daemon must have detected (1, netA) down.
-        for i in [0u32, 2, 3] {
-            let d = w.protocol(NodeId(i));
-            let det = d
-                .metrics
-                .first_after(t0, |k| {
-                    matches!(k, DrsEventKind::LinkDown { peer, net }
-                        if *peer == NodeId(1) && *net == NetId::A)
-                })
-                .unwrap_or_else(|| panic!("node {i} never detected the failure"));
-            let latency = det.at - t0;
-            assert!(
-                latency <= cfg.worst_case_detection() + SimDuration::from_millis(50),
-                "node {i}: detection took {latency}"
-            );
-        }
-    }
-
-    #[test]
-    fn failover_to_redundant_network_is_automatic() {
-        let mut w = drs_world(4, 3, fast_cfg());
-        let t0 = SimTime(1_000_000_000);
-        w.schedule_faults(FaultPlan::new().fail_at(t0, SimComponent::Nic(NodeId(2), NetId::A)));
-        w.run_for(SimDuration::from_secs(4));
-        // Everyone now routes to node 2 over network B, directly.
-        for i in [0u32, 1, 3] {
-            assert_eq!(
-                w.host(NodeId(i)).routes.get(NodeId(2)),
-                Some(Route::Direct(NetId::B)),
-                "node {i}"
-            );
-            assert!(w.protocol(NodeId(i)).metrics.direct_failovers >= 1);
-        }
-        // Routes to everyone else are untouched.
-        assert_eq!(
-            w.host(NodeId(0)).routes.get(NodeId(1)),
-            Some(Route::Direct(NetId::A))
-        );
-    }
-
-    #[test]
-    fn hub_failure_moves_all_routes() {
-        let mut w = drs_world(5, 4, fast_cfg());
-        w.schedule_faults(
-            FaultPlan::new().fail_at(SimTime(500_000_000), SimComponent::Hub(NetId::A)),
-        );
-        w.run_for(SimDuration::from_secs(4));
-        for i in 0..5u32 {
-            for (dst, route) in w.host(NodeId(i)).routes.iter() {
-                assert_eq!(route, Route::Direct(NetId::B), "node {i} -> {dst}");
-            }
-        }
-    }
-
-    #[test]
-    fn gateway_discovery_repairs_crossed_failure() {
-        // Node 0 loses net B, node 1 loses net A: no shared direct network.
-        let cfg = fast_cfg();
-        let mut w = drs_world(4, 5, cfg);
-        let t0 = SimTime(1_000_000_000);
-        w.schedule_faults(
-            FaultPlan::new()
-                .fail_at(t0, SimComponent::Nic(NodeId(0), NetId::B))
-                .fail_at(t0, SimComponent::Nic(NodeId(1), NetId::A)),
-        );
-        w.run_for(SimDuration::from_secs(6));
-        let r01 = w.host(NodeId(0)).routes.get(NodeId(1));
-        match r01 {
-            Some(Route::Via { gateway, net }) => {
-                assert!(gateway == NodeId(2) || gateway == NodeId(3));
-                assert_eq!(net, NetId::A, "node 0 can only transmit on A");
-            }
-            other => panic!("expected gateway route, got {other:?}"),
-        }
-        let r10 = w.host(NodeId(1)).routes.get(NodeId(0));
-        match r10 {
-            Some(Route::Via { net, .. }) => assert_eq!(net, NetId::B),
-            other => panic!("expected gateway route, got {other:?}"),
-        }
-        assert!(w.protocol(NodeId(0)).metrics.gateway_failovers >= 1);
-        // And traffic actually flows end-to-end through the relay.
-        let flow = w.send_app(w.now(), NodeId(0), NodeId(1), 256);
-        w.run_for(SimDuration::from_secs(5));
-        assert!(matches!(
-            w.flow_outcome(flow),
-            Some(drs_sim::world::FlowOutcome::Delivered(_))
-        ));
-    }
-
-    #[test]
-    fn recovery_reverts_to_direct_primary_route() {
-        let cfg = fast_cfg();
-        let mut w = drs_world(3, 6, cfg);
-        w.schedule_faults(
-            FaultPlan::new()
-                .fail_at(
-                    SimTime(1_000_000_000),
-                    SimComponent::Nic(NodeId(1), NetId::A),
-                )
-                .repair_at(
-                    SimTime(5_000_000_000),
-                    SimComponent::Nic(NodeId(1), NetId::A),
-                ),
-        );
-        w.run_for(SimDuration::from_secs(3)); // failed over by now
-        assert_eq!(
-            w.host(NodeId(0)).routes.get(NodeId(1)),
-            Some(Route::Direct(NetId::B))
-        );
-        w.run_for(SimDuration::from_secs(5)); // repaired and re-probed
-        assert_eq!(
-            w.host(NodeId(0)).routes.get(NodeId(1)),
-            Some(Route::Direct(NetId::A)),
-            "prefer_primary reverts to net A"
-        );
-        assert!(w.protocol(NodeId(0)).metrics.reverts >= 1);
-    }
-
-    #[test]
-    fn no_revert_to_primary_when_preference_disabled() {
-        let cfg = fast_cfg().prefer_primary(false);
-        let mut w = drs_world(3, 7, cfg);
-        w.schedule_faults(
-            FaultPlan::new()
-                .fail_at(
-                    SimTime(1_000_000_000),
-                    SimComponent::Nic(NodeId(1), NetId::A),
-                )
-                .repair_at(
-                    SimTime(5_000_000_000),
-                    SimComponent::Nic(NodeId(1), NetId::A),
-                ),
-        );
-        w.run_for(SimDuration::from_secs(10));
-        assert_eq!(
-            w.host(NodeId(0)).routes.get(NodeId(1)),
-            Some(Route::Direct(NetId::B)),
-            "sticky failover keeps the working route"
-        );
-    }
-
-    #[test]
-    fn application_unaware_of_failure_after_convergence() {
-        // The paper's headline: traffic sent after DRS converges on a
-        // failure is delivered without a single retransmission.
-        let mut w = drs_world(6, 8, fast_cfg());
-        w.schedule_faults(
-            FaultPlan::new().fail_at(SimTime(1_000_000_000), SimComponent::Hub(NetId::A)),
-        );
-        w.run_for(SimDuration::from_secs(4)); // converge
-        let before = w.app_stats().retransmits;
-        for i in 1..6u32 {
-            w.send_app(w.now(), NodeId(0), NodeId(i), 512);
-        }
-        w.run_for(SimDuration::from_secs(5));
-        assert_eq!(w.app_stats().delivered, 5);
-        assert_eq!(w.app_stats().retransmits, before, "no app-visible impact");
-    }
-
-    #[test]
-    fn isolated_peer_discovery_fails_cleanly() {
-        // Node 1 loses both NICs: no gateway can exist.
-        let cfg = fast_cfg();
-        let mut w = drs_world(4, 9, cfg);
-        w.schedule_faults(
-            FaultPlan::new()
-                .fail_at(SimTime(500_000_000), SimComponent::Nic(NodeId(1), NetId::A))
-                .fail_at(SimTime(500_000_000), SimComponent::Nic(NodeId(1), NetId::B)),
-        );
-        w.run_for(SimDuration::from_secs(6));
-        let d = w.protocol(NodeId(0));
-        assert!(d.metrics.discoveries >= 1, "discovery was attempted");
-        assert!(
-            d.metrics
-                .first_after(SimTime(0), |k| matches!(
-                    k,
-                    DrsEventKind::DiscoveryFailed { target } if *target == NodeId(1)
-                ))
-                .is_some(),
-            "discovery failure logged"
-        );
-        // A neighbour whose own detection lagged may have made a stale
-        // offer transiently; what matters is the end state: traffic to the
-        // isolated peer fails, traffic to everyone else flows.
-        let dead = w.send_app(w.now(), NodeId(0), NodeId(1), 64);
-        let alive = w.send_app(w.now(), NodeId(0), NodeId(2), 64);
-        w.run_for(SimDuration::from_secs(200));
-        assert_eq!(
-            w.flow_outcome(dead),
-            Some(drs_sim::world::FlowOutcome::GaveUp),
-            "no protocol can reach a host with no NICs"
-        );
-        assert!(matches!(
-            w.flow_outcome(alive),
-            Some(drs_sim::world::FlowOutcome::Delivered(_))
-        ));
-    }
-
-    #[test]
-    fn lowest_id_policy_picks_deterministic_gateway() {
-        let cfg = fast_cfg().gateway_policy(GatewayPolicy::LowestId);
-        let mut w = drs_world(6, 10, cfg);
-        let t0 = SimTime(1_000_000_000);
-        w.schedule_faults(
-            FaultPlan::new()
-                .fail_at(t0, SimComponent::Nic(NodeId(0), NetId::B))
-                .fail_at(t0, SimComponent::Nic(NodeId(1), NetId::A)),
-        );
-        w.run_for(SimDuration::from_secs(6));
-        match w.host(NodeId(0)).routes.get(NodeId(1)) {
-            Some(Route::Via { gateway, .. }) => {
-                assert_eq!(gateway, NodeId(2), "lowest-id candidate wins")
-            }
-            other => panic!("expected gateway route, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn probe_overhead_matches_figure1_model() {
-        // 8 nodes, 1 s cycle: each host sends 2*(8-1) = 14 probes/s; the
-        // cluster offers 8*14 = 112 request frames/s per... per two nets:
-        // net A carries 8*7 = 56 requests + 56 replies per second.
-        let mut w = drs_world(8, 11, DrsConfig::default());
-        let snap = w.medium(NetId::A).stats;
-        let t0 = w.now();
-        w.run_for(SimDuration::from_secs(10));
-        let bytes = w.medium(NetId::A).stats.probe_bytes - snap.probe_bytes;
-        let expected = 10 * 2 * 8 * 7 * 74; // 10 s x (req+reply) x N(N-1) x 74 B
-        let ratio = bytes as f64 / expected as f64;
-        assert!(
-            (0.95..=1.05).contains(&ratio),
-            "probe bytes {bytes} vs expected {expected}"
-        );
-        let util = w.medium(NetId::A).utilization_since(&snap, t0, w.now());
-        assert!(util < 0.01, "8-node probing is well under 1%: {util}");
-    }
-
-    #[test]
-    fn miss_threshold_absorbs_random_frame_loss() {
-        // 2% wire loss: a single-miss daemon flaps links constantly; the
-        // deployed 2-miss threshold keeps the view essentially stable
-        // (P[flap per probe] drops from ~4% to ~0.16%). This is the
-        // design rationale for counting consecutive misses.
-        let flaps = |threshold: u32| {
-            let n = 5;
-            let cfg = DrsConfig::default()
-                .probe_timeout(SimDuration::from_millis(50))
-                .probe_interval(SimDuration::from_millis(200))
-                .miss_threshold(threshold);
-            let spec = ClusterSpec::new(n).seed(1234).frame_loss_rate(0.02);
-            let mut w = World::new(spec, move |id| DrsDaemon::new(id, n, cfg));
-            w.run_for(SimDuration::from_secs(60));
-            (0..n as u32)
-                .map(|i| w.protocol(NodeId(i)).metrics.link_down_events)
-                .sum::<u64>()
-        };
-        let flappy = flaps(1);
-        let stable = flaps(2);
-        assert!(
-            flappy > 10 * stable.max(1),
-            "threshold must suppress loss-induced flapping: {flappy} vs {stable}"
-        );
-    }
-
-    #[test]
-    fn lossy_network_does_not_break_failover() {
-        // Real failure + background loss: DRS must still converge and
-        // deliver, despite occasional false misses.
-        let n = 6;
-        let cfg = DrsConfig::default()
-            .probe_timeout(SimDuration::from_millis(50))
-            .probe_interval(SimDuration::from_millis(200))
-            .miss_threshold(3);
-        let spec = ClusterSpec::new(n).seed(77).frame_loss_rate(0.01);
-        let mut w = World::new(spec, move |id| DrsDaemon::new(id, n, cfg));
-        w.schedule_faults(
-            FaultPlan::new().fail_at(SimTime(1_000_000_000), SimComponent::Hub(NetId::A)),
-        );
-        w.run_for(SimDuration::from_secs(5));
-        for i in 1..n as u32 {
-            w.send_app(w.now(), NodeId(0), NodeId(i), 256);
-        }
-        w.run_for(SimDuration::from_secs(200));
-        assert_eq!(w.app_stats().delivered, w.app_stats().sent);
-    }
-
-    #[test]
-    fn degraded_cable_detected_like_a_hard_fault() {
-        // A 99.9%-loss cable is indistinguishable from a dead link to the
-        // prober, and must trigger the same failover.
-        let n = 4;
-        let cfg = fast_cfg();
-        let mut w = drs_world(n, 88, cfg);
-        w.run_for(SimDuration::from_secs(1));
-        w.set_link_loss(NodeId(1), NetId::A, 0.999);
-        w.run_for(SimDuration::from_secs(8));
-        assert_eq!(
-            w.host(NodeId(0)).routes.get(NodeId(1)),
-            Some(Route::Direct(NetId::B)),
-            "flaky cable must be routed around"
-        );
-    }
-
-    #[test]
-    fn down_probe_backoff_saves_bandwidth_but_delays_recovery_only() {
-        // Kill a peer's NIC, leave it down for a while, then repair. A
-        // backed-off daemon sends far fewer probes during the outage yet
-        // detects the failure just as fast; only the recovery detection
-        // stretches (bounded by backoff x interval).
-        let run = |backoff: u64| {
-            let n = 3;
-            let cfg = fast_cfg().down_probe_backoff(backoff);
-            let mut w = drs_world(n, 99, cfg);
-            w.schedule_faults(
-                FaultPlan::new()
-                    .fail_at(
-                        SimTime(1_000_000_000),
-                        SimComponent::Nic(NodeId(1), NetId::A),
-                    )
-                    .repair_at(
-                        SimTime(21_000_000_000),
-                        SimComponent::Nic(NodeId(1), NetId::A),
-                    ),
-            );
-            w.run_for(SimDuration::from_secs(20)); // during outage
-            let probes_during = w.protocol(NodeId(0)).metrics.probes_sent;
-            w.run_for(SimDuration::from_secs(20)); // past repair
-            let recovered =
-                w.host(NodeId(0)).routes.get(NodeId(1)) == Some(Route::Direct(NetId::A));
-            let detect_at = w
-                .protocol(NodeId(0))
-                .metrics
-                .first_after(SimTime(1_000_000_000), |k| {
-                    matches!(k, DrsEventKind::LinkDown { peer, net }
-                        if *peer == NodeId(1) && *net == NetId::A)
-                })
-                .expect("detected")
-                .at;
-            (probes_during, recovered, detect_at)
-        };
-        let (probes_full, rec_full, det_full) = run(1);
-        let (probes_backed, rec_backed, det_backed) = run(10);
-        assert!(
-            probes_backed < probes_full - 20,
-            "backoff must reduce outage probing: {probes_backed} vs {probes_full}"
-        );
-        assert!(rec_full && rec_backed, "both recover after the repair");
-        assert_eq!(det_full, det_backed, "failure detection speed unchanged");
-    }
-
-    #[test]
-    fn healthy_cluster_probe_observability() {
-        let cfg = DrsConfig::default();
-        let mut w = drs_world(4, 21, cfg);
-        w.run_for(SimDuration::from_secs(10));
-        for i in 0..4u32 {
-            let obs = &w.host(NodeId(i)).obs;
-            let probes = w.protocol(NodeId(i)).metrics.probes_sent;
-            // Every probe request is charged to its sender at the ICMP
-            // wire size — the measured half of the Figure 1 budget.
-            assert_eq!(obs.probe_bytes, probes * 74, "node {i}");
-            // The realized monitor cycle is the configured interval.
-            let gap = &obs.probe_gap;
-            assert!(gap.count() > 0, "node {i} recorded probe gaps");
-            assert_eq!(
-                gap.min(),
-                Some(cfg.probe_interval),
-                "node {i}: healthy links re-arm at exactly the interval"
-            );
-            // RTTs on an idle 100 Mb/s hub are microseconds, far under
-            // the probe timeout.
-            let rtt = &obs.probe_rtt;
-            assert!(rtt.count() > 0, "node {i} recorded RTTs");
-            assert!(rtt.max().unwrap() < cfg.probe_timeout, "node {i}");
-            // Nothing failed, so failure channels must be *empty* — not
-            // zero-valued.
-            assert_eq!(obs.failover_detect.count(), 0, "node {i}");
-            assert_eq!(obs.reroute_complete.count(), 0, "node {i}");
-            assert_eq!(obs.failover_detect.quantile_upper_bound(0.5), None);
-        }
-    }
-
-    #[test]
-    fn failover_latency_lands_in_the_histograms() {
-        let cfg = fast_cfg();
-        let mut w = drs_world(4, 22, cfg);
-        let t0 = SimTime(2_000_000_000);
-        w.schedule_faults(FaultPlan::new().fail_at(t0, SimComponent::Nic(NodeId(1), NetId::A)));
-        w.run_for(SimDuration::from_secs(6));
-        for i in [0u32, 2, 3] {
-            let obs = &w.host(NodeId(i)).obs;
-            assert_eq!(obs.failover_detect.count(), 1, "node {i}");
-            // Measured from the last healthy reply, which precedes the
-            // fault by up to one probe interval.
-            let detect = obs.failover_detect.max().unwrap();
-            assert!(
-                detect <= cfg.worst_case_detection() + cfg.probe_interval,
-                "node {i}: detection latency {detect}"
-            );
-            // The failed link carried this node's route to node 1, so a
-            // repair span must have opened and closed.
-            assert_eq!(obs.reroute_complete.count(), 1, "node {i}");
-            let reroute = obs.reroute_complete.max().unwrap();
-            assert!(reroute < SimDuration::from_millis(1), "repair is immediate");
-        }
-        // The failed host's own histograms see the probes *it* lost.
-        let failed = &w.host(NodeId(1)).obs;
-        assert!(failed.failover_detect.count() >= 1);
-    }
-
-    #[test]
-    fn three_plane_cluster_survives_any_single_hub_failure_without_rtos() {
-        // The K-plane generalization's core promise: whichever single
-        // plane's hub dies, DRS converges and post-convergence traffic
-        // between every pair is delivered with zero application-visible
-        // retransmissions.
-        for plane in 0..3u8 {
-            let n = 4;
-            let cfg = fast_cfg();
-            let spec = ClusterSpec::new(n).seed(31 + u64::from(plane)).planes(3);
-            let mut w = World::new(spec, move |id| DrsDaemon::new(id, n, cfg));
-            w.schedule_faults(
-                FaultPlan::new()
-                    .fail_at(SimTime(1_000_000_000), SimComponent::Hub(NetId(plane))),
-            );
-            w.run_for(SimDuration::from_secs(4)); // converge
-            let before = w.app_stats().retransmits;
-            for i in 0..n as u32 {
-                for j in 0..n as u32 {
-                    if i != j {
-                        w.send_app(w.now(), NodeId(i), NodeId(j), 256);
-                    }
-                }
-            }
-            w.run_for(SimDuration::from_secs(5));
-            assert_eq!(
-                w.app_stats().delivered,
-                (n * (n - 1)) as u64,
-                "plane {plane}: all pairs deliver"
-            );
-            assert_eq!(
-                w.app_stats().retransmits,
-                before,
-                "plane {plane}: zero app-visible RTOs"
-            );
-        }
-    }
-
-    #[test]
-    fn failover_cascades_to_the_next_healthy_plane() {
-        // K = 4, hubs 0 and 1 both dead: every route lands on plane 2,
-        // the first healthy plane in order.
-        let n = 3;
-        let cfg = fast_cfg();
-        let spec = ClusterSpec::new(n).seed(55).planes(4);
-        let mut w = World::new(spec, move |id| DrsDaemon::new(id, n, cfg));
-        w.schedule_faults(
-            FaultPlan::new()
-                .fail_at(SimTime(500_000_000), SimComponent::Hub(NetId::A))
-                .fail_at(SimTime(500_000_000), SimComponent::Hub(NetId::B)),
-        );
-        w.run_for(SimDuration::from_secs(5));
-        for i in 0..n as u32 {
-            for (dst, route) in w.host(NodeId(i)).routes.iter() {
-                assert_eq!(route, Route::Direct(NetId(2)), "node {i} -> {dst}");
-            }
-        }
-    }
-
-    #[test]
-    fn daemon_state_machine_is_deterministic() {
-        let run = |seed| {
-            let mut w = drs_world(5, seed, fast_cfg());
-            w.schedule_faults(
-                FaultPlan::new().fail_at(SimTime(700_000_000), SimComponent::Hub(NetId::A)),
-            );
-            w.run_for(SimDuration::from_secs(5));
-            (0..5u32)
-                .map(|i| {
-                    let m = &w.protocol(NodeId(i)).metrics;
-                    (m.probes_sent, m.route_changes, m.link_down_events)
-                })
-                .collect::<Vec<_>>()
-        };
-        assert_eq!(run(42), run(42));
     }
 }

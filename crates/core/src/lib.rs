@@ -1,7 +1,7 @@
 //! The **Dynamic Routing System (DRS)**: the paper's proactive
 //! fault-tolerant routing protocol for redundant-network server clusters
-//! — the paper's two planes, or `K ≥ 2` in general
-//! ([`drs_sim::scenario::ClusterSpec::planes`]).
+//! — the paper's two planes, or `K ≥ 2` in general (the backend reports
+//! the plane count through [`DrsIo::planes`]).
 //!
 //! Every host runs one [`DrsDaemon`]. The daemon executes the two-phase
 //! run process the paper describes:
@@ -22,8 +22,12 @@
 //! stand-in fires its first retransmission, which is the paper's headline
 //! behaviour.
 //!
-//! The daemon implements [`drs_sim::Protocol`] and therefore runs
-//! unmodified on the [`drs_sim`] packet-level cluster simulator.
+//! The daemon is a pure state machine: every handler takes
+//! `&mut impl `[`DrsIo`], the transport/timer boundary defined in
+//! [`io`]. The same daemon bytes therefore run on the `drs_sim`
+//! packet-level DES kernel (which implements [`DrsIo`] for its `Ctx`),
+//! on real UDP sockets (`drs_io::live`), and against recorded traces
+//! (`drs_io::replay`).
 //!
 //! # Quick start
 //!
@@ -53,13 +57,26 @@
 
 pub mod config;
 pub mod daemon;
-pub mod kernel_obs;
+pub mod frame;
+pub mod ids;
+pub mod io;
+pub mod journal;
 pub mod messages;
 pub mod metrics;
 pub mod monitor;
+pub mod routes;
+pub mod stats;
+pub mod time;
 
 pub use config::{DrsConfig, GatewayPolicy};
 pub use daemon::DrsDaemon;
+pub use frame::{Destination, Frame, FrameKind};
+pub use ids::{NetId, NodeId};
+pub use io::DrsIo;
+pub use journal::{DaemonInput, DaemonJournal, JournalRecord};
 pub use messages::DrsMsg;
 pub use metrics::{DrsEvent, DrsEventKind, DrsMetrics, ProbeRecord};
 pub use monitor::{LinkState, PeerTable};
+pub use routes::{Route, RouteTable};
+pub use stats::{LatencyHistogram, ProbeObs};
+pub use time::{SimDuration, SimTime};

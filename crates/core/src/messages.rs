@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use drs_sim::ids::NodeId;
+use crate::ids::NodeId;
 
 /// A DRS control message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -9,9 +9,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use drs_sim::ids::{NetId, NodeId};
-use drs_sim::routes::Route;
-use drs_sim::time::SimTime;
+use crate::ids::{NetId, NodeId};
+use crate::routes::Route;
+use crate::time::SimTime;
 
 /// A state transition observed by one daemon.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -10,8 +10,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use drs_sim::ids::{NetId, NodeId};
-use drs_sim::time::SimTime;
+use crate::ids::{NetId, NodeId};
+use crate::time::SimTime;
 
 /// The daemon's belief about one `(peer, network)` link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -1,0 +1,182 @@
+//! Datagram codec for the live UDP backend.
+//!
+//! One DRS frame per UDP datagram, fixed little-endian layout, no
+//! dependencies. The format mirrors what the DES kernel carries in its
+//! [`drs_core::frame::FrameKind`]: echo request/reply (the monitor
+//! plane) and the two control messages (the repair plane). The plane
+//! index travels in the datagram so a receiver can verify it against
+//! the socket the datagram arrived on.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! [0]      kind: 1 echo-request, 2 echo-reply, 3 route-request, 4 route-offer
+//! [1..5]   src node id (u32)
+//! [5]      plane index (u8)
+//! echo:    [6..10] icmp id (u32), [10..14] seq (u32)          -> 14 B
+//! control: [6..10] target node (u32), [10..18] req id (u64)   -> 18 B
+//! ```
+
+use drs_core::messages::DrsMsg;
+use drs_core::{NetId, NodeId};
+
+/// One decoded datagram: who sent it, on which plane, carrying what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Datagram {
+    /// Sending node.
+    pub src: NodeId,
+    /// Plane the sender transmitted on.
+    pub net: NetId,
+    /// The payload.
+    pub payload: Payload,
+}
+
+/// The DRS frame kinds that cross the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Payload {
+    /// Monitor probe (answered by the receiver's stack, not its daemon).
+    EchoRequest {
+        /// ICMP identifier.
+        id: u32,
+        /// ICMP sequence number.
+        seq: u32,
+    },
+    /// Answer to a probe (delivered to the receiver's daemon).
+    EchoReply {
+        /// ICMP identifier.
+        id: u32,
+        /// ICMP sequence number.
+        seq: u32,
+    },
+    /// A DRS control message (delivered to the receiver's daemon).
+    Control(DrsMsg),
+}
+
+const KIND_ECHO_REQUEST: u8 = 1;
+const KIND_ECHO_REPLY: u8 = 2;
+const KIND_ROUTE_REQUEST: u8 = 3;
+const KIND_ROUTE_OFFER: u8 = 4;
+
+/// Maximum encoded size of any datagram.
+pub const MAX_DATAGRAM: usize = 18;
+
+/// Encodes a datagram into `buf`, returning the number of bytes used.
+///
+/// # Panics
+/// Panics if `buf` is shorter than [`MAX_DATAGRAM`].
+pub fn encode(d: &Datagram, buf: &mut [u8]) -> usize {
+    assert!(buf.len() >= MAX_DATAGRAM, "encode buffer too small");
+    buf[1..5].copy_from_slice(&d.src.0.to_le_bytes());
+    buf[5] = d.net.0;
+    match d.payload {
+        Payload::EchoRequest { id, seq } | Payload::EchoReply { id, seq } => {
+            buf[0] = if matches!(d.payload, Payload::EchoRequest { .. }) {
+                KIND_ECHO_REQUEST
+            } else {
+                KIND_ECHO_REPLY
+            };
+            buf[6..10].copy_from_slice(&id.to_le_bytes());
+            buf[10..14].copy_from_slice(&seq.to_le_bytes());
+            14
+        }
+        Payload::Control(msg) => {
+            let (kind, target, req_id) = match msg {
+                DrsMsg::RouteRequest { target, req_id } => (KIND_ROUTE_REQUEST, target, req_id),
+                DrsMsg::RouteOffer { target, req_id } => (KIND_ROUTE_OFFER, target, req_id),
+            };
+            buf[0] = kind;
+            buf[6..10].copy_from_slice(&target.0.to_le_bytes());
+            buf[10..18].copy_from_slice(&req_id.to_le_bytes());
+            18
+        }
+    }
+}
+
+/// Decodes one datagram; `None` for truncated or unknown frames (a live
+/// receiver drops garbage silently, like a real stack).
+#[must_use]
+pub fn decode(buf: &[u8]) -> Option<Datagram> {
+    if buf.len() < 14 {
+        return None;
+    }
+    let src = NodeId(u32::from_le_bytes(buf[1..5].try_into().ok()?));
+    let net = NetId(buf[5]);
+    let payload = match buf[0] {
+        KIND_ECHO_REQUEST | KIND_ECHO_REPLY => {
+            let id = u32::from_le_bytes(buf[6..10].try_into().ok()?);
+            let seq = u32::from_le_bytes(buf[10..14].try_into().ok()?);
+            if buf[0] == KIND_ECHO_REQUEST {
+                Payload::EchoRequest { id, seq }
+            } else {
+                Payload::EchoReply { id, seq }
+            }
+        }
+        KIND_ROUTE_REQUEST | KIND_ROUTE_OFFER => {
+            if buf.len() < 18 {
+                return None;
+            }
+            let target = NodeId(u32::from_le_bytes(buf[6..10].try_into().ok()?));
+            let req_id = u64::from_le_bytes(buf[10..18].try_into().ok()?);
+            Payload::Control(if buf[0] == KIND_ROUTE_REQUEST {
+                DrsMsg::RouteRequest { target, req_id }
+            } else {
+                DrsMsg::RouteOffer { target, req_id }
+            })
+        }
+        _ => return None,
+    };
+    Some(Datagram { src, net, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let frames = [
+            Datagram {
+                src: NodeId(3),
+                net: NetId::A,
+                payload: Payload::EchoRequest { id: 0x0D25, seq: 9 },
+            },
+            Datagram {
+                src: NodeId(0),
+                net: NetId::B,
+                payload: Payload::EchoReply {
+                    id: 0x0D25,
+                    seq: 0xFF_FFFF,
+                },
+            },
+            Datagram {
+                src: NodeId(7),
+                net: NetId(2),
+                payload: Payload::Control(DrsMsg::RouteRequest {
+                    target: NodeId(1),
+                    req_id: u64::MAX,
+                }),
+            },
+            Datagram {
+                src: NodeId(1),
+                net: NetId::A,
+                payload: Payload::Control(DrsMsg::RouteOffer {
+                    target: NodeId(7),
+                    req_id: 42,
+                }),
+            },
+        ];
+        let mut buf = [0u8; MAX_DATAGRAM];
+        for f in frames {
+            let n = encode(&f, &mut buf);
+            assert_eq!(decode(&buf[..n]), Some(f), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn garbage_is_dropped_not_panicked() {
+        assert_eq!(decode(&[]), None);
+        assert_eq!(decode(&[9; 14]), None, "unknown kind");
+        assert_eq!(decode(&[1; 5]), None, "truncated echo");
+        assert_eq!(decode(&[3; 14]), None, "truncated control");
+    }
+}

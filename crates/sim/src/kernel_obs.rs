@@ -1,7 +1,7 @@
 //! Bridges the simulator's event-kernel counters into the unified
 //! observability layer.
 //!
-//! The timer-wheel kernel ([`drs_sim::wheel`]) counts its own operations
+//! The timer-wheel kernel ([`crate::wheel`]) counts its own operations
 //! deterministically — pushes, pops, cascades, pool hits, past-time
 //! clamps ([`KernelStats`]). This module folds one finished world's
 //! snapshot into a [`MetricsRegistry`] under stable `kernel.*` names, so
@@ -10,8 +10,9 @@
 //! and lands in the committed kernel benchmark artifact.
 
 use drs_obs::MetricsRegistry;
-use drs_sim::world::KernelStats;
-use drs_sim::ShardStats;
+
+use crate::world::KernelStats;
+use crate::ShardStats;
 
 /// Records a kernel-stats snapshot into `reg` under `kernel.*` names.
 ///
@@ -118,12 +119,12 @@ pub fn pool_hit_rate(ks: &KernelStats) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::DrsConfig;
-    use crate::daemon::DrsDaemon;
-    use drs_sim::ids::NodeId;
-    use drs_sim::scenario::ClusterSpec;
-    use drs_sim::time::SimDuration;
-    use drs_sim::world::World;
+    use crate::ids::NodeId;
+    use crate::scenario::ClusterSpec;
+    use crate::time::SimDuration;
+    use crate::world::World;
+    use drs_core::config::DrsConfig;
+    use drs_core::daemon::DrsDaemon;
 
     #[test]
     fn drs_run_produces_live_kernel_metrics() {
@@ -162,7 +163,7 @@ mod tests {
 
     #[test]
     fn sharded_drs_run_records_partition_metrics() {
-        use drs_sim::ShardedWorld;
+        use crate::ShardedWorld;
         let n = 12;
         let cfg = DrsConfig::default();
         let mut w = ShardedWorld::new(ClusterSpec::new(n).seed(9), move |id| {

@@ -64,10 +64,12 @@
 //! ```
 
 pub mod app;
+pub mod drs;
 pub mod fault;
 pub mod frame;
 pub mod host;
 pub mod ids;
+pub mod kernel_obs;
 pub mod medium;
 /// Reference `BinaryHeap` event queue, kept only as a bench/equivalence
 /// oracle for the timer wheel. Enable with `--features bench-ref`.

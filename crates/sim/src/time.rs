@@ -1,234 +1,7 @@
 //! Virtual time: integer nanoseconds since simulation start.
 //!
-//! Integer time makes the simulator exactly deterministic (no accumulated
-//! floating-point drift in event ordering) and cheap to compare in the
-//! event queue's hot path.
+//! The definitions live in [`drs_core::time`] — the protocol crate owns
+//! the vocabulary types so daemons compile without the simulator — and
+//! are re-exported here so `drs_sim::time::*` paths keep working.
 
-use std::fmt;
-use std::ops::{Add, AddAssign, Sub};
-
-use serde::{Deserialize, Serialize};
-
-/// An instant in virtual time (nanoseconds since simulation start).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-pub struct SimTime(pub u64);
-
-/// A span of virtual time (nanoseconds).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-pub struct SimDuration(pub u64);
-
-impl SimTime {
-    /// The simulation epoch.
-    pub const ZERO: SimTime = SimTime(0);
-
-    /// Seconds since simulation start, as a float (for reporting only).
-    #[must_use]
-    pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1e9
-    }
-
-    /// Time elapsed since `earlier`, saturating at zero.
-    #[must_use]
-    pub fn since(self, earlier: SimTime) -> SimDuration {
-        SimDuration(self.0.saturating_sub(earlier.0))
-    }
-}
-
-impl SimDuration {
-    /// The zero-length span.
-    pub const ZERO: SimDuration = SimDuration(0);
-
-    /// From whole seconds, saturating at the representable maximum so an
-    /// absurd scenario config cannot wrap virtual time in release builds.
-    #[must_use]
-    pub const fn from_secs(s: u64) -> Self {
-        SimDuration(s.saturating_mul(1_000_000_000))
-    }
-
-    /// From milliseconds (saturating).
-    #[must_use]
-    pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms.saturating_mul(1_000_000))
-    }
-
-    /// From microseconds (saturating).
-    #[must_use]
-    pub const fn from_micros(us: u64) -> Self {
-        SimDuration(us.saturating_mul(1_000))
-    }
-
-    /// From nanoseconds.
-    #[must_use]
-    pub const fn from_nanos(ns: u64) -> Self {
-        SimDuration(ns)
-    }
-
-    /// From fractional seconds, rounding to the nearest nanosecond.
-    ///
-    /// # Panics
-    /// Panics on negative, NaN or out-of-range input.
-    #[must_use]
-    pub fn from_secs_f64(s: f64) -> Self {
-        assert!(
-            s.is_finite() && s >= 0.0 && s < u64::MAX as f64 / 1e9,
-            "invalid duration {s}"
-        );
-        SimDuration((s * 1e9).round() as u64)
-    }
-
-    /// The span in seconds as a float (for reporting only).
-    #[must_use]
-    pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1e9
-    }
-
-    /// Integer nanoseconds.
-    #[must_use]
-    pub const fn as_nanos(self) -> u64 {
-        self.0
-    }
-
-    /// Saturating multiplication by an integer factor.
-    #[must_use]
-    pub const fn saturating_mul(self, k: u64) -> Self {
-        SimDuration(self.0.saturating_mul(k))
-    }
-
-    /// Integer division by a count (e.g. spacing probes across a cycle).
-    ///
-    /// # Panics
-    /// Panics if `k == 0`.
-    #[must_use]
-    pub const fn div(self, k: u64) -> Self {
-        SimDuration(self.0 / k)
-    }
-}
-
-impl Add<SimDuration> for SimTime {
-    type Output = SimTime;
-    fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 + rhs.0)
-    }
-}
-
-impl AddAssign<SimDuration> for SimTime {
-    fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
-    }
-}
-
-impl Sub<SimTime> for SimTime {
-    type Output = SimDuration;
-    fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("time went backwards"))
-    }
-}
-
-impl Add for SimDuration {
-    type Output = SimDuration;
-    fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 + rhs.0)
-    }
-}
-
-impl Sub for SimDuration {
-    type Output = SimDuration;
-    fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("negative duration"))
-    }
-}
-
-impl fmt::Display for SimTime {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.6}s", self.as_secs_f64())
-    }
-}
-
-impl fmt::Display for SimDuration {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1_000_000_000 {
-            write!(f, "{:.3}s", self.as_secs_f64())
-        } else if self.0 >= 1_000_000 {
-            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
-        } else if self.0 >= 1_000 {
-            write!(f, "{:.3}µs", self.0 as f64 / 1e3)
-        } else {
-            write!(f, "{}ns", self.0)
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn constructors_agree() {
-        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
-        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
-        assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1000));
-        assert_eq!(
-            SimDuration::from_secs_f64(0.5),
-            SimDuration::from_millis(500)
-        );
-    }
-
-    #[test]
-    fn arithmetic() {
-        let t = SimTime::ZERO + SimDuration::from_secs(2);
-        assert_eq!(t - SimTime::ZERO, SimDuration::from_secs(2));
-        assert_eq!(t.since(SimTime(5_000_000_000)), SimDuration::ZERO);
-        let mut u = t;
-        u += SimDuration::from_secs(1);
-        assert_eq!(u.as_secs_f64(), 3.0);
-    }
-
-    #[test]
-    #[should_panic(expected = "time went backwards")]
-    fn strict_sub_panics_backwards() {
-        let _ = SimTime(1) - SimTime(2);
-    }
-
-    #[test]
-    fn display_picks_sensible_units() {
-        assert_eq!(SimDuration::from_nanos(12).to_string(), "12ns");
-        assert_eq!(SimDuration::from_micros(12).to_string(), "12.000µs");
-        assert_eq!(SimDuration::from_millis(12).to_string(), "12.000ms");
-        assert_eq!(SimDuration::from_secs(12).to_string(), "12.000s");
-    }
-
-    #[test]
-    fn div_and_mul() {
-        assert_eq!(
-            SimDuration::from_secs(1).div(4),
-            SimDuration::from_millis(250)
-        );
-        assert_eq!(
-            SimDuration::from_millis(250).saturating_mul(4),
-            SimDuration::from_secs(1)
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "invalid duration")]
-    fn rejects_negative_float() {
-        let _ = SimDuration::from_secs_f64(-1.0);
-    }
-
-    #[test]
-    fn constructors_saturate_instead_of_wrapping() {
-        assert_eq!(SimDuration::from_secs(u64::MAX), SimDuration(u64::MAX));
-        assert_eq!(SimDuration::from_millis(u64::MAX), SimDuration(u64::MAX));
-        assert_eq!(SimDuration::from_micros(u64::MAX), SimDuration(u64::MAX));
-        // Just under the overflow edge still multiplies exactly.
-        let edge = u64::MAX / 1_000_000_000;
-        assert_eq!(
-            SimDuration::from_secs(edge),
-            SimDuration(edge * 1_000_000_000)
-        );
-    }
-}
+pub use drs_core::time::*;

@@ -1,0 +1,574 @@
+//! End-to-end protocol behaviour: the `drs_core` daemon driven by the
+//! DES kernel through the [`drs_core::DrsIo`] boundary.
+//!
+//! These scenarios used to live inside `drs_core::daemon`; they moved
+//! here with the dependency inversion because they need a kernel to run
+//! on, and the protocol crate no longer links one.
+
+use drs_core::{
+    DaemonInput, DrsConfig, DrsDaemon, DrsEventKind, GatewayPolicy, NetId, NodeId, Route,
+    SimDuration, SimTime,
+};
+use drs_sim::fault::{FaultPlan, SimComponent};
+use drs_sim::scenario::ClusterSpec;
+use drs_sim::world::{FlowOutcome, World};
+
+fn drs_world(n: usize, seed: u64, cfg: DrsConfig) -> World<DrsDaemon> {
+    let spec = ClusterSpec::new(n).seed(seed);
+    World::new(spec, move |id| DrsDaemon::new(id, n, cfg))
+}
+
+fn fast_cfg() -> DrsConfig {
+    DrsConfig::default()
+        .probe_timeout(SimDuration::from_millis(50))
+        .probe_interval(SimDuration::from_millis(200))
+}
+
+#[test]
+fn healthy_cluster_stays_on_primary_routes() {
+    let mut w = drs_world(6, 1, DrsConfig::default());
+    w.run_for(SimDuration::from_secs(10));
+    for i in 0..6u32 {
+        let d = w.protocol(NodeId(i));
+        assert_eq!(d.metrics.link_down_events, 0, "node {i}");
+        assert_eq!(d.metrics.route_changes, 0, "node {i}");
+        assert!(d.metrics.probes_sent > 0);
+        // Every probe is answered except those still in flight when
+        // the run stopped (at most one per monitored link).
+        let in_flight_allowance = 2 * (6 - 1) as u64;
+        assert!(
+            d.metrics.replies_received + in_flight_allowance >= d.metrics.probes_sent,
+            "node {i}: {} replies vs {} probes",
+            d.metrics.replies_received,
+            d.metrics.probes_sent
+        );
+    }
+    assert_eq!(w.host(NodeId(0)).routes.indirect_count(), 0);
+}
+
+#[test]
+fn nic_failure_detected_within_worst_case_bound() {
+    let cfg = fast_cfg();
+    let mut w = drs_world(4, 2, cfg);
+    let t0 = SimTime(2_000_000_000);
+    w.schedule_faults(FaultPlan::new().fail_at(t0, SimComponent::Nic(NodeId(1), NetId::A)));
+    w.run_for(SimDuration::from_secs(5));
+    // Every other daemon must have detected (1, netA) down.
+    for i in [0u32, 2, 3] {
+        let d = w.protocol(NodeId(i));
+        let det = d
+            .metrics
+            .first_after(t0, |k| {
+                matches!(k, DrsEventKind::LinkDown { peer, net }
+                    if *peer == NodeId(1) && *net == NetId::A)
+            })
+            .unwrap_or_else(|| panic!("node {i} never detected the failure"));
+        let latency = det.at - t0;
+        assert!(
+            latency <= cfg.worst_case_detection() + SimDuration::from_millis(50),
+            "node {i}: detection took {latency}"
+        );
+    }
+}
+
+#[test]
+fn failover_to_redundant_network_is_automatic() {
+    let mut w = drs_world(4, 3, fast_cfg());
+    let t0 = SimTime(1_000_000_000);
+    w.schedule_faults(FaultPlan::new().fail_at(t0, SimComponent::Nic(NodeId(2), NetId::A)));
+    w.run_for(SimDuration::from_secs(4));
+    // Everyone now routes to node 2 over network B, directly.
+    for i in [0u32, 1, 3] {
+        assert_eq!(
+            w.host(NodeId(i)).routes.get(NodeId(2)),
+            Some(Route::Direct(NetId::B)),
+            "node {i}"
+        );
+        assert!(w.protocol(NodeId(i)).metrics.direct_failovers >= 1);
+    }
+    // Routes to everyone else are untouched.
+    assert_eq!(
+        w.host(NodeId(0)).routes.get(NodeId(1)),
+        Some(Route::Direct(NetId::A))
+    );
+}
+
+#[test]
+fn hub_failure_moves_all_routes() {
+    let mut w = drs_world(5, 4, fast_cfg());
+    w.schedule_faults(FaultPlan::new().fail_at(SimTime(500_000_000), SimComponent::Hub(NetId::A)));
+    w.run_for(SimDuration::from_secs(4));
+    for i in 0..5u32 {
+        for (dst, route) in w.host(NodeId(i)).routes.iter() {
+            assert_eq!(route, Route::Direct(NetId::B), "node {i} -> {dst}");
+        }
+    }
+}
+
+#[test]
+fn gateway_discovery_repairs_crossed_failure() {
+    // Node 0 loses net B, node 1 loses net A: no shared direct network.
+    let cfg = fast_cfg();
+    let mut w = drs_world(4, 5, cfg);
+    let t0 = SimTime(1_000_000_000);
+    w.schedule_faults(
+        FaultPlan::new()
+            .fail_at(t0, SimComponent::Nic(NodeId(0), NetId::B))
+            .fail_at(t0, SimComponent::Nic(NodeId(1), NetId::A)),
+    );
+    w.run_for(SimDuration::from_secs(6));
+    let r01 = w.host(NodeId(0)).routes.get(NodeId(1));
+    match r01 {
+        Some(Route::Via { gateway, net }) => {
+            assert!(gateway == NodeId(2) || gateway == NodeId(3));
+            assert_eq!(net, NetId::A, "node 0 can only transmit on A");
+        }
+        other => panic!("expected gateway route, got {other:?}"),
+    }
+    let r10 = w.host(NodeId(1)).routes.get(NodeId(0));
+    match r10 {
+        Some(Route::Via { net, .. }) => assert_eq!(net, NetId::B),
+        other => panic!("expected gateway route, got {other:?}"),
+    }
+    assert!(w.protocol(NodeId(0)).metrics.gateway_failovers >= 1);
+    // And traffic actually flows end-to-end through the relay.
+    let flow = w.send_app(w.now(), NodeId(0), NodeId(1), 256);
+    w.run_for(SimDuration::from_secs(5));
+    assert!(matches!(
+        w.flow_outcome(flow),
+        Some(FlowOutcome::Delivered(_))
+    ));
+}
+
+#[test]
+fn recovery_reverts_to_direct_primary_route() {
+    let cfg = fast_cfg();
+    let mut w = drs_world(3, 6, cfg);
+    w.schedule_faults(
+        FaultPlan::new()
+            .fail_at(
+                SimTime(1_000_000_000),
+                SimComponent::Nic(NodeId(1), NetId::A),
+            )
+            .repair_at(
+                SimTime(5_000_000_000),
+                SimComponent::Nic(NodeId(1), NetId::A),
+            ),
+    );
+    w.run_for(SimDuration::from_secs(3)); // failed over by now
+    assert_eq!(
+        w.host(NodeId(0)).routes.get(NodeId(1)),
+        Some(Route::Direct(NetId::B))
+    );
+    w.run_for(SimDuration::from_secs(5)); // repaired and re-probed
+    assert_eq!(
+        w.host(NodeId(0)).routes.get(NodeId(1)),
+        Some(Route::Direct(NetId::A)),
+        "prefer_primary reverts to net A"
+    );
+    assert!(w.protocol(NodeId(0)).metrics.reverts >= 1);
+}
+
+#[test]
+fn no_revert_to_primary_when_preference_disabled() {
+    let cfg = fast_cfg().prefer_primary(false);
+    let mut w = drs_world(3, 7, cfg);
+    w.schedule_faults(
+        FaultPlan::new()
+            .fail_at(
+                SimTime(1_000_000_000),
+                SimComponent::Nic(NodeId(1), NetId::A),
+            )
+            .repair_at(
+                SimTime(5_000_000_000),
+                SimComponent::Nic(NodeId(1), NetId::A),
+            ),
+    );
+    w.run_for(SimDuration::from_secs(10));
+    assert_eq!(
+        w.host(NodeId(0)).routes.get(NodeId(1)),
+        Some(Route::Direct(NetId::B)),
+        "sticky failover keeps the working route"
+    );
+}
+
+#[test]
+fn application_unaware_of_failure_after_convergence() {
+    // The paper's headline: traffic sent after DRS converges on a
+    // failure is delivered without a single retransmission.
+    let mut w = drs_world(6, 8, fast_cfg());
+    w.schedule_faults(
+        FaultPlan::new().fail_at(SimTime(1_000_000_000), SimComponent::Hub(NetId::A)),
+    );
+    w.run_for(SimDuration::from_secs(4)); // converge
+    let before = w.app_stats().retransmits;
+    for i in 1..6u32 {
+        w.send_app(w.now(), NodeId(0), NodeId(i), 512);
+    }
+    w.run_for(SimDuration::from_secs(5));
+    assert_eq!(w.app_stats().delivered, 5);
+    assert_eq!(w.app_stats().retransmits, before, "no app-visible impact");
+}
+
+#[test]
+fn isolated_peer_discovery_fails_cleanly() {
+    // Node 1 loses both NICs: no gateway can exist.
+    let cfg = fast_cfg();
+    let mut w = drs_world(4, 9, cfg);
+    w.schedule_faults(
+        FaultPlan::new()
+            .fail_at(SimTime(500_000_000), SimComponent::Nic(NodeId(1), NetId::A))
+            .fail_at(SimTime(500_000_000), SimComponent::Nic(NodeId(1), NetId::B)),
+    );
+    w.run_for(SimDuration::from_secs(6));
+    let d = w.protocol(NodeId(0));
+    assert!(d.metrics.discoveries >= 1, "discovery was attempted");
+    assert!(
+        d.metrics
+            .first_after(SimTime(0), |k| matches!(
+                k,
+                DrsEventKind::DiscoveryFailed { target } if *target == NodeId(1)
+            ))
+            .is_some(),
+        "discovery failure logged"
+    );
+    // A neighbour whose own detection lagged may have made a stale
+    // offer transiently; what matters is the end state: traffic to the
+    // isolated peer fails, traffic to everyone else flows.
+    let dead = w.send_app(w.now(), NodeId(0), NodeId(1), 64);
+    let alive = w.send_app(w.now(), NodeId(0), NodeId(2), 64);
+    w.run_for(SimDuration::from_secs(200));
+    assert_eq!(
+        w.flow_outcome(dead),
+        Some(FlowOutcome::GaveUp),
+        "no protocol can reach a host with no NICs"
+    );
+    assert!(matches!(
+        w.flow_outcome(alive),
+        Some(FlowOutcome::Delivered(_))
+    ));
+}
+
+#[test]
+fn lowest_id_policy_picks_deterministic_gateway() {
+    let cfg = fast_cfg().gateway_policy(GatewayPolicy::LowestId);
+    let mut w = drs_world(6, 10, cfg);
+    let t0 = SimTime(1_000_000_000);
+    w.schedule_faults(
+        FaultPlan::new()
+            .fail_at(t0, SimComponent::Nic(NodeId(0), NetId::B))
+            .fail_at(t0, SimComponent::Nic(NodeId(1), NetId::A)),
+    );
+    w.run_for(SimDuration::from_secs(6));
+    match w.host(NodeId(0)).routes.get(NodeId(1)) {
+        Some(Route::Via { gateway, .. }) => {
+            assert_eq!(gateway, NodeId(2), "lowest-id candidate wins")
+        }
+        other => panic!("expected gateway route, got {other:?}"),
+    }
+}
+
+#[test]
+fn probe_overhead_matches_figure1_model() {
+    // 8 nodes, 1 s cycle: each host sends 2*(8-1) = 14 probes/s; the
+    // cluster offers 8*14 = 112 request frames/s per... per two nets:
+    // net A carries 8*7 = 56 requests + 56 replies per second.
+    let mut w = drs_world(8, 11, DrsConfig::default());
+    let snap = w.medium(NetId::A).stats;
+    let t0 = w.now();
+    w.run_for(SimDuration::from_secs(10));
+    let bytes = w.medium(NetId::A).stats.probe_bytes - snap.probe_bytes;
+    let expected = 10 * 2 * 8 * 7 * 74; // 10 s x (req+reply) x N(N-1) x 74 B
+    let ratio = bytes as f64 / expected as f64;
+    assert!(
+        (0.95..=1.05).contains(&ratio),
+        "probe bytes {bytes} vs expected {expected}"
+    );
+    let util = w.medium(NetId::A).utilization_since(&snap, t0, w.now());
+    assert!(util < 0.01, "8-node probing is well under 1%: {util}");
+}
+
+#[test]
+fn miss_threshold_absorbs_random_frame_loss() {
+    // 2% wire loss: a single-miss daemon flaps links constantly; the
+    // deployed 2-miss threshold keeps the view essentially stable
+    // (P[flap per probe] drops from ~4% to ~0.16%). This is the
+    // design rationale for counting consecutive misses.
+    let flaps = |threshold: u32| {
+        let n = 5;
+        let cfg = DrsConfig::default()
+            .probe_timeout(SimDuration::from_millis(50))
+            .probe_interval(SimDuration::from_millis(200))
+            .miss_threshold(threshold);
+        let spec = ClusterSpec::new(n).seed(1234).frame_loss_rate(0.02);
+        let mut w = World::new(spec, move |id| DrsDaemon::new(id, n, cfg));
+        w.run_for(SimDuration::from_secs(60));
+        (0..n as u32)
+            .map(|i| w.protocol(NodeId(i)).metrics.link_down_events)
+            .sum::<u64>()
+    };
+    let flappy = flaps(1);
+    let stable = flaps(2);
+    assert!(
+        flappy > 10 * stable.max(1),
+        "threshold must suppress loss-induced flapping: {flappy} vs {stable}"
+    );
+}
+
+#[test]
+fn lossy_network_does_not_break_failover() {
+    // Real failure + background loss: DRS must still converge and
+    // deliver, despite occasional false misses.
+    let n = 6;
+    let cfg = DrsConfig::default()
+        .probe_timeout(SimDuration::from_millis(50))
+        .probe_interval(SimDuration::from_millis(200))
+        .miss_threshold(3);
+    let spec = ClusterSpec::new(n).seed(77).frame_loss_rate(0.01);
+    let mut w = World::new(spec, move |id| DrsDaemon::new(id, n, cfg));
+    w.schedule_faults(
+        FaultPlan::new().fail_at(SimTime(1_000_000_000), SimComponent::Hub(NetId::A)),
+    );
+    w.run_for(SimDuration::from_secs(5));
+    for i in 1..n as u32 {
+        w.send_app(w.now(), NodeId(0), NodeId(i), 256);
+    }
+    w.run_for(SimDuration::from_secs(200));
+    assert_eq!(w.app_stats().delivered, w.app_stats().sent);
+}
+
+#[test]
+fn degraded_cable_detected_like_a_hard_fault() {
+    // A 99.9%-loss cable is indistinguishable from a dead link to the
+    // prober, and must trigger the same failover.
+    let n = 4;
+    let cfg = fast_cfg();
+    let mut w = drs_world(n, 88, cfg);
+    w.run_for(SimDuration::from_secs(1));
+    w.set_link_loss(NodeId(1), NetId::A, 0.999);
+    w.run_for(SimDuration::from_secs(8));
+    assert_eq!(
+        w.host(NodeId(0)).routes.get(NodeId(1)),
+        Some(Route::Direct(NetId::B)),
+        "flaky cable must be routed around"
+    );
+}
+
+#[test]
+fn down_probe_backoff_saves_bandwidth_but_delays_recovery_only() {
+    // Kill a peer's NIC, leave it down for a while, then repair. A
+    // backed-off daemon sends far fewer probes during the outage yet
+    // detects the failure just as fast; only the recovery detection
+    // stretches (bounded by backoff x interval).
+    let run = |backoff: u64| {
+        let n = 3;
+        let cfg = fast_cfg().down_probe_backoff(backoff);
+        let mut w = drs_world(n, 99, cfg);
+        w.schedule_faults(
+            FaultPlan::new()
+                .fail_at(
+                    SimTime(1_000_000_000),
+                    SimComponent::Nic(NodeId(1), NetId::A),
+                )
+                .repair_at(
+                    SimTime(21_000_000_000),
+                    SimComponent::Nic(NodeId(1), NetId::A),
+                ),
+        );
+        w.run_for(SimDuration::from_secs(20)); // during outage
+        let probes_during = w.protocol(NodeId(0)).metrics.probes_sent;
+        w.run_for(SimDuration::from_secs(20)); // past repair
+        let recovered = w.host(NodeId(0)).routes.get(NodeId(1)) == Some(Route::Direct(NetId::A));
+        let detect_at = w
+            .protocol(NodeId(0))
+            .metrics
+            .first_after(SimTime(1_000_000_000), |k| {
+                matches!(k, DrsEventKind::LinkDown { peer, net }
+                    if *peer == NodeId(1) && *net == NetId::A)
+            })
+            .expect("detected")
+            .at;
+        (probes_during, recovered, detect_at)
+    };
+    let (probes_full, rec_full, det_full) = run(1);
+    let (probes_backed, rec_backed, det_backed) = run(10);
+    assert!(
+        probes_backed < probes_full - 20,
+        "backoff must reduce outage probing: {probes_backed} vs {probes_full}"
+    );
+    assert!(rec_full && rec_backed, "both recover after the repair");
+    assert_eq!(det_full, det_backed, "failure detection speed unchanged");
+}
+
+#[test]
+fn healthy_cluster_probe_observability() {
+    let cfg = DrsConfig::default();
+    let mut w = drs_world(4, 21, cfg);
+    w.run_for(SimDuration::from_secs(10));
+    for i in 0..4u32 {
+        let obs = &w.host(NodeId(i)).obs;
+        let probes = w.protocol(NodeId(i)).metrics.probes_sent;
+        // Every probe request is charged to its sender at the ICMP
+        // wire size — the measured half of the Figure 1 budget.
+        assert_eq!(obs.probe_bytes, probes * 74, "node {i}");
+        // The realized monitor cycle is the configured interval.
+        let gap = &obs.probe_gap;
+        assert!(gap.count() > 0, "node {i} recorded probe gaps");
+        assert_eq!(
+            gap.min(),
+            Some(cfg.probe_interval),
+            "node {i}: healthy links re-arm at exactly the interval"
+        );
+        // RTTs on an idle 100 Mb/s hub are microseconds, far under
+        // the probe timeout.
+        let rtt = &obs.probe_rtt;
+        assert!(rtt.count() > 0, "node {i} recorded RTTs");
+        assert!(rtt.max().unwrap() < cfg.probe_timeout, "node {i}");
+        // Nothing failed, so failure channels must be *empty* — not
+        // zero-valued.
+        assert_eq!(obs.failover_detect.count(), 0, "node {i}");
+        assert_eq!(obs.reroute_complete.count(), 0, "node {i}");
+        assert_eq!(obs.failover_detect.quantile_upper_bound(0.5), None);
+    }
+}
+
+#[test]
+fn failover_latency_lands_in_the_histograms() {
+    let cfg = fast_cfg();
+    let mut w = drs_world(4, 22, cfg);
+    let t0 = SimTime(2_000_000_000);
+    w.schedule_faults(FaultPlan::new().fail_at(t0, SimComponent::Nic(NodeId(1), NetId::A)));
+    w.run_for(SimDuration::from_secs(6));
+    for i in [0u32, 2, 3] {
+        let obs = &w.host(NodeId(i)).obs;
+        assert_eq!(obs.failover_detect.count(), 1, "node {i}");
+        // Measured from the last healthy reply, which precedes the
+        // fault by up to one probe interval.
+        let detect = obs.failover_detect.max().unwrap();
+        assert!(
+            detect <= cfg.worst_case_detection() + cfg.probe_interval,
+            "node {i}: detection latency {detect}"
+        );
+        // The failed link carried this node's route to node 1, so a
+        // repair span must have opened and closed.
+        assert_eq!(obs.reroute_complete.count(), 1, "node {i}");
+        let reroute = obs.reroute_complete.max().unwrap();
+        assert!(reroute < SimDuration::from_millis(1), "repair is immediate");
+    }
+    // The failed host's own histograms see the probes *it* lost.
+    let failed = &w.host(NodeId(1)).obs;
+    assert!(failed.failover_detect.count() >= 1);
+}
+
+#[test]
+fn three_plane_cluster_survives_any_single_hub_failure_without_rtos() {
+    // The K-plane generalization's core promise: whichever single
+    // plane's hub dies, DRS converges and post-convergence traffic
+    // between every pair is delivered with zero application-visible
+    // retransmissions.
+    for plane in 0..3u8 {
+        let n = 4;
+        let cfg = fast_cfg();
+        let spec = ClusterSpec::new(n).seed(31 + u64::from(plane)).planes(3);
+        let mut w = World::new(spec, move |id| DrsDaemon::new(id, n, cfg));
+        w.schedule_faults(
+            FaultPlan::new().fail_at(SimTime(1_000_000_000), SimComponent::Hub(NetId(plane))),
+        );
+        w.run_for(SimDuration::from_secs(4)); // converge
+        let before = w.app_stats().retransmits;
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
+                if i != j {
+                    w.send_app(w.now(), NodeId(i), NodeId(j), 256);
+                }
+            }
+        }
+        w.run_for(SimDuration::from_secs(5));
+        assert_eq!(
+            w.app_stats().delivered,
+            (n * (n - 1)) as u64,
+            "plane {plane}: all pairs deliver"
+        );
+        assert_eq!(
+            w.app_stats().retransmits,
+            before,
+            "plane {plane}: zero app-visible RTOs"
+        );
+    }
+}
+
+#[test]
+fn failover_cascades_to_the_next_healthy_plane() {
+    // K = 4, hubs 0 and 1 both dead: every route lands on plane 2,
+    // the first healthy plane in order.
+    let n = 3;
+    let cfg = fast_cfg();
+    let spec = ClusterSpec::new(n).seed(55).planes(4);
+    let mut w = World::new(spec, move |id| DrsDaemon::new(id, n, cfg));
+    w.schedule_faults(
+        FaultPlan::new()
+            .fail_at(SimTime(500_000_000), SimComponent::Hub(NetId::A))
+            .fail_at(SimTime(500_000_000), SimComponent::Hub(NetId::B)),
+    );
+    w.run_for(SimDuration::from_secs(5));
+    for i in 0..n as u32 {
+        for (dst, route) in w.host(NodeId(i)).routes.iter() {
+            assert_eq!(route, Route::Direct(NetId(2)), "node {i} -> {dst}");
+        }
+    }
+}
+
+#[test]
+fn daemon_state_machine_is_deterministic() {
+    let run = |seed| {
+        let mut w = drs_world(5, seed, fast_cfg());
+        w.schedule_faults(
+            FaultPlan::new().fail_at(SimTime(700_000_000), SimComponent::Hub(NetId::A)),
+        );
+        w.run_for(SimDuration::from_secs(5));
+        (0..5u32)
+            .map(|i| {
+                let m = &w.protocol(NodeId(i)).metrics;
+                (m.probes_sent, m.route_changes, m.link_down_events)
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(42), run(42));
+}
+
+#[test]
+fn journal_records_inputs_and_replays_draws() {
+    // A journaling daemon records every entry-point invocation; the
+    // records are non-decreasing in time and start with Start.
+    let n = 4;
+    let cfg = fast_cfg().record_journal(true);
+    let mut w = drs_world(n, 17, cfg);
+    w.schedule_faults(
+        FaultPlan::new().fail_at(SimTime(1_000_000_000), SimComponent::Hub(NetId::A)),
+    );
+    w.run_for(SimDuration::from_secs(3));
+    let j = w
+        .protocol(NodeId(0))
+        .journal()
+        .expect("journaling enabled")
+        .clone();
+    assert!(matches!(
+        j.records.first().map(|r| r.input),
+        Some(DaemonInput::Start { planes: 2 })
+    ));
+    assert!(
+        j.records.windows(2).all(|w| w[0].at <= w[1].at),
+        "journal times are monotone"
+    );
+    // Timers and replies both occur in any live run.
+    assert!(j
+        .records
+        .iter()
+        .any(|r| matches!(r.input, DaemonInput::Timer { .. })));
+    assert!(j
+        .records
+        .iter()
+        .any(|r| matches!(r.input, DaemonInput::EchoReply { .. })));
+    // FirstOffer policy never draws randomness.
+    assert!(j.picks.is_empty());
+}

@@ -7,9 +7,10 @@
 //! ([`cost`]), the deployment failure-trace study ([`trace`]), the
 //! experiment harness that orchestrates simulation trials ([`harness`]),
 //! the unified observability layer — metric registries, spans and
-//! the observability artifact ([`obs`]) — and the first-class topology
+//! the observability artifact ([`obs`]) — the first-class topology
 //! graph layer with its datacenter generators and reachability engines
-//! ([`topology`]).
+//! ([`topology`]), and the non-DES protocol backends — live loopback
+//! UDP and golden-trace replay over the `DrsIo` boundary ([`io`]).
 //!
 //! See the repository README for a guided tour and `DESIGN.md` for the
 //! paper-to-module map.
@@ -19,6 +20,7 @@ pub use drs_baselines as baselines;
 pub use drs_core as core;
 pub use drs_cost as cost;
 pub use drs_harness as harness;
+pub use drs_io as io;
 pub use drs_obs as obs;
 pub use drs_sim as sim;
 pub use drs_topology as topology;
