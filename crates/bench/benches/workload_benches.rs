@@ -1,0 +1,111 @@
+//! Wall-clock benchmarks for the fluid-flow session engine: how long
+//! the driver takes to carry session populations whose cost is
+//! O(transitions), not O(sessions × packets). The headline cell scales
+//! a closed-loop population from ten thousand to a quarter million
+//! users over the same 2-second window — per-packet simulation of the
+//! largest cell would be intractable; here it's a linear pass over its
+//! transition log.
+//!
+//! Numbers are machine-local and never committed — the committed
+//! artifact (`BENCH_workload.json`) carries only deterministic session,
+//! transition, and byte-ledger counts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use drs_bench::workload::{run_scaling, run_slo_serial, run_slo_sharded};
+use drs_bench::BENCH_SEED;
+use drs_core::{DrsConfig, DrsDaemon};
+use drs_harness::coord_seed;
+use drs_sim::fault::{FaultPlan, SimComponent};
+use drs_sim::ids::NetId;
+use drs_sim::scenario::ClusterSpec;
+use drs_sim::time::{SimDuration, SimTime};
+use drs_sim::{ArrivalProcess, ClassSpec, HoldingDist, ShardedWorld, WorkloadSpec};
+
+/// A scaled-down million-style cell: closed-loop population of
+/// `per_host × 20` users, 60 s mean holding, 2 s window with a 0.5 s
+/// hub outage. Returns the transition count so criterion's throughput
+/// axis is events, matching the O(transitions) claim.
+fn run_population(per_host: u32, threads: usize) -> u64 {
+    let n = 20usize;
+    let cfg = DrsConfig::default()
+        .probe_timeout(SimDuration::from_millis(50))
+        .probe_interval(SimDuration::from_millis(200));
+    let spec = ClusterSpec::new(n).seed(coord_seed(BENCH_SEED, n as u64, u64::from(per_host)));
+    let mut w = ShardedWorld::with_topology(spec, 4, threads, |id| DrsDaemon::new(id, n, cfg));
+    w.schedule_faults(
+        FaultPlan::new()
+            .fail_at(SimTime(1_000_000_123), SimComponent::Hub(NetId::A))
+            .repair_at(SimTime(1_500_000_123), SimComponent::Hub(NetId::A)),
+    );
+    w.enable_workload(WorkloadSpec {
+        arrivals: ArrivalProcess::Closed {
+            per_host,
+            think_mean_ns: 250_000_000,
+        },
+        holding: HoldingDist::Exponential {
+            mean_ns: 60_000_000_000,
+        },
+        classes: vec![ClassSpec { rate_bps: 64_000 }],
+        horizon: SimTime(2_000_000_000),
+    });
+    w.run_for(SimDuration::from_secs(2));
+    let stats = w.workload_stats().expect("workload enabled");
+    assert_eq!(w.workload_events(), stats.transitions);
+    stats.transitions
+}
+
+fn bench_population_scaling(c: &mut Criterion) {
+    // Session count grows 25×; wall time should track the transition
+    // count (which grows with the population's churn), not per-packet
+    // work that would grow with population × rate × time.
+    let mut g = c.benchmark_group("population_scaling");
+    g.sample_size(10);
+    for &per_host in &[500u32, 2_500, 12_500] {
+        let transitions = run_population(per_host, 4);
+        g.throughput(Throughput::Elements(transitions));
+        g.bench_with_input(
+            BenchmarkId::new("closed_loop_n20", per_host * 20),
+            &per_host,
+            |b, &p| b.iter(|| black_box(run_population(p, 4))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_slo_cell(c: &mut Criterion) {
+    // The committed SLO cell, both drivers — the serial/sharded spread
+    // here is pure driver overhead, since their results are
+    // bit-identical.
+    let mut g = c.benchmark_group("slo_cell");
+    g.sample_size(10);
+    g.bench_function("serial", |b| b.iter(|| black_box(run_slo_serial())));
+    for &threads in &[1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("sharded", threads), &threads, |b, &t| {
+            b.iter(|| black_box(run_slo_sharded(t)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_rate_invariance(c: &mut Criterion) {
+    // The scaling ladder's wall-clock face: multiplying per-session
+    // rates ×256 must not multiply runtime, because rates change fluid
+    // arithmetic, not event count.
+    let mut g = c.benchmark_group("rate_invariance");
+    g.sample_size(10);
+    for &m in &drs_bench::workload::SCALING_MULTIPLIERS {
+        g.bench_with_input(BenchmarkId::new("rate_x", m), &m, |b, &m| {
+            b.iter(|| black_box(run_scaling(m)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_population_scaling,
+    bench_slo_cell,
+    bench_rate_invariance
+);
+criterion_main!(benches);

@@ -120,6 +120,29 @@ fn main() {
         );
     }
 
+    section("goodput under failover (what the probe budget buys)");
+    if let Some(sec) = artifact.get("goodput_under_failover") {
+        println!(
+            "  {:<10} {:>7} {:>12} {:>14} {:>13} {:>12}",
+            "cell", "budget", "period", "worst stall", "shortfall B", "conserved"
+        );
+        for row in &sec.rows {
+            println!(
+                "  {:<10} {:>6}% {:>12} {:>14} {:>13} {:>12}",
+                row.id,
+                count_field(row, "budget_pct").unwrap_or(0),
+                fmt_opt_ns(count_field(row, "period_ns")),
+                fmt_opt_ns(count_field(row, "worst_interruption_ns")),
+                count_field(row, "shortfall_bytes").unwrap_or(0),
+                if count_field(row, "conserved") == Some(1) {
+                    "exact"
+                } else {
+                    "BROKEN"
+                },
+            );
+        }
+    }
+
     section("event counts (shootout / e2e / total)");
     if let Some(sec) = artifact.get("event_counts") {
         for row in &sec.rows {

@@ -12,6 +12,7 @@ use drs_baselines::compare::{run_protocol, ProtocolConfigs, ProtocolLabel, Scena
 use drs_baselines::ospf::OspfConfig;
 use drs_baselines::rip::RipConfig;
 use drs_bench::flight::flight_verdict;
+use drs_bench::workload::{million_verdict, slo_verdict};
 use drs_bench::{e2e, kernel, BENCH_SEED};
 use drs_core::DrsConfig;
 use drs_cost::model::ProbeCostModel;
@@ -226,6 +227,38 @@ fn main() {
             fv.matched_reroute,
             fv.failovers,
             fv.orphan_refs
+        ),
+    );
+
+    // Fluid workload, claim 1: a million-session closed-loop population
+    // costs the kernel exactly one event per session transition — a
+    // pure integer identity, no tolerance — inside a fixed event
+    // budget, with the byte ledger balanced exactly.
+    let mv = million_verdict();
+    r.check(
+        "1M sessions at O(transitions): events == transitions",
+        mv.holds(),
+        format!(
+            "{} active of {}, {} events == {} transitions, conserved {}",
+            mv.active, mv.population, mv.kernel_session_events, mv.transitions, mv.conserved
+        ),
+    );
+
+    // Fluid workload, claim 2: through a hub failover the session SLOs
+    // are real — stalls open and resume, interruption samples exist,
+    // every reroute the engine credits is one the daemons observed, and
+    // offered == delivered + shortfall + dropped + in_flight exactly.
+    let sv = slo_verdict();
+    r.check(
+        "failover SLOs conserved and probe-cross-checked",
+        sv.holds(),
+        format!(
+            "{} stalls / {} resumed, {} interruptions, reroutes match {}, conserved {}",
+            sv.stall_windows,
+            sv.resumed_windows,
+            sv.interruption_samples,
+            sv.reroutes_match,
+            sv.conserved
         ),
     );
 

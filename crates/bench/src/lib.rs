@@ -17,6 +17,7 @@ pub mod knet;
 pub mod obs_artifact;
 pub mod sim_artifact;
 pub mod topology_zoo;
+pub mod workload;
 
 /// The master seed every sweep-driven binary uses, so the committed
 /// artifacts ([`BENCH_JSON`], [`SIM_BENCH_JSON`]) are reproducible from
@@ -63,6 +64,13 @@ pub const TOPOLOGY_BENCH_JSON: &str = "BENCH_topology.json";
 /// latency decomposition cross-checked bucket-for-bucket against the
 /// daemons' probe observability.
 pub const FLIGHT_BENCH_JSON: &str = "BENCH_flight.json";
+
+/// File name of the machine-readable fluid-workload artifact tracked in
+/// the repo root (schema documented in EXPERIMENTS.md): failover SLO
+/// histograms from a session-level workload on the DRS daemons, the
+/// O(transitions) scaling ladder, and the million-session closed-loop
+/// cell with its fixed kernel event budget.
+pub const WORKLOAD_BENCH_JSON: &str = "BENCH_workload.json";
 
 /// Writes a sweep artifact (or any text) to `path`.
 ///

@@ -19,6 +19,13 @@
 //!   fastest sweep period Figure 1's cost model allows for each
 //!   bandwidth budget, with measured per-segment probe bytes checked
 //!   against the budget. Every cell must come in at or under budget.
+//! * **`goodput_under_failover`** — the probe-budget sweep extended to
+//!   the question the budget actually buys an answer to: with a fluid
+//!   session workload riding the cluster through a hub failover, how
+//!   much goodput does each probing budget save? Faster probing (a
+//!   bigger budget) detects the failure sooner, so sessions stall for
+//!   less time and the exact shortfall ledger shrinks — the section
+//!   pins that ordering cell-for-cell.
 //! * **`event_counts`** — how many structured trace events of each
 //!   [`TraceEventKind`] the shootout and the end-to-end grid produced.
 //!
@@ -122,6 +129,7 @@ pub fn obs_bench_artifact(mode: RunMode) -> ObsArtifact {
     artifact.push(probe_path);
 
     artifact.push(probe_overhead_section());
+    artifact.push(goodput_under_failover_section());
 
     // Event-count breakdown over both committed experiment families.
     let mut shootout_counts = [0u64; 9];
@@ -243,6 +251,102 @@ fn probe_overhead_section() -> Section {
                     .count("within_budget", u64::from(worst as f64 <= budget_bytes)),
             );
         }
+    }
+    section
+}
+
+/// Cluster size of every goodput-under-failover cell.
+pub const OBS_GOODPUT_N: usize = 16;
+
+/// Probe budgets (percent) the goodput cells compare — the extremes of
+/// the overhead grid, so the detection-speed gap is widest.
+pub const OBS_GOODPUT_BUDGETS_PCT: [u64; 3] = [5, 10, 25];
+
+/// The probe-budget sweep's payoff measurement: each budget's cluster
+/// probes at the fastest period the Figure 1 cost model allows, a fluid
+/// session workload runs over a hub failover, and the cell reports what
+/// the sessions actually experienced — stall windows, interruption
+/// percentiles, and the exact delivered/shortfall byte ledger.
+///
+/// Everything is rand-free except the workload's own per-host streams
+/// (deterministic SplitMix64, identical on both drivers), so the cells
+/// are byte-reproducible. The section asserts the monotone payoff:
+/// a bigger probe budget never lengthens the worst interruption.
+fn goodput_under_failover_section() -> Section {
+    let model = ProbeCostModel::default();
+    let n = OBS_GOODPUT_N;
+    let mut section = Section::new("goodput_under_failover");
+    let mut worst_interruptions: Vec<(u64, u64)> = Vec::new();
+    for &pct in &OBS_GOODPUT_BUDGETS_PCT {
+        let beta = pct as f64 / 100.0;
+        let period = model.min_sweep_period(n as u64, beta) + SimDuration(1);
+        let cfg = DrsConfig::default()
+            .probe_timeout(SimDuration(period.0 / 4))
+            .probe_interval(period);
+        let spec = ClusterSpec::new(n)
+            .seed(coord_seed(BENCH_SEED, n as u64, pct ^ 0x60_0D))
+            .bandwidth_bps(model.bandwidth_bps);
+        let mut world = World::new(spec, |id| DrsDaemon::new(id, n, cfg));
+        // Off-phase fault instants (…123 ns), like every committed
+        // workload scenario: no frame shares an instant with the toggle.
+        world.schedule_faults(
+            drs_sim::fault::FaultPlan::new()
+                .fail_at(drs_sim::time::SimTime(2_000_000_123), {
+                    drs_sim::fault::SimComponent::Hub(NetId::A)
+                })
+                .repair_at(
+                    drs_sim::time::SimTime(4_000_000_123),
+                    drs_sim::fault::SimComponent::Hub(NetId::A),
+                ),
+        );
+        world.enable_workload(drs_sim::WorkloadSpec {
+            arrivals: drs_sim::ArrivalProcess::Open {
+                mean_gap_ns: 60_000_000,
+            },
+            holding: drs_sim::HoldingDist::Pareto {
+                xm_ns: 400_000_000,
+                alpha_milli: 1500,
+            },
+            classes: vec![drs_sim::ClassSpec { rate_bps: 500_000 }],
+            horizon: drs_sim::time::SimTime(5_000_000_000),
+        });
+        world.run_for(SimDuration::from_secs(6));
+        let stats = world.workload_stats().expect("workload enabled").clone();
+        let engine = world.workload_engine().expect("engine");
+        let conserved = engine.conservation().holds();
+        assert!(conserved, "b{pct}: fluid ledger out of balance");
+        assert!(stats.stall_windows > 0, "b{pct}: failover never stalled");
+        assert!(stats.resumed_windows > 0, "b{pct}: stalls never resumed");
+        let worst = stats.interruption.max().unwrap_or(0);
+        worst_interruptions.push((pct, worst));
+        section.push(
+            Row::new(format!("n{n}_b{pct}"))
+                .count("budget_pct", pct)
+                .count("period_ns", period.0)
+                .count("opened", stats.opened)
+                .count("stall_windows", stats.stall_windows)
+                .count("resumed_windows", stats.resumed_windows)
+                .count("worst_interruption_ns", worst)
+                .count(
+                    "delivered_bytes",
+                    crate::workload::unit_to_bytes(stats.delivered_unit),
+                )
+                .count(
+                    "shortfall_bytes",
+                    crate::workload::unit_to_bytes(stats.shortfall_unit),
+                )
+                .count("conserved", u64::from(conserved))
+                .hist(&stats.interruption),
+        );
+    }
+    // The payoff ordering: budgets ascend, worst interruptions must not.
+    for pair in worst_interruptions.windows(2) {
+        let ((lo_pct, lo_worst), (hi_pct, hi_worst)) = (pair[0], pair[1]);
+        assert!(
+            hi_worst <= lo_worst,
+            "goodput payoff inverted: budget {hi_pct}% stalled longer \
+             ({hi_worst} ns) than budget {lo_pct}% ({lo_worst} ns)"
+        );
     }
     section
 }

@@ -369,6 +369,10 @@ impl DrsDaemon {
                 elapsed.as_nanos(),
                 self.pending_reroute_ref[dst.idx()].take(),
             );
+            // Session layer: exactly one notification per closed repair
+            // span, so the fluid workload engine can cross-check its
+            // stall/resume accounting against `reroute_complete` 1:1.
+            io.notify_reroute(dst);
         }
     }
 

@@ -103,6 +103,18 @@ pub trait DrsIo {
     /// The probe-path observability block this daemon records into.
     fn probe_obs_mut(&mut self) -> &mut ProbeObs;
 
+    /// Notifies the session layer that a failover repair completed: the
+    /// daemon installed a working replacement route to `dst` and closed
+    /// the repair span it had opened when the failure was first
+    /// observed. Backends without a session layer ignore it (default
+    /// no-op); the DES backend forwards it to the fluid workload engine,
+    /// which uses it to resume stalled sessions' accounting and to
+    /// cross-check its interruption SLOs against the daemon's
+    /// `reroute_complete` histogram — the notification fires exactly
+    /// once per recorded `reroute_complete` sample. Like the `flight_*`
+    /// hooks, it must never influence daemon behavior.
+    fn notify_reroute(&mut self, _dst: NodeId) {}
+
     /// Appends a causal flight record; `None` when nothing was recorded
     /// (recorder off). Must not affect behavior.
     fn flight_record(

@@ -1,4 +1,4 @@
-//! The versioned `drs-bench-observability/v1` artifact.
+//! The versioned `drs-bench-observability/v2` artifact.
 //!
 //! Same deterministic hand-rolled JSON discipline as the harness's
 //! `drs-bench-sim-survivability/v1` serializer: fixed field order,
@@ -17,7 +17,7 @@ use crate::hist::Histogram;
 use crate::jsonfmt::{finish, json_f64, json_string, preamble};
 
 /// Schema tag written into every observability artifact.
-pub const SCHEMA: &str = "drs-bench-observability/v1";
+pub const SCHEMA: &str = "drs-bench-observability/v2";
 
 /// One field value in an artifact row.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -178,7 +178,7 @@ impl ObsArtifact {
         self.sections.iter().find(|s| s.name == name)
     }
 
-    /// Serializes to the `drs-bench-observability/v1` schema —
+    /// Serializes to the `drs-bench-observability/v2` schema —
     /// byte-identical across runs, thread counts and machines for a
     /// fixed artifact.
     #[must_use]

@@ -66,9 +66,22 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, v: u64) {
-        self.buckets[bucket_index(v)] += 1;
-        self.count += 1;
-        self.sum += u128::from(v);
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical samples in O(1) — the session-weighted
+    /// entry point the fluid workload layer uses to charge one
+    /// interruption interval to every session that lived through it.
+    /// `record_n(v, n)` is exactly equivalent to `n` calls of
+    /// `record(v)` (same buckets, count, sum, min, max), so weighted
+    /// histograms stay merge-exact. `n = 0` is a no-op.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(v)] += n;
+        self.count += n;
+        self.sum += u128::from(v) * u128::from(n);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -213,6 +226,21 @@ pub struct HistogramSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn record_n_equals_n_records() {
+        let mut weighted = Histogram::new();
+        let mut looped = Histogram::new();
+        for (v, n) in [(0u64, 3u64), (7, 1), (1024, 5), (u64::MAX, 2)] {
+            weighted.record_n(v, n);
+            for _ in 0..n {
+                looped.record(v);
+            }
+        }
+        weighted.record_n(99, 0); // no-op
+        assert_eq!(weighted, looped);
+        assert_eq!(weighted.count(), 11);
+    }
 
     #[test]
     fn empty_histogram_reports_none_everywhere() {

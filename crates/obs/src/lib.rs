@@ -25,7 +25,7 @@
 //!   any thread count ([`flight`]); [`causal`] walks the cause chains
 //!   back into per-failover post-mortems and [`to_perfetto`] renders the
 //!   merged timeline as Chrome `trace_event` JSON.
-//! * [`ObsArtifact`] — the versioned `drs-bench-observability/v1`
+//! * [`ObsArtifact`] — the versioned `drs-bench-observability/v2`
 //!   serializer in the same deterministic hand-rolled JSON style as the
 //!   other committed artifacts ([`artifact`]), built on the shared
 //!   artifact JSON dialect ([`jsonfmt`]) every committed `BENCH_*.json`

@@ -77,6 +77,10 @@ impl DrsIo for Ctx<'_, DrsMsg> {
         Ctx::probe_obs_mut(self)
     }
 
+    fn notify_reroute(&mut self, dst: NodeId) {
+        Ctx::notify_reroute(self, dst);
+    }
+
     fn flight_record(
         &mut self,
         kind: TraceKind,

@@ -82,6 +82,7 @@ pub mod time;
 pub mod topology;
 pub mod transport;
 pub mod wheel;
+pub mod workload;
 pub mod world;
 
 pub use fault::{FaultEvent, FaultPlan, SimComponent};
@@ -91,6 +92,9 @@ pub use routes::Route;
 pub use scenario::ClusterSpec;
 pub use time::{SimDuration, SimTime};
 pub use topology::TopologySpec;
+pub use workload::{
+    ArrivalProcess, ClassSpec, FluidEngine, HoldingDist, WorkloadSpec, WorkloadStats,
+};
 pub use world::{
     threads_from_env, Ctx, EventRecord, EventTag, HubTimeline, Protocol, ShardStats, ShardedWorld,
     TransportEvent, World,

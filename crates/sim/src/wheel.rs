@@ -214,6 +214,21 @@ impl<T> TimerWheel<T> {
         }
     }
 
+    /// Tops the spare pool up to `buffers` recycled slot buffers of at
+    /// least `capacity` entries each, raising the retention bound so the
+    /// extra buffers survive drain cycles — the late-binding sibling of
+    /// [`with_spare_pool`](Self::with_spare_pool) for workloads enabled
+    /// after the wheel is built (the fluid session layer knows its
+    /// expected transition rate only when the caller attaches it).
+    /// Capped at [`MAX_USEFUL_SPARE`]; never shrinks an existing pool.
+    pub fn reserve_spare(&mut self, buffers: usize, capacity: usize) {
+        let target = buffers.min(MAX_USEFUL_SPARE);
+        self.spare_cap = self.spare_cap.max(target);
+        while self.spare.len() < target {
+            self.spare.push(Vec::with_capacity(capacity));
+        }
+    }
+
     /// Number of queued events.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -679,6 +694,28 @@ mod tests {
             "pre-sized pool must absorb cold slots: {s:?}"
         );
         assert!(s.pool_hits > 0);
+    }
+
+    #[test]
+    fn reserve_spare_tops_up_and_raises_retention() {
+        let mut w: TimerWheel<u32> = TimerWheel::with_spare_pool(4, 8);
+        w.reserve_spare(32, 16);
+        assert_eq!(w.spare.len(), 32);
+        assert!(w.spare_cap >= 32);
+        // Capped at MAX_USEFUL_SPARE, and never shrinks.
+        w.reserve_spare(MAX_USEFUL_SPARE + 100, 4);
+        assert_eq!(w.spare.len(), MAX_USEFUL_SPARE);
+        w.reserve_spare(2, 4);
+        assert_eq!(w.spare.len(), MAX_USEFUL_SPARE);
+        // A reserved pool absorbs cold slots without allocating.
+        for round in 0..10u64 {
+            let base = round * 1_000_000;
+            for i in 0..8u64 {
+                w.push(SimTime(base + i), round * 8 + i, 0);
+            }
+            while w.pop().is_some() {}
+        }
+        assert_eq!(w.stats().pool_misses, 0);
     }
 
     #[test]

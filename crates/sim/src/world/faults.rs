@@ -2,6 +2,7 @@
 //! [`FaultEvent`]s fire, and the component-status queries experiments use.
 
 use crate::fault::{FaultEvent, FaultPlan, SimComponent};
+use crate::workload::Transition;
 
 use super::kernel::Engine;
 use super::queue::{EventKind, Fabric};
@@ -36,6 +37,17 @@ impl<P: Protocol> World<P> {
                 net.idx() < planes,
                 "fault on plane {net} but the cluster has {planes} planes"
             );
+            if matches!(ev.component, SimComponent::Hub(_)) {
+                // The fluid workload engine applies hub toggles from this
+                // out-of-band schedule (they are coordinator-owned under
+                // the sharded driver, so they never appear as workload
+                // transitions). Kept regardless of whether the workload is
+                // enabled yet — enable_workload may run after this.
+                self.hub_plan.push(ev);
+                if let Some(eng) = self.workload_engine.as_mut() {
+                    eng.add_hub_toggles(std::slice::from_ref(&ev));
+                }
+            }
             self.core.schedule_at(ev.at, EventKind::Fault(ev));
         }
     }
@@ -70,7 +82,14 @@ impl<P: Protocol> Engine<'_, P> {
                     self.core.media[net.idx()].set_up(ev.up);
                 }
             }
-            SimComponent::Nic(node, net) => self.core.hosts.set_nic(node, net, ev.up),
+            SimComponent::Nic(node, net) => {
+                self.core.hosts.set_nic(node, net, ev.up);
+                self.core.record_workload(Transition::Nic {
+                    node,
+                    net,
+                    up: ev.up,
+                });
+            }
         }
     }
 }

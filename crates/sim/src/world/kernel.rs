@@ -14,6 +14,7 @@ use drs_obs::flight::{loss_site, TraceKind};
 use crate::frame::{Destination, Frame, FrameKind, Segment, SegmentKind};
 use crate::ids::{FlowId, NodeId};
 use crate::medium::TrafficClass;
+use crate::time::SimDuration;
 use crate::transport::{rto_for_attempt, OutstandingSend};
 
 use super::queue::{Core, EventKind, Fabric, Intent};
@@ -176,6 +177,49 @@ impl<P: Protocol> Engine<'_, P> {
                 attempt,
             } => self.handle_rto(node, flow, attempt),
             EventKind::Arrive(frame) => self.handle_arrival(frame),
+            EventKind::SessionOpen { host } => self.handle_session_open(host),
+            EventKind::SessionClose { host, local } => self.handle_session_close(host, local),
+        }
+    }
+
+    /// One fluid-session arrival: the host's stream draws destination,
+    /// class, holding time (and, open-loop, the gap to its next
+    /// arrival); the close timer and any successor arrival go back on
+    /// the wheel. This dispatch and the close are the *only* kernel
+    /// events a session ever costs.
+    fn handle_session_open(&mut self, host: NodeId) {
+        let (now, seq, n) = (self.core.now, self.core.cur_ev_seq, self.core.spec.n);
+        let Some(w) = self.core.workload.as_mut() else {
+            return;
+        };
+        let horizon = w.spec.horizon;
+        let (local, holding_ns, gap) = w.open(host, n, now, seq);
+        self.core.schedule_at(
+            now + SimDuration(holding_ns),
+            EventKind::SessionClose { host, local },
+        );
+        if let Some(gap_ns) = gap {
+            let at = now + SimDuration(gap_ns);
+            if at < horizon {
+                self.core.schedule_at(at, EventKind::SessionOpen { host });
+            }
+        }
+    }
+
+    /// A fluid session reached its holding time; closed-loop workloads
+    /// draw the user's think gap and schedule the next arrival.
+    fn handle_session_close(&mut self, host: NodeId, local: u64) {
+        let (now, seq) = (self.core.now, self.core.cur_ev_seq);
+        let Some(w) = self.core.workload.as_mut() else {
+            return;
+        };
+        let horizon = w.spec.horizon;
+        let think = w.close(host, local, now, seq);
+        if let Some(think_ns) = think {
+            let at = now + SimDuration(think_ns);
+            if at < horizon {
+                self.core.schedule_at(at, EventKind::SessionOpen { host });
+            }
         }
     }
 

@@ -29,6 +29,7 @@ use drs_obs::flight::FlightRecorder;
 use rand::rngs::SmallRng;
 
 use crate::app::Workload;
+use crate::fault::FaultEvent;
 use crate::host::HostView;
 use crate::ids::{FlowId, NetId, NodeId};
 use crate::medium::SharedMedium;
@@ -36,6 +37,7 @@ use crate::routes::{Route, RouteTable};
 use crate::scenario::ClusterSpec;
 use crate::stats::{AppStats, HostCounters, ProbeObs};
 use crate::time::{SimDuration, SimTime};
+use crate::workload::{FluidEngine, Transition, WorkloadCore, WorkloadSpec, WorkloadStats};
 
 use kernel::Engine;
 use queue::EventKind;
@@ -284,11 +286,33 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
     /// Installs a kernel route.
     pub fn set_route(&mut self, dst: NodeId, route: Route) {
         self.core.hosts.routes_mut(self.node).set(dst, route);
+        self.core.record_workload(Transition::RouteSet {
+            host: self.node,
+            dst,
+            route,
+        });
     }
 
     /// Removes the kernel route to `dst`.
     pub fn del_route(&mut self, dst: NodeId) {
-        self.core.hosts.routes_mut(self.node).remove(dst);
+        if self.core.hosts.routes_mut(self.node).remove(dst).is_some() {
+            self.core.record_workload(Transition::RouteDel {
+                host: self.node,
+                dst,
+            });
+        }
+    }
+
+    /// Forwards a daemon's reroute-complete notification
+    /// ([`drs_core::io::DrsIo::notify_reroute`]) to the fluid workload
+    /// engine, which counts it 1:1 against the daemon's
+    /// `reroute_complete` histogram. Pure bookkeeping — no events, no
+    /// draws, no route changes.
+    pub fn notify_reroute(&mut self, dst: NodeId) {
+        self.core.record_workload(Transition::Reroute {
+            host: self.node,
+            dst,
+        });
     }
 
     /// The current route to `dst`.
@@ -367,6 +391,15 @@ impl<'a, M: Clone + std::fmt::Debug> Ctx<'a, M> {
 pub struct World<P: Protocol> {
     pub(crate) core: Core<P::Msg>,
     pub(crate) protocols: Vec<P>,
+    /// Hub toggles scheduled so far — handed to the fluid workload
+    /// engine out-of-band (hub faults never appear as workload
+    /// transitions; see [`crate::workload`]). Kept even while no
+    /// workload is enabled so `enable_workload` and `schedule_faults`
+    /// compose in either order.
+    pub(crate) hub_plan: Vec<FaultEvent>,
+    /// The fluid session accounting engine, when
+    /// [`Self::enable_workload`] was called.
+    pub(crate) workload_engine: Option<Box<FluidEngine>>,
 }
 
 impl<P: Protocol> World<P> {
@@ -396,7 +429,12 @@ impl<P: Protocol> World<P> {
     fn assemble(core: Core<P::Msg>, mut factory: impl FnMut(NodeId) -> P) -> Self {
         let n = core.spec.n;
         let protocols = (0..n).map(|i| factory(NodeId(i as u32))).collect();
-        let mut world = World { core, protocols };
+        let mut world = World {
+            core,
+            protocols,
+            hub_plan: Vec::new(),
+            workload_engine: None,
+        };
         for i in 0..n {
             let node = NodeId(i as u32);
             let mut ctx = Ctx {
@@ -561,6 +599,66 @@ impl<P: Protocol> World<P> {
             .collect()
     }
 
+    /// Enables the fluid session workload (see [`crate::workload`]):
+    /// seeds the arrival processes, snapshots the current route tables
+    /// into the accounting engine, and pre-sizes the timer wheel's
+    /// slot-buffer pool from the expected transition rate. Must be
+    /// called before time advances; composes with
+    /// [`Self::schedule_faults`] in either order.
+    ///
+    /// # Panics
+    /// Panics if called after time has advanced, or twice.
+    pub fn enable_workload(&mut self, wspec: WorkloadSpec) {
+        assert_eq!(self.core.now, SimTime::ZERO, "enable before time advances");
+        assert!(self.core.workload.is_none(), "workload already enabled");
+        let n = self.core.spec.n;
+        let (buffers, capacity) = wspec.pool_hint(n);
+        self.core.events.reserve_spare(buffers, capacity);
+        let mut routes = Vec::with_capacity(n * n);
+        for src in 0..n {
+            let table = self.core.hosts.routes(NodeId(src as u32));
+            for dst in 0..n {
+                routes.push(table.get(NodeId(dst as u32)));
+            }
+        }
+        let mut engine = Box::new(FluidEngine::new(
+            &wspec,
+            n,
+            self.core.spec.planes,
+            self.core.spec.ttl,
+            self.core.spec.bandwidth_bps,
+            routes,
+        ));
+        engine.add_hub_toggles(&self.hub_plan);
+        let mut wl = Box::new(WorkloadCore::new(wspec, n, self.core.spec.seed));
+        for (host, at) in wl.initial_opens(0, n) {
+            self.core.schedule_at(at, EventKind::SessionOpen { host });
+        }
+        self.core.workload = Some(wl);
+        self.workload_engine = Some(engine);
+    }
+
+    /// Session-level workload statistics, settled to the end of the
+    /// last `run_until`. `None` unless [`Self::enable_workload`] ran.
+    #[must_use]
+    pub fn workload_stats(&self) -> Option<&WorkloadStats> {
+        self.workload_engine.as_ref().map(|e| e.stats())
+    }
+
+    /// The fluid accounting engine (digest, conservation report).
+    #[must_use]
+    pub fn workload_engine(&self) -> Option<&FluidEngine> {
+        self.workload_engine.as_deref()
+    }
+
+    /// Kernel events dispatched on behalf of the fluid workload — by
+    /// construction exactly the session open/close transition count
+    /// (the `O(transitions)` identity `repro_all` checks).
+    #[must_use]
+    pub fn workload_events(&self) -> u64 {
+        self.core.workload.as_ref().map_or(0, |w| w.events)
+    }
+
     /// Runs until the queue is empty or virtual time reaches `until`;
     /// afterwards `now() == until` (unless the queue emptied earlier with
     /// a later `now`... it cannot — time only advances by events, so `now`
@@ -575,6 +673,23 @@ impl<P: Protocol> World<P> {
         if self.core.now < until {
             self.core.now = until;
         }
+        self.drain_workload();
+    }
+
+    /// Feeds the transitions logged since the last drain to the fluid
+    /// engine and settles its ledgers at `now`. Runs at the end of every
+    /// `run_until` (raw `step()` loops must call `run_until` — or simply
+    /// stop — before reading workload stats).
+    fn drain_workload(&mut self) {
+        let Some(engine) = self.workload_engine.as_mut() else {
+            return;
+        };
+        let Some(wl) = self.core.workload.as_mut() else {
+            return;
+        };
+        let log = std::mem::take(&mut wl.log);
+        engine.ingest(&log);
+        engine.settle(self.core.now);
     }
 
     /// Runs for a span of virtual time.

@@ -31,6 +31,7 @@ use crate::scenario::ClusterSpec;
 use crate::stats::AppStats;
 use crate::time::SimTime;
 use crate::wheel::{TimerWheel, WheelStats, MAX_USEFUL_SPARE};
+use crate::workload::{Transition, WorkloadCore};
 
 use super::shard::HubTimeline;
 use super::FlowOutcome;
@@ -52,6 +53,16 @@ pub(crate) enum EventKind<M> {
         src: NodeId,
         dst: NodeId,
         payload_bytes: u32,
+    },
+    /// A fluid-workload session arrival on `host` (draws destination,
+    /// class and holding time from the host's own stream).
+    SessionOpen {
+        host: NodeId,
+    },
+    /// The fluid session `(host, local)` reached its holding time.
+    SessionClose {
+        host: NodeId,
+        local: u64,
     },
 }
 
@@ -140,6 +151,10 @@ pub enum EventTag {
     Fault,
     /// An application send.
     AppSend,
+    /// A fluid-workload session arrival.
+    SessionOpen,
+    /// A fluid-workload session close.
+    SessionClose,
 }
 
 /// One dispatched event, recorded at pop time when event logging is on
@@ -211,6 +226,9 @@ pub struct Core<M> {
     pub(crate) cur_ev_seq: u64,
     /// Trace records emitted so far by the current dispatch.
     pub(crate) cur_sub: u32,
+    /// When `Some`, the fluid session generator: draws arrivals, logs
+    /// workload transitions (see [`crate::workload`]).
+    pub(crate) workload: Option<Box<WorkloadCore>>,
 }
 
 impl<M: Clone + std::fmt::Debug> Core<M> {
@@ -287,6 +305,17 @@ impl<M: Clone + std::fmt::Debug> Core<M> {
             flight: None,
             cur_ev_seq: 0,
             cur_sub: 0,
+            workload: None,
+        }
+    }
+
+    /// Logs a non-session workload transition (route/NIC/reroute)
+    /// stamped with the current dispatch identity. No-op when the fluid
+    /// workload is not enabled.
+    #[inline]
+    pub(crate) fn record_workload(&mut self, kind: Transition) {
+        if let Some(w) = self.workload.as_mut() {
+            w.record(self.now, self.cur_ev_seq, kind);
         }
     }
 
@@ -386,6 +415,10 @@ impl<M: Clone + std::fmt::Debug> Core<M> {
             EventKind::AppSend {
                 flow, src, dst, ..
             } => (EventTag::AppSend, src.0, 0, flow.0 << 32 | u64::from(dst.0)),
+            EventKind::SessionOpen { host } => (EventTag::SessionOpen, host.0, 0, 0),
+            EventKind::SessionClose { host, local } => {
+                (EventTag::SessionClose, host.0, 0, *local)
+            }
         };
         log.push(EventRecord {
             at,

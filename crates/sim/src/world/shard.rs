@@ -77,6 +77,9 @@ use crate::medium::{SharedMedium, TrafficClass};
 use crate::scenario::ClusterSpec;
 use crate::stats::{AppStats, ProbeObs};
 use crate::time::{SimDuration, SimTime};
+use crate::workload::{
+    FluidEngine, TransitionRecord, WorkloadCore, WorkloadSpec, WorkloadStats,
+};
 
 use super::kernel::Engine;
 use super::queue::{Core, EventKind, EventRecord, Fabric, Intent, KernelStats};
@@ -312,6 +315,11 @@ pub struct ShardedWorld<P: Protocol> {
     threads: usize,
     next_flow: u64,
     barrier_wait_ns: u64,
+    /// The fluid session accounting engine, when
+    /// [`Self::enable_workload`] was called. Lives at the coordinator;
+    /// consumes the shards' merged transition logs at the end of every
+    /// `run_until`.
+    workload_engine: Option<Box<FluidEngine>>,
 }
 
 impl<P: Protocol> ShardedWorld<P> {
@@ -430,6 +438,7 @@ impl<P: Protocol> ShardedWorld<P> {
             threads,
             next_flow: 0,
             barrier_wait_ns: 0,
+            workload_engine: None,
         };
         for i in 0..spec.n {
             let node = NodeId(i as u32);
@@ -669,6 +678,9 @@ impl<P: Protocol> ShardedWorld<P> {
                          (they compile into the hub timeline)"
                     );
                     self.coord.hub_events.push(ev);
+                    if let Some(eng) = self.workload_engine.as_mut() {
+                        eng.add_hub_toggles(std::slice::from_ref(&ev));
+                    }
                     any_hub = true;
                 }
                 SimComponent::Nic(node, _) => {
@@ -750,6 +762,102 @@ impl<P: Protocol> ShardedWorld<P> {
         self.coord.flight = Some(FlightRecorder::new(capacity));
     }
 
+    /// Attaches the fluid session workload: per-host arrival streams in
+    /// every shard (each host draws from its own seeded stream, so the
+    /// block partition never changes a draw) plus one accounting engine
+    /// at the coordinator that consumes the merged transition logs. Must
+    /// run before time advances; statistics are bit-identical to
+    /// [`super::World::enable_workload`] for every shard and thread
+    /// count.
+    ///
+    /// # Panics
+    /// Panics if the run has started or a workload is already attached.
+    pub fn enable_workload(&mut self, wspec: WorkloadSpec) {
+        assert!(
+            self.epoch == 0 && self.now == SimTime::ZERO,
+            "enable before the sharded run starts"
+        );
+        assert!(self.workload_engine.is_none(), "workload already enabled");
+        let n = self.spec.n;
+        let mut routes = Vec::with_capacity(n * n);
+        for src in 0..n {
+            let node = NodeId(src as u32);
+            let shard = self.shard(self.owner_of(node));
+            let table = shard.core.hosts.routes(node);
+            for dst in 0..n {
+                routes.push(table.get(NodeId(dst as u32)));
+            }
+        }
+        let mut engine = Box::new(FluidEngine::new(
+            &wspec,
+            n,
+            self.spec.planes,
+            self.spec.ttl,
+            self.spec.bandwidth_bps,
+            routes,
+        ));
+        engine.add_hub_toggles(&self.coord.hub_events);
+        let seed = self.spec.seed;
+        let (block, extra) = (n / self.shards.len(), n % self.shards.len());
+        let mut base = 0u32;
+        for id in 0..self.shards.len() {
+            let len = block + usize::from(id < extra);
+            let (buffers, capacity) = wspec.pool_hint(len);
+            let shard = self.shard_mut(id);
+            shard.core.events.reserve_spare(buffers, capacity);
+            let mut wl = Box::new(WorkloadCore::new(wspec.clone(), n, seed));
+            for (host, at) in wl.initial_opens(base, len) {
+                shard.core.schedule_at(at, EventKind::SessionOpen { host });
+            }
+            shard.core.workload = Some(wl);
+            base += len as u32;
+        }
+        self.workload_engine = Some(engine);
+    }
+
+    /// Session-level workload statistics, settled to the end of the
+    /// last `run_until`. `None` unless [`Self::enable_workload`] ran.
+    #[must_use]
+    pub fn workload_stats(&self) -> Option<&WorkloadStats> {
+        self.workload_engine.as_ref().map(|e| e.stats())
+    }
+
+    /// The fluid accounting engine (digest, conservation report).
+    #[must_use]
+    pub fn workload_engine(&self) -> Option<&FluidEngine> {
+        self.workload_engine.as_deref()
+    }
+
+    /// Kernel events dispatched on behalf of the fluid workload, summed
+    /// across shards — exactly the session open/close transition count.
+    #[must_use]
+    pub fn workload_events(&self) -> u64 {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).core.workload.as_ref().map_or(0, |w| w.events))
+            .sum()
+    }
+
+    /// Feeds the transitions each shard logged since the last drain to
+    /// the fluid engine, in the same `(at, seq, shard)` merge order as
+    /// [`Self::event_log`], then settles the ledgers at `until`.
+    fn drain_workload(&mut self, until: SimTime) {
+        if self.workload_engine.is_none() {
+            return;
+        }
+        let mut tagged: Vec<(TransitionRecord, usize)> = Vec::new();
+        for i in 0..self.shards.len() {
+            if let Some(w) = self.shard_mut(i).core.workload.as_mut() {
+                let log = std::mem::take(&mut w.log);
+                tagged.extend(log.into_iter().map(|r| (r, i)));
+            }
+        }
+        tagged.sort_by_key(|&(r, s)| (r.at, r.seq, s));
+        let merged: Vec<TransitionRecord> = tagged.into_iter().map(|(r, _)| r).collect();
+        let engine = self.workload_engine.as_mut().expect("checked above");
+        engine.ingest(&merged);
+        engine.settle(until);
+    }
+
     /// The merged flight timeline, if [`Self::enable_flight`] was
     /// called: per-shard logs plus the coordinator's, merged in
     /// `(time, seq, sub)` order with shard index breaking ties
@@ -817,6 +925,7 @@ impl<P: Protocol> ShardedWorld<P> {
         if self.now < until {
             self.now = until;
         }
+        self.drain_workload(until);
     }
 
     /// The epoch window upper bound for a window opening at `t_start`.

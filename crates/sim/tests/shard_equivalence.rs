@@ -20,7 +20,10 @@ use drs_sim::time::{SimDuration, SimTime};
 use drs_sim::world::{
     Ctx, EventRecord, EventRef, FlightLog, KernelStats, Protocol, ShardStats, TraceKind, World,
 };
-use drs_sim::{NetId, NodeId, ShardedWorld, SimComponent};
+use drs_sim::{
+    ArrivalProcess, ClassSpec, HoldingDist, NetId, NodeId, ShardedWorld, SimComponent,
+    WorkloadSpec, WorkloadStats,
+};
 
 /// A chatty protocol: every host runs a periodic timer and, on each
 /// firing, probes a rotating peer on a rotating plane, mixing in control
@@ -108,6 +111,7 @@ struct Scenario {
     sends: Vec<(SimTime, NodeId, NodeId, u32)>,
     faults: Vec<(SimTime, SimComponent, bool)>,
     loss: Vec<(NodeId, NetId, f64)>,
+    workload: Option<WorkloadSpec>,
 }
 
 impl Scenario {
@@ -164,6 +168,41 @@ impl Scenario {
         } else {
             Vec::new()
         };
+        // Roughly half the corpus also carries a fluid session workload,
+        // rotating arrival modes and holding-time families, so the
+        // thread-count contract covers the workload engine's merged
+        // transition log too.
+        let workload = rng.gen_bool(0.5).then(|| WorkloadSpec {
+            arrivals: if rng.gen_bool(0.5) {
+                ArrivalProcess::Open {
+                    mean_gap_ns: rng.gen_range(10_000_000u64..50_000_000),
+                }
+            } else {
+                ArrivalProcess::Closed {
+                    per_host: rng.gen_range(1u32..=5),
+                    think_mean_ns: rng.gen_range(10_000_000u64..80_000_000),
+                }
+            },
+            holding: match rng.gen_range(0u8..3) {
+                0 => HoldingDist::Exponential {
+                    mean_ns: rng.gen_range(20_000_000u64..100_000_000),
+                },
+                1 => HoldingDist::Pareto {
+                    xm_ns: 10_000_000,
+                    alpha_milli: rng.gen_range(1100u32..2500),
+                },
+                _ => HoldingDist::LogNormal {
+                    median_ns: 20_000_000,
+                    sigma_milli: rng.gen_range(500u32..1000),
+                },
+            },
+            classes: (0..rng.gen_range(1usize..=2))
+                .map(|_| ClassSpec {
+                    rate_bps: rng.gen_range(100_000u64..5_000_000),
+                })
+                .collect(),
+            horizon: SimTime(rng.gen_range(1..=run.as_nanos() / 2)),
+        });
         Scenario {
             spec,
             shards,
@@ -172,6 +211,7 @@ impl Scenario {
             sends,
             faults,
             loss,
+            workload,
         }
     }
 
@@ -207,6 +247,10 @@ struct Fingerprint {
     /// The merged causal flight timeline — every trace record, every
     /// cause ref, and the eviction counter, all pinned byte-for-byte.
     flight: Option<FlightLog>,
+    /// Fluid workload outcome, when the scenario carries one: full
+    /// statistics (histograms included), engine digest, and the kernel
+    /// event count attributable to sessions.
+    workload: Option<(WorkloadStats, u64, u64)>,
 }
 
 /// Small enough that chatty draws overflow the per-shard rings and the
@@ -222,6 +266,9 @@ fn run_sharded(sc: &Scenario, threads: usize) -> Fingerprint {
     });
     w.enable_event_log();
     w.enable_flight(FLIGHT_CAP);
+    if let Some(ws) = &sc.workload {
+        w.enable_workload(ws.clone());
+    }
     w.schedule_faults(sc.plan());
     for &(node, net, p) in &sc.loss {
         w.set_link_loss(node, net, p);
@@ -248,6 +295,15 @@ fn run_sharded(sc: &Scenario, threads: usize) -> Fingerprint {
             })
             .collect(),
         flight: w.flight_log(),
+        workload: w.workload_stats().map(|s| {
+            let eng = w.workload_engine().expect("stats imply an engine");
+            assert!(
+                eng.conservation().holds(),
+                "fluid ledger out of balance: {:?}",
+                eng.conservation()
+            );
+            (s.clone(), eng.digest(), w.workload_events())
+        }),
     }
 }
 
@@ -349,6 +405,9 @@ fn pristine_schedules_match_the_plain_world_event_for_event() {
         let sharded = run_sharded(&sc, if seed % 2 == 0 { 4 } else { 1 });
         let mut w = World::new(sc.spec, move |_| Chatter::new(n as u32, planes, period));
         w.enable_event_log();
+        if let Some(ws) = &sc.workload {
+            w.enable_workload(ws.clone());
+        }
         for &(at, src, dst, bytes) in &sc.sends {
             w.send_app(at, src, dst, bytes);
         }
@@ -374,6 +433,17 @@ fn pristine_schedules_match_the_plain_world_event_for_event() {
             })
             .collect();
         assert_eq!(sharded.chatter, chatter, "seed {seed}: protocol history");
+        let plain_wl = w.workload_stats().map(|s| {
+            (
+                s.clone(),
+                w.workload_engine().expect("engine").digest(),
+                w.workload_events(),
+            )
+        });
+        assert_eq!(
+            sharded.workload, plain_wl,
+            "seed {seed}: fluid workload outcome diverged between drivers"
+        );
         matched += 1;
     }
     assert!(

@@ -79,6 +79,38 @@ fn every_probe_overhead_cell_stays_within_budget() {
 }
 
 #[test]
+fn goodput_cells_show_monotone_probe_budget_payoff() {
+    // The committed section must carry the claim it was built to pin:
+    // every cell's fluid ledger balanced exactly, every failover both
+    // stalled and resumed sessions, and a bigger probe budget never
+    // lengthened the worst session interruption.
+    let artifact = obs_bench_artifact(RunMode::Parallel);
+    let sec = artifact
+        .get("goodput_under_failover")
+        .expect("goodput section");
+    assert!(sec.rows.len() >= 2, "need a ladder to compare budgets");
+    let mut prev_worst: Option<u64> = None;
+    for row in &sec.rows {
+        assert_eq!(count_field(row, "conserved"), Some(1), "{}", row.id);
+        assert!(count_field(row, "stall_windows").unwrap_or(0) > 0, "{}", row.id);
+        assert!(
+            count_field(row, "resumed_windows").unwrap_or(0) > 0,
+            "{}",
+            row.id
+        );
+        let worst = count_field(row, "worst_interruption_ns").expect("worst");
+        if let Some(p) = prev_worst {
+            assert!(
+                worst <= p,
+                "{}: bigger budget, longer worst interruption ({worst} > {p})",
+                row.id
+            );
+        }
+        prev_worst = Some(worst);
+    }
+}
+
+#[test]
 fn empty_histograms_serialize_as_null_not_zero() {
     // The static protocol never fails over, so its failover-latency
     // histogram is empty — the committed artifact must carry `null`
